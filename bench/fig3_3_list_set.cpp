@@ -1,0 +1,13 @@
+// Figure 3.3: linked-list-based set, 512 elements, four workloads,
+// Lazy vs PessimisticBoosted vs OptimisticBoosted throughput.
+#include "set_bench_common.h"
+#include "cds/lazy_list_set.h"
+#include "otb/otb_list_set.h"
+
+int main() {
+  // 512 resident elements -> key range 1024 with half populated.
+  otb::bench::run_set_figure<otb::cds::LazyListSet, otb::tx::OtbListSet,
+                             otb::cds::LazyListSet>("Fig 3.3 linked-list set",
+                                                    1024);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 3.4: skip-list-based set, 512 elements, four workloads.
+#include "set_bench_common.h"
+#include "cds/lazy_skiplist_set.h"
+#include "otb/otb_skiplist_set.h"
+
+int main() {
+  otb::bench::run_set_figure<otb::cds::LazySkipListSet, otb::tx::OtbSkipListSet,
+                             otb::cds::LazySkipListSet>(
+      "Fig 3.4 skip-list set (small)", 1024);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 3.5: skip-list-based set, 64K elements (low contention), four
+// workloads — the regime where OTB is up to 2x over pessimistic boosting.
+#include "set_bench_common.h"
+#include "cds/lazy_skiplist_set.h"
+#include "otb/otb_skiplist_set.h"
+
+int main() {
+  otb::bench::run_set_figure<otb::cds::LazySkipListSet, otb::tx::OtbSkipListSet,
+                             otb::cds::LazySkipListSet>(
+      "Fig 3.5 skip-list set (64K)", 131072);
+  return 0;
+}

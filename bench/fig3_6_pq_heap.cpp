@@ -1,0 +1,9 @@
+// Figure 3.6: heap-based priority queue, 512 elements, transaction sizes
+// 1 and 5 — PessimisticBoosted vs the semi-optimistic OTB heap queue.
+#include "otb/otb_heap_pq.h"
+#include "pq_bench_common.h"
+
+int main() {
+  otb::bench::run_pq_figure<otb::tx::OtbHeapPQ>("Fig 3.6 heap priority queue");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 3.7: skip-list priority queue, 512 elements, transaction sizes 1
+// and 5 — PessimisticBoosted (heap black box) vs the fully optimistic OTB
+// skip-list queue.
+#include "otb/otb_skiplist_pq.h"
+#include "pq_bench_common.h"
+
+int main() {
+  otb::bench::run_pq_figure<otb::tx::OtbSkipListPQ>(
+      "Fig 3.7 skip-list priority queue");
+  return 0;
+}

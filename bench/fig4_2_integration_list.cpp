@@ -1,0 +1,12 @@
+// Figure 4.2: linked-list set, 512 elements — pure-STM (NOrec, TL2) vs
+// OTB-integrated (OTB-NOrec, OTB-TL2).  The paper reports up to an order of
+// magnitude in favour of OTB: the pure-STM list logs every traversed hop.
+#include "integration_bench_common.h"
+#include "otb/otb_list_set.h"
+#include "stmds/stm_list.h"
+
+int main() {
+  otb::bench::run_integration_figure<otb::stmds::StmList, otb::tx::OtbListSet>(
+      "Fig 4.2 linked-list integration", 1024);
+  return 0;
+}

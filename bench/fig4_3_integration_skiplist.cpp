@@ -1,0 +1,12 @@
+// Figure 4.3: skip-list set, 4K elements — pure-STM vs OTB-integrated.
+// Logarithmic traversals shrink the false-conflict gap relative to Fig 4.2.
+#include "integration_bench_common.h"
+#include "otb/otb_skiplist_set.h"
+#include "stmds/stm_skiplist.h"
+
+int main() {
+  otb::bench::run_integration_figure<otb::stmds::StmSkipList,
+                                     otb::tx::OtbSkipListSet>(
+      "Fig 4.3 skip-list integration", 8192);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Figure 4.4: the Algorithm-7 test case — every transaction performs one
+// set operation (50% add/remove, 50% contains) and increments one of six
+// shared outcome counters in the same transaction.  Pure-STM vs
+// OTB-integrated, on both the linked list and the skip list.
+#include <string>
+#include <vector>
+
+#include "benchlib/driver.h"
+#include "benchlib/table.h"
+#include "common/rng.h"
+#include "integration/otb_stm.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_set.h"
+#include "stm/stm.h"
+#include "stmds/stm_list.h"
+#include "stmds/stm_skiplist.h"
+
+namespace otb::bench {
+namespace {
+
+struct Counters {
+  stm::TVar<std::int64_t> ok_add{0}, fail_add{0};
+  stm::TVar<std::int64_t> ok_rem{0}, fail_rem{0};
+  stm::TVar<std::int64_t> ok_has{0}, fail_has{0};
+};
+
+void bump(stm::Tx& tx, Counters& c, bool write, bool is_add, bool ok) {
+  stm::TVar<std::int64_t>* target;
+  if (!write) {
+    target = ok ? &c.ok_has : &c.fail_has;
+  } else if (is_add) {
+    target = ok ? &c.ok_add : &c.fail_add;
+  } else {
+    target = ok ? &c.ok_rem : &c.fail_rem;
+  }
+  tx.write(*target, tx.read(*target) + 1);
+}
+
+template <typename StmSet, typename OtbSet>
+void run_mixed(const std::string& title, std::int64_t range) {
+  const auto threads = thread_counts();
+  std::vector<std::string> cols;
+  for (unsigned t : threads) cols.push_back(std::to_string(t));
+  SeriesTable table(title + " (set op + counter increments per tx)", "threads",
+                    cols);
+
+  for (const stm::AlgoKind kind : {stm::AlgoKind::kNOrec, stm::AlgoKind::kTL2}) {
+    StmSet set;
+    for (std::int64_t k = 0; k < range; k += 2) set.add_seq(k);
+    Counters counters;
+    stm::Runtime rt(kind);
+    std::vector<double> row;
+    for (unsigned t : threads) {
+      row.push_back(
+          run_fixed_duration(
+              t, warmup_ms(), measure_ms(),
+              [&](unsigned tid, const auto& phase, ThreadResult& out) {
+                stm::TxThread th(rt);
+                Xorshift rng{tid * 37u + 3};
+                while (phase() != Phase::kDone) {
+                  const auto key =
+                      std::int64_t(rng.next_bounded(std::uint64_t(range)));
+                  const bool write = rng.chance_pct(50);
+                  const bool is_add = rng.chance_pct(50);
+                  out.aborts += rt.atomically(th, [&](stm::Tx& tx) {
+                    bool ok;
+                    if (!write) {
+                      ok = set.contains(tx, key);
+                    } else if (is_add) {
+                      ok = set.add(tx, key);
+                    } else {
+                      ok = set.remove(tx, key);
+                    }
+                    bump(tx, counters, write, is_add, ok);
+                  });
+                  if (phase() == Phase::kMeasure) ++out.ops;
+                }
+              })
+              .ops_per_sec);
+    }
+    table.add_row(std::string(stm::to_string(kind)), row);
+  }
+
+  for (const integration::HostAlgo host :
+       {integration::HostAlgo::kOtbNOrec, integration::HostAlgo::kOtbTl2}) {
+    OtbSet set;
+    for (std::int64_t k = 0; k < range; k += 2) set.add_seq(k);
+    Counters counters;
+    integration::Runtime rt(host);
+    std::vector<double> row;
+    for (unsigned t : threads) {
+      row.push_back(
+          run_fixed_duration(
+              t, warmup_ms(), measure_ms(),
+              [&](unsigned tid, const auto& phase, ThreadResult& out) {
+                auto ctx = rt.make_tx();
+                Xorshift rng{tid * 53u + 11};
+                while (phase() != Phase::kDone) {
+                  const auto key =
+                      std::int64_t(rng.next_bounded(std::uint64_t(range)));
+                  const bool write = rng.chance_pct(50);
+                  const bool is_add = rng.chance_pct(50);
+                  out.aborts += rt.atomically(*ctx, [&](integration::OtbTx& tx) {
+                    bool ok;
+                    if (!write) {
+                      ok = set.contains(tx, key);
+                    } else if (is_add) {
+                      ok = set.add(tx, key);
+                    } else {
+                      ok = set.remove(tx, key);
+                    }
+                    bump(tx, counters, write, is_add, ok);
+                  });
+                  if (phase() == Phase::kMeasure) ++out.ops;
+                }
+              })
+              .ops_per_sec);
+    }
+    table.add_row(std::string(integration::to_string(host)), row);
+  }
+
+  table.print("tx/s");
+}
+
+}  // namespace
+}  // namespace otb::bench
+
+int main() {
+  otb::bench::run_mixed<otb::stmds::StmList, otb::tx::OtbListSet>(
+      "Fig 4.4a linked-list mixed test case", 1024);
+  otb::bench::run_mixed<otb::stmds::StmSkipList, otb::tx::OtbSkipListSet>(
+      "Fig 4.4b skip-list mixed test case", 8192);
+  return 0;
+}

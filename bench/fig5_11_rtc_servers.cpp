@@ -1,0 +1,97 @@
+// Figure 5.11: effect of the dependency-detector (secondary) servers —
+// RTC with 0, 1 and 2 secondaries, plus a sweep of the write-set-size
+// threshold that enables dependency detection (§5.1.1's trade-off).
+// Workload: disjoint-address transactions with sizeable write-sets, the
+// case secondary servers exist for.
+#include "stm_bench_common.h"
+
+using otb::stm::TArray;
+
+int main() {
+  const auto threads = otb::bench::thread_counts();
+  const auto cols = otb::bench::thread_columns(threads);
+  constexpr std::size_t kSlots = 64;       // disjoint regions, one per thread mod
+  constexpr std::size_t kWritesPerTx = 16;  // above the DD threshold
+
+  struct Region {
+    TArray<std::int64_t> words{kSlots * kWritesPerTx, 0};
+  };
+
+  {
+    otb::bench::SeriesTable table(
+        "Fig 5.11a RTC secondary servers (disjoint write-heavy txs)", "threads",
+        cols);
+    for (const unsigned secondaries : {0u, 1u, 2u}) {
+      std::vector<double> row;
+      for (const unsigned t : threads) {
+        Region region;
+        otb::stm::Config cfg;
+        cfg.rtc_secondary_servers = secondaries;
+        cfg.rtc_dd_threshold = 8;
+        otb::stm::Runtime rt(otb::stm::AlgoKind::kRTC, cfg);
+        row.push_back(
+            otb::bench::run_fixed_duration(
+                t, otb::bench::warmup_ms(), otb::bench::measure_ms(),
+                [&](unsigned tid, const auto& phase,
+                    otb::bench::ThreadResult& out) {
+                  otb::stm::TxThread th(rt);
+                  const std::size_t base = (tid % kSlots) * kWritesPerTx;
+                  while (phase() != otb::bench::Phase::kDone) {
+                    rt.atomically(th, [&](otb::stm::Tx& tx) {
+                      for (std::size_t i = 0; i < kWritesPerTx; ++i) {
+                        auto& w = region.words[base + i];
+                        tx.write(w, tx.read(w) + 1);
+                      }
+                    });
+                    if (phase() == otb::bench::Phase::kMeasure) ++out.ops;
+                  }
+                })
+                .ops_per_sec);
+      }
+      table.add_row("RTC+" + std::to_string(secondaries) + "sec", row);
+    }
+    table.print("tx/s");
+  }
+
+  {  // Threshold sweep at the largest thread count.
+    const unsigned t = threads.back();
+    std::vector<std::string> th_cols;
+    const std::vector<std::size_t> thresholds = {2, 8, 32, 1u << 20};
+    for (const auto v : thresholds) {
+      th_cols.push_back(v >= (1u << 20) ? "off" : std::to_string(v));
+    }
+    otb::bench::SeriesTable table(
+        "Fig 5.11b DD write-set threshold sweep (" + std::to_string(t) +
+            " threads)",
+        "threshold", th_cols);
+    std::vector<double> row;
+    for (const std::size_t threshold : thresholds) {
+      Region region;
+      otb::stm::Config cfg;
+      cfg.rtc_secondary_servers = 1;
+      cfg.rtc_dd_threshold = threshold;
+      otb::stm::Runtime rt(otb::stm::AlgoKind::kRTC, cfg);
+      row.push_back(
+          otb::bench::run_fixed_duration(
+              t, otb::bench::warmup_ms(), otb::bench::measure_ms(),
+              [&](unsigned tid, const auto& phase,
+                  otb::bench::ThreadResult& out) {
+                otb::stm::TxThread th(rt);
+                const std::size_t base = (tid % kSlots) * kWritesPerTx;
+                while (phase() != otb::bench::Phase::kDone) {
+                  rt.atomically(th, [&](otb::stm::Tx& tx) {
+                    for (std::size_t i = 0; i < kWritesPerTx; ++i) {
+                      auto& w = region.words[base + i];
+                      tx.write(w, tx.read(w) + 1);
+                    }
+                  });
+                  if (phase() == otb::bench::Phase::kMeasure) ++out.ops;
+                }
+              })
+              .ops_per_sec);
+    }
+    table.add_row("RTC+1sec", row);
+    table.print("tx/s");
+  }
+  return 0;
+}

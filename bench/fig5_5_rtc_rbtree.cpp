@@ -1,0 +1,50 @@
+// Figure 5.5: red-black tree, 64K elements, 50% and 80% reads — RTC vs
+// RingSW, NOrec, TL2 throughput.  The paper's shape: all algorithms scale
+// similarly at low thread counts, RTC sustains throughput where the
+// lock-spinning algorithms degrade.
+#include "stm_bench_common.h"
+#include "stmds/stm_rbtree.h"
+
+using otb::stmds::StmRbTree;
+
+int main() {
+  const auto threads = otb::bench::thread_counts();
+  const auto cols = otb::bench::thread_columns(threads);
+  const std::int64_t range = 131072;  // ~64K resident
+
+  const auto make_tree = [&] {
+    auto tree = std::make_unique<StmRbTree>();
+    for (std::int64_t k = 0; k < range; k += 2) tree->add_seq(k);
+    return tree;
+  };
+  const otb::bench::StructOp<StmRbTree> op =
+      [](otb::stm::Tx& tx, StmRbTree& tree, std::int64_t key, bool read,
+         otb::Xorshift& rng) {
+        if (read) {
+          tree.contains(tx, key);
+        } else if (rng.chance_pct(50)) {
+          tree.add(tx, key);
+        } else {
+          tree.remove(tx, key);
+        }
+      };
+
+  for (const unsigned read_pct : {50u, 80u}) {
+    otb::bench::SeriesTable table(
+        "Fig 5.5 RB-tree 64K, " + std::to_string(read_pct) + "% reads",
+        "threads", cols);
+    otb::bench::StmSeriesOptions opt;
+    opt.read_pct = read_pct;
+    opt.key_range = range;
+    opt.noops_between = 100;
+    for (const auto kind :
+         {otb::stm::AlgoKind::kRingSW, otb::stm::AlgoKind::kNOrec,
+          otb::stm::AlgoKind::kTL2, otb::stm::AlgoKind::kRTC}) {
+      table.add_row(std::string(otb::stm::to_string(kind)),
+                    otb::bench::throughputs(otb::bench::run_stm_series<StmRbTree>(
+                        kind, threads, opt, make_tree, op)));
+    }
+    table.print("tx/s");
+  }
+  return 0;
+}

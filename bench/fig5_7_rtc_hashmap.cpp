@@ -1,0 +1,50 @@
+// Figure 5.7: hash map with 10,000 elements and 256 buckets, 100 no-ops
+// between transactions, 50% and 80% reads — RTC vs RingSW/NOrec/TL2.
+#include "stm_bench_common.h"
+#include "stmds/stm_hashmap.h"
+
+using otb::stmds::StmHashMap;
+
+int main() {
+  const auto threads = otb::bench::thread_counts();
+  const auto cols = otb::bench::thread_columns(threads);
+  const std::int64_t range = 20000;  // ~10K resident
+
+  const auto make_map = [&] {
+    auto map = std::make_unique<StmHashMap>(256);
+    for (std::int64_t k = 0; k < range; k += 2) map->put_seq(k, k);
+    return map;
+  };
+  const otb::bench::StructOp<StmHashMap> op =
+      [](otb::stm::Tx& tx, StmHashMap& map, std::int64_t key, bool read,
+         otb::Xorshift& rng) {
+        if (read) {
+          std::int64_t out;
+          map.get(tx, key, &out);
+        } else if (rng.chance_pct(50)) {
+          map.put(tx, key, key * 3);
+        } else {
+          map.erase(tx, key);
+        }
+      };
+
+  for (const unsigned read_pct : {50u, 80u}) {
+    otb::bench::SeriesTable table(
+        "Fig 5.7 hash map 10K/256 buckets, " + std::to_string(read_pct) +
+            "% reads, 100 no-ops between txs",
+        "threads", cols);
+    otb::bench::StmSeriesOptions opt;
+    opt.read_pct = read_pct;
+    opt.key_range = range;
+    opt.noops_between = 100;
+    for (const auto kind :
+         {otb::stm::AlgoKind::kRingSW, otb::stm::AlgoKind::kNOrec,
+          otb::stm::AlgoKind::kTL2, otb::stm::AlgoKind::kRTC}) {
+      table.add_row(std::string(otb::stm::to_string(kind)),
+                    otb::bench::throughputs(otb::bench::run_stm_series<StmHashMap>(
+                        kind, threads, opt, make_map, op)));
+    }
+    table.print("tx/s");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 5.8: doubly linked list with 500 elements, 100 no-ops between
+// transactions, 50% and 98% reads — RTC's worst case (commit time is <1% of
+// the transaction, so the server round-trip is pure overhead at 50% reads;
+// at 98% reads the servers are idle and the gap closes).
+#include "stm_bench_common.h"
+#include "stmds/stm_dll.h"
+
+using otb::stmds::StmDll;
+
+int main() {
+  const auto threads = otb::bench::thread_counts();
+  const auto cols = otb::bench::thread_columns(threads);
+  const std::int64_t range = 1000;  // ~500 resident
+
+  const auto make_dll = [&] {
+    auto dll = std::make_unique<StmDll>();
+    for (std::int64_t k = 0; k < range; k += 2) dll->add_seq(k);
+    return dll;
+  };
+  const otb::bench::StructOp<StmDll> op =
+      [](otb::stm::Tx& tx, StmDll& dll, std::int64_t key, bool read,
+         otb::Xorshift& rng) {
+        if (read) {
+          dll.contains(tx, key);
+        } else if (rng.chance_pct(50)) {
+          dll.add(tx, key);
+        } else {
+          dll.remove(tx, key);
+        }
+      };
+
+  for (const unsigned read_pct : {50u, 98u}) {
+    otb::bench::SeriesTable table(
+        "Fig 5.8 doubly-linked list 500, " + std::to_string(read_pct) +
+            "% reads, 100 no-ops between txs",
+        "threads", cols);
+    otb::bench::StmSeriesOptions opt;
+    opt.read_pct = read_pct;
+    opt.key_range = range;
+    opt.noops_between = 100;
+    for (const auto kind :
+         {otb::stm::AlgoKind::kRingSW, otb::stm::AlgoKind::kNOrec,
+          otb::stm::AlgoKind::kTL2, otb::stm::AlgoKind::kRTC}) {
+      table.add_row(std::string(otb::stm::to_string(kind)),
+                    otb::bench::throughputs(otb::bench::run_stm_series<StmDll>(
+                        kind, threads, opt, make_dll, op)));
+    }
+    table.print("tx/s");
+  }
+  return 0;
+}

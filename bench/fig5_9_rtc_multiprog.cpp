@@ -1,0 +1,54 @@
+// Figure 5.9: multiprogramming — thread counts well beyond the core count
+// on a red-black tree with 64K elements and 100 no-ops between
+// transactions.  The paper's point: when a lock holder can be descheduled,
+// every spinning algorithm degrades while RTC's dedicated servers keep
+// commits flowing.  (This container has one core, so *every* point here is
+// multiprogrammed; the sweep extends further than the other figures.)
+#include "stm_bench_common.h"
+#include "stmds/stm_rbtree.h"
+
+using otb::stmds::StmRbTree;
+
+int main() {
+  std::vector<unsigned> threads = {2, 4, 8, 12, 16};
+  const auto cols = otb::bench::thread_columns(threads);
+  const std::int64_t range = 131072;
+
+  const auto make_tree = [&] {
+    auto tree = std::make_unique<StmRbTree>();
+    for (std::int64_t k = 0; k < range; k += 2) tree->add_seq(k);
+    return tree;
+  };
+  const otb::bench::StructOp<StmRbTree> op =
+      [](otb::stm::Tx& tx, StmRbTree& tree, std::int64_t key, bool read,
+         otb::Xorshift& rng) {
+        if (read) {
+          tree.contains(tx, key);
+        } else if (rng.chance_pct(50)) {
+          tree.add(tx, key);
+        } else {
+          tree.remove(tx, key);
+        }
+      };
+
+  for (const unsigned read_pct : {50u, 98u}) {
+    otb::bench::SeriesTable table(
+        "Fig 5.9 multiprogramming, RB-tree 64K, " + std::to_string(read_pct) +
+            "% reads",
+        "threads", cols);
+    otb::bench::StmSeriesOptions opt;
+    opt.read_pct = read_pct;
+    opt.key_range = range;
+    opt.noops_between = 100;
+    opt.config.max_threads = 32;
+    for (const auto kind :
+         {otb::stm::AlgoKind::kRingSW, otb::stm::AlgoKind::kNOrec,
+          otb::stm::AlgoKind::kTL2, otb::stm::AlgoKind::kRTC}) {
+      table.add_row(std::string(otb::stm::to_string(kind)),
+                    otb::bench::throughputs(otb::bench::run_stm_series<StmRbTree>(
+                        kind, threads, opt, make_tree, op)));
+    }
+    table.print("tx/s");
+  }
+  return 0;
+}

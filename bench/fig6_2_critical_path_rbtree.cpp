@@ -1,0 +1,59 @@
+// Figure 6.2: critical-path breakdown on the red-black tree — fraction of
+// in-transaction time spent in validation, in commit, and elsewhere, for
+// NOrec (quadratic incremental validation) vs RInval (O(1) invalidation
+// reads, remote commit).  The paper's shape: NOrec's validation share grows
+// with threads; RInval shifts the cost out of the clients entirely.
+#include "stm_bench_common.h"
+#include "stmds/stm_rbtree.h"
+
+using otb::stmds::StmRbTree;
+
+int main() {
+  const auto threads = otb::bench::thread_counts();
+  const auto cols = otb::bench::thread_columns(threads);
+  const std::int64_t range = 131072;
+
+  const auto make_tree = [&] {
+    auto tree = std::make_unique<StmRbTree>();
+    for (std::int64_t k = 0; k < range; k += 2) tree->add_seq(k);
+    return tree;
+  };
+  const otb::bench::StructOp<StmRbTree> op =
+      [](otb::stm::Tx& tx, StmRbTree& tree, std::int64_t key, bool read,
+         otb::Xorshift& rng) {
+        if (read) {
+          tree.contains(tx, key);
+        } else if (rng.chance_pct(50)) {
+          tree.add(tx, key);
+        } else {
+          tree.remove(tx, key);
+        }
+      };
+
+  for (const auto kind : {otb::stm::AlgoKind::kNOrec, otb::stm::AlgoKind::kRInval}) {
+    otb::bench::SeriesTable table(
+        std::string("Fig 6.2 critical-path shares, RB-tree — ") +
+            std::string(otb::stm::to_string(kind)),
+        "threads", cols);
+    otb::bench::StmSeriesOptions opt;
+    opt.read_pct = 50;
+    opt.key_range = range;
+    opt.config.collect_timing = true;
+    const auto results = otb::bench::run_stm_series<StmRbTree>(
+        kind, threads, opt, make_tree, op);
+    std::vector<double> validation, commit, other;
+    for (const auto& r : results) {
+      const double total = double(r.stats.ns_total) + 1e-9;
+      validation.push_back(double(r.stats.ns_validation) / total);
+      commit.push_back(double(r.stats.ns_commit) / total);
+      other.push_back(1.0 - (double(r.stats.ns_validation) +
+                             double(r.stats.ns_commit)) /
+                                total);
+    }
+    table.add_row("validation", validation);
+    table.add_row("commit", commit);
+    table.add_row("other", other);
+    table.print_fractional("fraction");
+  }
+  return 0;
+}

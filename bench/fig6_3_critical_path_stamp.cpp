@@ -1,0 +1,33 @@
+// Figure 6.3: critical-path breakdown (validation / commit / other) on the
+// mini-STAMP applications under NOrec with timing collection.
+#include <cstdio>
+
+#include "ministamp/ministamp.h"
+#include "stm_bench_common.h"
+
+int main() {
+  const auto threads = otb::bench::thread_counts();
+  std::printf("\n== Fig 6.3 critical-path shares, mini-STAMP under NOrec ==\n");
+  std::printf("%-12s", "benchmark");
+  for (const unsigned t : threads) std::printf("  %3ut: val  com  oth", t);
+  std::printf("\n");
+
+  for (const auto& app : otb::ministamp::make_all_apps()) {
+    std::printf("%-12s", app->name());
+    for (const unsigned t : threads) {
+      otb::stm::Config cfg;
+      cfg.collect_timing = true;
+      cfg.max_threads = 32;
+      otb::stm::Runtime rt(otb::stm::AlgoKind::kNOrec, cfg);
+      const auto r = app->run(rt, t);
+      const double total = double(r.stats.ns_total) + 1e-9;
+      const double val = double(r.stats.ns_validation) / total;
+      const double com = double(r.stats.ns_commit) / total;
+      std::printf("      %4.2f %4.2f %4.2f", val, com,
+                  std::max(0.0, 1.0 - val - com));
+    }
+    std::printf("\n");
+  }
+  std::printf("shape: validation+commit dominate the commit-bound apps\n");
+  return 0;
+}

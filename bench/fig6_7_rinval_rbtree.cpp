@@ -1,0 +1,65 @@
+// Figure 6.7: red-black tree, 64K elements — RInval (V1 and V2) vs NOrec
+// vs InvalSTM throughput.  The paper's shape: InvalSTM trails badly (the
+// committer carries the whole invalidation scan under a coarse lock),
+// NOrec sits in between, RInval wins, and V2 (parallel invalidation server)
+// beats V1.
+#include "stm_bench_common.h"
+#include "stmds/stm_rbtree.h"
+
+using otb::stmds::StmRbTree;
+
+int main() {
+  const auto threads = otb::bench::thread_counts();
+  const auto cols = otb::bench::thread_columns(threads);
+  const std::int64_t range = 131072;
+
+  const auto make_tree = [&] {
+    auto tree = std::make_unique<StmRbTree>();
+    for (std::int64_t k = 0; k < range; k += 2) tree->add_seq(k);
+    return tree;
+  };
+  const otb::bench::StructOp<StmRbTree> op =
+      [](otb::stm::Tx& tx, StmRbTree& tree, std::int64_t key, bool read,
+         otb::Xorshift& rng) {
+        if (read) {
+          tree.contains(tx, key);
+        } else if (rng.chance_pct(50)) {
+          tree.add(tx, key);
+        } else {
+          tree.remove(tx, key);
+        }
+      };
+
+  for (const unsigned read_pct : {50u, 80u}) {
+    otb::bench::SeriesTable table(
+        "Fig 6.7 RB-tree 64K, " + std::to_string(read_pct) + "% reads",
+        "threads", cols);
+    otb::bench::StmSeriesOptions opt;
+    opt.read_pct = read_pct;
+    opt.key_range = range;
+    opt.noops_between = 100;
+
+    for (const auto kind :
+         {otb::stm::AlgoKind::kInvalSTM, otb::stm::AlgoKind::kNOrec}) {
+      table.add_row(std::string(otb::stm::to_string(kind)),
+                    otb::bench::throughputs(otb::bench::run_stm_series<StmRbTree>(
+                        kind, threads, opt, make_tree, op)));
+    }
+    {  // RInval V1: the commit server also invalidates.
+      auto v1 = opt;
+      v1.config.rinval_parallel_invalidation = false;
+      table.add_row("RInval-V1",
+                    otb::bench::throughputs(otb::bench::run_stm_series<StmRbTree>(
+                        otb::stm::AlgoKind::kRInval, threads, v1, make_tree, op)));
+    }
+    {  // RInval V2: invalidation runs in its own server, in parallel.
+      auto v2 = opt;
+      v2.config.rinval_parallel_invalidation = true;
+      table.add_row("RInval-V2",
+                    otb::bench::throughputs(otb::bench::run_stm_series<StmRbTree>(
+                        otb::stm::AlgoKind::kRInval, threads, v2, make_tree, op)));
+    }
+    table.print("tx/s");
+  }
+  return 0;
+}

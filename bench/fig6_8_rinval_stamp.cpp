@@ -1,0 +1,30 @@
+// Figure 6.8: mini-STAMP execution time — RInval vs NOrec vs InvalSTM,
+// one table per application.
+#include "benchlib/table.h"
+#include "ministamp/ministamp.h"
+#include "stm_bench_common.h"
+
+int main() {
+  const auto threads = otb::bench::thread_counts();
+  const auto cols = otb::bench::thread_columns(threads);
+
+  for (const auto& app : otb::ministamp::make_all_apps()) {
+    otb::bench::SeriesTable table(
+        std::string("Fig 6.8 mini-STAMP ") + app->name() + " execution time",
+        "threads", cols);
+    for (const auto kind :
+         {otb::stm::AlgoKind::kInvalSTM, otb::stm::AlgoKind::kNOrec,
+          otb::stm::AlgoKind::kRInval}) {
+      std::vector<double> row;
+      for (const unsigned t : threads) {
+        otb::stm::Config cfg;
+        cfg.max_threads = 32;
+        otb::stm::Runtime rt(kind, cfg);
+        row.push_back(app->run(rt, t).exec_ms);
+      }
+      table.add_row(std::string(otb::stm::to_string(kind)), row);
+    }
+    table.print_fractional("ms");
+  }
+  return 0;
+}

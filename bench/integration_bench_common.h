@@ -1,0 +1,113 @@
+// Shared driver for the Chapter-4 integration figures (4.2–4.3): pure-STM
+// sets under NOrec/TL2 versus the same sets boosted through OTB-NOrec /
+// OTB-TL2 contexts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "benchlib/driver.h"
+#include "benchlib/table.h"
+#include "common/rng.h"
+#include "integration/otb_stm.h"
+#include "stm/stm.h"
+
+namespace otb::bench {
+
+/// StmSet: a stmds structure (add/remove/contains(Tx&, Key) + add_seq).
+/// OtbSet: the corresponding OTB structure.
+template <typename StmSet, typename OtbSet>
+void run_integration_figure(const std::string& figure, std::int64_t range) {
+  const auto threads = thread_counts();
+  std::vector<std::string> cols;
+  for (unsigned t : threads) cols.push_back(std::to_string(t));
+
+  struct Workload {
+    const char* name;
+    unsigned write_pct;
+  };
+  constexpr Workload kWorkloads[] = {{"80% add/remove, 20% contains", 80},
+                                     {"50% add/remove, 50% contains", 50}};
+
+  for (const Workload& w : kWorkloads) {
+    SeriesTable table(figure + " — " + w.name + " (" +
+                          std::to_string(range / 2) + " elems)",
+                      "threads", cols);
+
+    // Pure-STM baselines.
+    for (const stm::AlgoKind kind : {stm::AlgoKind::kNOrec, stm::AlgoKind::kTL2}) {
+      StmSet set;
+      for (std::int64_t k = 0; k < range; k += 2) set.add_seq(k);
+      stm::Runtime rt(kind);
+      std::vector<double> row;
+      for (unsigned t : threads) {
+        row.push_back(
+            run_fixed_duration(
+                t, warmup_ms(), measure_ms(),
+                [&](unsigned tid, const auto& phase, ThreadResult& out) {
+                  stm::TxThread th(rt);
+                  Xorshift rng{tid * 271u + 13};
+                  while (phase() != Phase::kDone) {
+                    const auto key =
+                        std::int64_t(rng.next_bounded(std::uint64_t(range)));
+                    const bool write = rng.chance_pct(w.write_pct);
+                    const bool is_add = rng.chance_pct(50);
+                    out.aborts += rt.atomically(th, [&](stm::Tx& tx) {
+                      if (!write) {
+                        set.contains(tx, key);
+                      } else if (is_add) {
+                        set.add(tx, key);
+                      } else {
+                        set.remove(tx, key);
+                      }
+                    });
+                    if (phase() == Phase::kMeasure) ++out.ops;
+                  }
+                })
+                .ops_per_sec);
+      }
+      table.add_row(std::string(stm::to_string(kind)), row);
+    }
+
+    // OTB-boosted versions.
+    for (const integration::HostAlgo host :
+         {integration::HostAlgo::kOtbNOrec, integration::HostAlgo::kOtbTl2}) {
+      OtbSet set;
+      for (std::int64_t k = 0; k < range; k += 2) set.add_seq(k);
+      integration::Runtime rt(host);
+      std::vector<double> row;
+      for (unsigned t : threads) {
+        row.push_back(
+            run_fixed_duration(
+                t, warmup_ms(), measure_ms(),
+                [&](unsigned tid, const auto& phase, ThreadResult& out) {
+                  auto ctx = rt.make_tx();
+                  Xorshift rng{tid * 617u + 29};
+                  while (phase() != Phase::kDone) {
+                    const auto key =
+                        std::int64_t(rng.next_bounded(std::uint64_t(range)));
+                    const bool write = rng.chance_pct(w.write_pct);
+                    const bool is_add = rng.chance_pct(50);
+                    out.aborts +=
+                        rt.atomically(*ctx, [&](integration::OtbTx& tx) {
+                          if (!write) {
+                            set.contains(tx, key);
+                          } else if (is_add) {
+                            set.add(tx, key);
+                          } else {
+                            set.remove(tx, key);
+                          }
+                        });
+                    if (phase() == Phase::kMeasure) ++out.ops;
+                  }
+                })
+                .ops_per_sec);
+      }
+      table.add_row(std::string(integration::to_string(host)), row);
+    }
+
+    table.print("tx/s");
+  }
+}
+
+}  // namespace otb::bench

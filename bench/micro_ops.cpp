@@ -1,0 +1,105 @@
+// google-benchmark micro-op latency suite: single-threaded costs of the
+// substrate operations — useful for spotting regressions in the building
+// blocks the figure benches are made of.
+#include <benchmark/benchmark.h>
+
+#include "cds/lazy_list_set.h"
+#include "cds/lazy_skiplist_set.h"
+#include "common/bloom_filter.h"
+#include "common/rng.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_set.h"
+#include "otb/runtime.h"
+#include "stm/stm.h"
+#include "stmds/stm_rbtree.h"
+
+namespace {
+
+void BM_BloomAddIntersect(benchmark::State& state) {
+  otb::TxFilter a, b;
+  int cells[64];
+  for (int i = 0; i < 64; ++i) a.add(&cells[i]);
+  for (auto _ : state) {
+    b.add(&cells[0]);
+    benchmark::DoNotOptimize(a.intersects(b));
+  }
+}
+BENCHMARK(BM_BloomAddIntersect);
+
+void BM_LazyListContains(benchmark::State& state) {
+  otb::cds::LazyListSet set;
+  for (std::int64_t k = 0; k < state.range(0); ++k) set.add(k);
+  otb::Xorshift rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        set.contains(std::int64_t(rng.next_bounded(state.range(0)))));
+  }
+}
+BENCHMARK(BM_LazyListContains)->Arg(128)->Arg(512);
+
+void BM_LazySkipListContains(benchmark::State& state) {
+  otb::cds::LazySkipListSet set;
+  for (std::int64_t k = 0; k < state.range(0); ++k) set.add(k);
+  otb::Xorshift rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        set.contains(std::int64_t(rng.next_bounded(state.range(0)))));
+  }
+}
+BENCHMARK(BM_LazySkipListContains)->Arg(512)->Arg(65536);
+
+void BM_OtbListSetTxAddRemove(benchmark::State& state) {
+  otb::tx::OtbListSet set;
+  for (std::int64_t k = 0; k < 512; k += 2) set.add_seq(k);
+  otb::Xorshift rng{3};
+  for (auto _ : state) {
+    const auto key = std::int64_t(rng.next_bounded(512));
+    otb::tx::atomically([&](otb::tx::Transaction& tx) {
+      if (!set.add(tx, key)) set.remove(tx, key);
+    });
+  }
+}
+BENCHMARK(BM_OtbListSetTxAddRemove);
+
+void BM_OtbSkipListSetTxContains(benchmark::State& state) {
+  otb::tx::OtbSkipListSet set;
+  for (std::int64_t k = 0; k < 4096; k += 2) set.add_seq(k);
+  otb::Xorshift rng{5};
+  for (auto _ : state) {
+    const auto key = std::int64_t(rng.next_bounded(4096));
+    otb::tx::atomically(
+        [&](otb::tx::Transaction& tx) { set.contains(tx, key); });
+  }
+}
+BENCHMARK(BM_OtbSkipListSetTxContains);
+
+void BM_StmReadWrite(benchmark::State& state) {
+  const auto kind = static_cast<otb::stm::AlgoKind>(state.range(0));
+  otb::stm::Runtime rt(kind);
+  otb::stm::TxThread th(rt);
+  otb::stm::TVar<std::int64_t> x{0};
+  for (auto _ : state) {
+    rt.atomically(th, [&](otb::stm::Tx& tx) { tx.write(x, tx.read(x) + 1); });
+  }
+}
+BENCHMARK(BM_StmReadWrite)
+    ->Arg(int(otb::stm::AlgoKind::kNOrec))
+    ->Arg(int(otb::stm::AlgoKind::kTML))
+    ->Arg(int(otb::stm::AlgoKind::kTL2))
+    ->Arg(int(otb::stm::AlgoKind::kRingSW))
+    ->Arg(int(otb::stm::AlgoKind::kInvalSTM));
+
+void BM_StmRbTreeTxContains(benchmark::State& state) {
+  otb::stmds::StmRbTree tree;
+  for (std::int64_t k = 0; k < 65536; k += 2) tree.add_seq(k);
+  otb::stm::Runtime rt(otb::stm::AlgoKind::kNOrec);
+  otb::stm::TxThread th(rt);
+  otb::Xorshift rng{7};
+  for (auto _ : state) {
+    const auto key = std::int64_t(rng.next_bounded(65536));
+    rt.atomically(th, [&](otb::stm::Tx& tx) { tree.contains(tx, key); });
+  }
+}
+BENCHMARK(BM_StmRbTreeTxContains);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Shared driver for the priority-queue figures (3.6–3.7): 50% add / 50%
+// removeMin, transaction sizes 1 and 5, PessimisticBoosted vs
+// OptimisticBoosted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "benchlib/driver.h"
+#include "benchlib/table.h"
+#include "boosted/boosted_pq.h"
+#include "boosted/boosted_runtime.h"
+#include "common/rng.h"
+#include "otb/runtime.h"
+
+namespace otb::bench {
+
+/// OtbPq: one of the OTB queues.  Elements keep the queue near 512 entries:
+/// adds draw fresh random keys, removeMin drains.
+template <typename OtbPq>
+void run_pq_figure(const std::string& figure) {
+  const auto threads = thread_counts();
+  std::vector<std::string> cols;
+  for (unsigned t : threads) cols.push_back(std::to_string(t));
+  constexpr std::int64_t kSeed = 512;
+  constexpr std::uint64_t kKeyRange = 1u << 30;
+
+  for (const unsigned ops_per_tx : {1u, 5u}) {
+    SeriesTable table(figure + " — tx size " + std::to_string(ops_per_tx) +
+                          " (512 elems, 50% add / 50% removeMin)",
+                      "threads", cols);
+
+    {  // Pessimistic boosting over the coarse concurrent heap.
+      std::vector<double> row;
+      for (unsigned t : threads) {
+        boosted::BoostedHeapPQ pq;
+        for (std::int64_t k = 0; k < kSeed; ++k) {
+          pq.add_seq(std::int64_t(mix64(std::uint64_t(k)) % kKeyRange));
+        }
+        row.push_back(
+            run_fixed_duration(t, warmup_ms(), measure_ms(),
+                               [&](unsigned tid, const auto& phase,
+                                   ThreadResult& out) {
+                                 Xorshift rng{tid * 131u + 3};
+                                 while (phase() != Phase::kDone) {
+                                   out.aborts += boosted::atomically(
+                                       [&](boosted::BoostedTx& tx) {
+                                         Xorshift ops = rng;
+                                         for (unsigned o = 0; o < ops_per_tx;
+                                              ++o) {
+                                           if (ops.chance_pct(50)) {
+                                             pq.add(tx,
+                                                    std::int64_t(ops.next_bounded(
+                                                        kKeyRange)));
+                                           } else {
+                                             std::int64_t v;
+                                             pq.remove_min(tx, &v);
+                                           }
+                                         }
+                                       });
+                                   rng.next();
+                                   if (phase() == Phase::kMeasure) ++out.ops;
+                                 }
+                               })
+                .ops_per_sec);
+      }
+      table.add_row("PessimisticBoosted", row);
+    }
+
+    {  // OTB queue.
+      std::vector<double> row;
+      for (unsigned t : threads) {
+        OtbPq pq;
+        for (std::int64_t k = 0; k < kSeed; ++k) {
+          pq.add_seq(std::int64_t(mix64(std::uint64_t(k)) % kKeyRange));
+        }
+        row.push_back(
+            run_fixed_duration(t, warmup_ms(), measure_ms(),
+                               [&](unsigned tid, const auto& phase,
+                                   ThreadResult& out) {
+                                 Xorshift rng{tid * 733u + 7};
+                                 while (phase() != Phase::kDone) {
+                                   out.aborts += tx::atomically(
+                                       [&](tx::Transaction& tx) {
+                                         Xorshift ops = rng;
+                                         for (unsigned o = 0; o < ops_per_tx;
+                                              ++o) {
+                                           if (ops.chance_pct(50)) {
+                                             pq.add(tx,
+                                                    std::int64_t(ops.next_bounded(
+                                                        kKeyRange)));
+                                           } else {
+                                             std::int64_t v;
+                                             pq.remove_min(tx, &v);
+                                           }
+                                         }
+                                       });
+                                   rng.next();
+                                   if (phase() == Phase::kMeasure) ++out.ops;
+                                 }
+                               })
+                .ops_per_sec);
+      }
+      table.add_row("OptimisticBoosted", row);
+    }
+
+    table.print("tx/s");
+  }
+}
+
+}  // namespace otb::bench

@@ -1,0 +1,175 @@
+// Shared driver for the Chapter-3 set figures (3.3–3.5): runs the paper's
+// four workloads over the three competitors — Lazy (non-transactional upper
+// bound), PessimisticBoosted (Herlihy–Koskinen), OptimisticBoosted (OTB) —
+// and prints one table per workload with thread counts as columns.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchlib/driver.h"
+#include "benchlib/table.h"
+#include "boosted/boosted_runtime.h"
+#include "boosted/boosted_set.h"
+#include "common/rng.h"
+#include "otb/runtime.h"
+
+namespace otb::bench {
+
+struct SetWorkload {
+  const char* name;
+  unsigned write_pct;   // successful-write share; rest are contains
+  unsigned ops_per_tx;  // operations per transaction
+};
+
+inline constexpr SetWorkload kPaperSetWorkloads[] = {
+    {"read-only", 0, 1},
+    {"read-intensive", 20, 1},
+    {"write-intensive", 80, 1},
+    {"high-contention", 80, 5},
+};
+
+/// One random set operation: add/remove split evenly among writes so the
+/// structure size stays near `range / 2` (§3.3 methodology).
+template <typename DoAdd, typename DoRemove, typename DoContains>
+void one_op(Xorshift& rng, std::int64_t range, unsigned write_pct,
+            const DoAdd& add, const DoRemove& remove, const DoContains& contains) {
+  const auto key = std::int64_t(rng.next_bounded(std::uint64_t(range)));
+  if (rng.chance_pct(write_pct)) {
+    if (rng.chance_pct(50)) {
+      add(key);
+    } else {
+      remove(key);
+    }
+  } else {
+    contains(key);
+  }
+}
+
+/// Benchmark one (structure set) for all workloads and thread counts.
+/// LazySet: add/remove/contains(Key).  OtbSet / BoostedSet: transactional.
+template <typename LazySet, typename OtbSet, typename BoostedUnder>
+void run_set_figure(const std::string& figure, std::int64_t range) {
+  const auto threads = thread_counts();
+  std::vector<std::string> cols;
+  for (unsigned t : threads) cols.push_back(std::to_string(t));
+
+  for (const SetWorkload& w : kPaperSetWorkloads) {
+    SeriesTable table(figure + " — " + w.name + " (" +
+                          std::to_string(range / 2) + " elems, " +
+                          std::to_string(w.write_pct) + "% writes, " +
+                          std::to_string(w.ops_per_tx) + " ops/tx)",
+                      "threads", cols);
+
+    {  // Lazy: non-transactional upper bound.
+      LazySet set;
+      for (std::int64_t k = 0; k < range; k += 2) set.add(k);
+      std::vector<double> row;
+      for (unsigned t : threads) {
+        row.push_back(
+            run_fixed_duration(t, warmup_ms(), measure_ms(),
+                               [&](unsigned tid, const auto& phase,
+                                   ThreadResult& out) {
+                                 Xorshift rng{tid * 7321u + 1};
+                                 while (phase() != Phase::kDone) {
+                                   for (unsigned o = 0; o < w.ops_per_tx; ++o) {
+                                     one_op(
+                                         rng, range, w.write_pct,
+                                         [&](std::int64_t k) { set.add(k); },
+                                         [&](std::int64_t k) { set.remove(k); },
+                                         [&](std::int64_t k) { set.contains(k); });
+                                   }
+                                   if (phase() == Phase::kMeasure) ++out.ops;
+                                 }
+                               })
+                .ops_per_sec);
+      }
+      table.add_row("Lazy", row);
+    }
+
+    {  // Pessimistic boosting over the lazy structure.
+      boosted::BoostedSet<BoostedUnder> set;
+      {
+        boosted::BoostedTx seed;
+        for (std::int64_t k = 0; k < range; k += 2) set.add(seed, k);
+        seed.commit();
+      }
+      std::vector<double> row;
+      for (unsigned t : threads) {
+        row.push_back(
+            run_fixed_duration(t, warmup_ms(), measure_ms(),
+                               [&](unsigned tid, const auto& phase,
+                                   ThreadResult& out) {
+                                 Xorshift rng{tid * 9973u + 5};
+                                 while (phase() != Phase::kDone) {
+                                   out.aborts += boosted::atomically(
+                                       [&](boosted::BoostedTx& tx) {
+                                         Xorshift ops = rng;
+                                         for (unsigned o = 0; o < w.ops_per_tx;
+                                              ++o) {
+                                           one_op(
+                                               ops, range, w.write_pct,
+                                               [&](std::int64_t k) {
+                                                 set.add(tx, k);
+                                               },
+                                               [&](std::int64_t k) {
+                                                 set.remove(tx, k);
+                                               },
+                                               [&](std::int64_t k) {
+                                                 set.contains(tx, k);
+                                               });
+                                         }
+                                       });
+                                   rng.next();  // advance base sequence
+                                   if (phase() == Phase::kMeasure) ++out.ops;
+                                 }
+                               })
+                .ops_per_sec);
+      }
+      table.add_row("PessimisticBoosted", row);
+    }
+
+    {  // OTB.
+      OtbSet set;
+      for (std::int64_t k = 0; k < range; k += 2) set.add_seq(k);
+      std::vector<double> row;
+      for (unsigned t : threads) {
+        row.push_back(
+            run_fixed_duration(t, warmup_ms(), measure_ms(),
+                               [&](unsigned tid, const auto& phase,
+                                   ThreadResult& out) {
+                                 Xorshift rng{tid * 4409u + 9};
+                                 while (phase() != Phase::kDone) {
+                                   out.aborts += tx::atomically(
+                                       [&](tx::Transaction& tx) {
+                                         Xorshift ops = rng;
+                                         for (unsigned o = 0; o < w.ops_per_tx;
+                                              ++o) {
+                                           one_op(
+                                               ops, range, w.write_pct,
+                                               [&](std::int64_t k) {
+                                                 set.add(tx, k);
+                                               },
+                                               [&](std::int64_t k) {
+                                                 set.remove(tx, k);
+                                               },
+                                               [&](std::int64_t k) {
+                                                 set.contains(tx, k);
+                                               });
+                                         }
+                                       });
+                                   rng.next();
+                                   if (phase() == Phase::kMeasure) ++out.ops;
+                                 }
+                               })
+                .ops_per_sec);
+      }
+      table.add_row("OptimisticBoosted", row);
+    }
+
+    table.print("tx/s");
+  }
+}
+
+}  // namespace otb::bench

@@ -1,0 +1,44 @@
+// Inventory with audited counters: the Chapter-4 programming model — one
+// transaction mixes OTB set operations with plain transactional memory
+// reads/writes (Algorithm 7), under the OTB-NOrec integrated context.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "integration/otb_stm.h"
+#include "otb/otb_skiplist_set.h"
+
+int main() {
+  otb::integration::Runtime rt(otb::integration::HostAlgo::kOtbNOrec);
+  otb::tx::OtbSkipListSet in_stock;      // SKUs currently stocked
+  otb::stm::TVar<std::int64_t> stocked{0};   // audited: must equal |in_stock|
+  otb::stm::TVar<std::int64_t> shipments{0};
+
+  std::vector<std::thread> clerks;
+  for (int c = 0; c < 4; ++c) {
+    clerks.emplace_back([&, c] {
+      auto ctx = rt.make_tx();
+      for (int i = 0; i < 400; ++i) {
+        const std::int64_t sku = (c * 797 + i * 31) % 64;
+        rt.atomically(*ctx, [&](otb::integration::OtbTx& tx) {
+          if (in_stock.add(tx, sku)) {
+            // New stock arrived: set membership and counter move together.
+            tx.write(stocked, tx.read(stocked) + 1);
+          } else if (in_stock.remove(tx, sku)) {
+            tx.write(stocked, tx.read(stocked) - 1);
+            tx.write(shipments, tx.read(shipments) + 1);
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : clerks) th.join();
+
+  const auto counted = stocked.load_direct();
+  const auto actual = std::int64_t(in_stock.size_unsafe());
+  std::printf("audited counter=%lld, set size=%lld, shipments=%lld — %s\n",
+              (long long)counted, (long long)actual,
+              (long long)shipments.load_direct(),
+              counted == actual ? "CONSISTENT" : "BROKEN");
+  return counted == actual ? 0 : 1;
+}

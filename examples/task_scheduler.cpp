@@ -1,0 +1,57 @@
+// Task scheduler: a transactional priority queue driving worker threads.
+//
+// Producers submit prioritised jobs; workers atomically {pop the most
+// urgent job, mark it in the "running" set, bump a counter} — a compound
+// operation that is racy with a plain concurrent queue but trivially
+// correct under OTB transactions.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "otb/otb_skiplist_pq.h"
+#include "otb/otb_skiplist_set.h"
+#include "otb/runtime.h"
+
+int main() {
+  otb::tx::OtbSkipListPQ ready;     // pending jobs, ordered by deadline
+  otb::tx::OtbSkipListSet claimed;  // jobs currently owned by a worker
+  std::atomic<int> executed{0};
+  constexpr int kJobs = 400;
+
+  std::thread producer([&] {
+    for (std::int64_t job = 1; job <= kJobs; ++job) {
+      const std::int64_t deadline = (job * 37) % kJobs + job * kJobs;  // unique
+      otb::tx::atomically(
+          [&](otb::tx::Transaction& tx) { ready.add(tx, deadline); });
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&] {
+      while (executed.load() < kJobs) {
+        std::int64_t job = -1;
+        bool got = false;
+        otb::tx::atomically([&](otb::tx::Transaction& tx) {
+          got = ready.remove_min(tx, &job);
+          if (got) claimed.add(tx, job);  // pop + claim is atomic
+        });
+        if (!got) continue;
+        // ... do the work (outside the transaction) ...
+        otb::tx::atomically(
+            [&](otb::tx::Transaction& tx) { claimed.remove(tx, job); });
+        executed.fetch_add(1);
+      }
+    });
+  }
+
+  producer.join();
+  for (auto& th : workers) th.join();
+  std::printf("executed=%d ready_left=%zu claimed_left=%zu (expected %d/0/0)\n",
+              executed.load(), ready.size_unsafe(), claimed.size_unsafe(),
+              kJobs);
+  return (executed.load() == kJobs && ready.size_unsafe() == 0 &&
+          claimed.size_unsafe() == 0)
+             ? 0
+             : 1;
+}

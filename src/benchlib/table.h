@@ -1,0 +1,83 @@
+// Plain-text table printer for the figure benches: one row per algorithm,
+// one column per thread count (or parameter value), matching the series the
+// paper plots.  Also emits a machine-greppable "shape:" line summarising
+// who wins at the highest parallelism.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace otb::bench {
+
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string col_label,
+              std::vector<std::string> columns)
+      : title_(std::move(title)),
+        col_label_(std::move(col_label)),
+        columns_(std::move(columns)) {}
+
+  void add_row(const std::string& name, const std::vector<double>& values) {
+    rows_.push_back({name, values});
+  }
+
+  void print(const char* unit = "ops/s") const {
+    std::printf("\n== %s ==\n", title_.c_str());
+    std::printf("%-22s", (col_label_ + " \\ series [" + unit + "]").c_str());
+    for (const auto& c : columns_) std::printf("%12s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      std::printf("%-22s", row.name.c_str());
+      for (const double v : row.values) std::printf("%12.0f", v);
+      std::printf("\n");
+    }
+    print_shape();
+  }
+
+  /// Same layout but fractional values (ratios, milliseconds).
+  void print_fractional(const char* unit) const {
+    std::printf("\n== %s ==\n", title_.c_str());
+    std::printf("%-22s", (col_label_ + " \\ series [" + unit + "]").c_str());
+    for (const auto& c : columns_) std::printf("%12s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      std::printf("%-22s", row.name.c_str());
+      for (const double v : row.values) std::printf("%12.3f", v);
+      std::printf("\n");
+    }
+  }
+
+ private:
+  void print_shape() const {
+    if (rows_.empty() || rows_.front().values.empty()) return;
+    const std::size_t last = rows_.front().values.size() - 1;
+    const Row* best = &rows_.front();
+    for (const auto& row : rows_) {
+      if (row.values.size() > last && row.values[last] > best->values[last]) {
+        best = &row;
+      }
+    }
+    std::printf("shape: winner@%s=%s is %s", col_label_.c_str(),
+                columns_[last].c_str(), best->name.c_str());
+    for (const auto& row : rows_) {
+      if (&row != best && row.values[last] > 0) {
+        std::printf("  [%.2fx vs %s]", best->values[last] / row.values[last],
+                    row.name.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  struct Row {
+    std::string name;
+    std::vector<double> values;
+  };
+
+  std::string title_;
+  std::string col_label_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace otb::bench

@@ -1,0 +1,223 @@
+// Pessimistically boosted priority queue (§3.2.2, Algorithm 4): the
+// baseline for Figs 3.6–3.7.
+//
+// A global abstract readers/writer lock sits on top of a concurrent heap of
+// *holder* cells: add() takes the read lock (adds commute with adds),
+// min()/removeMin() take the write lock (they commute with nothing).  The
+// inverse of add is not supported natively by a priority queue, so — as in
+// the paper — a rolled-back add marks its holder `deleted` and removeMin
+// polls past deleted holders, "adding greater overhead to the boosted
+// priority queue".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "boosted/boosted_runtime.h"
+#include "common/spinlock.h"
+
+namespace otb::boosted {
+
+/// Abstract readers/writer lock with bounded upgrade (a reader that needs to
+/// write aborts if it cannot become the sole owner — preempts the classic
+/// double-upgrade deadlock).
+class AbstractRwLock {
+ public:
+  bool acquire_read() {
+    Backoff bo;
+    for (int attempts = 0; attempts < kAttempts; ++attempts) {
+      if (!writer_.load(std::memory_order_acquire)) {
+        readers_.fetch_add(1, std::memory_order_acq_rel);
+        if (!writer_.load(std::memory_order_acquire)) return true;
+        readers_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      bo.pause();
+    }
+    return false;
+  }
+
+  void release_read() { readers_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// `held_readers` = how many read acquisitions this transaction already
+  /// holds (they stay counted; the writer just waits for the others).
+  bool acquire_write(unsigned held_readers) {
+    bool expected = false;
+    Backoff bo;
+    int attempts = 0;
+    while (!writer_.compare_exchange_weak(expected, true, std::memory_order_acq_rel)) {
+      expected = false;
+      if (++attempts > kAttempts) return false;
+      bo.pause();
+    }
+    attempts = 0;
+    while (readers_.load(std::memory_order_acquire) > held_readers) {
+      if (++attempts > kAttempts) {
+        writer_.store(false, std::memory_order_release);
+        return false;
+      }
+      bo.pause();
+    }
+    return true;
+  }
+
+  void release_write() { writer_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kAttempts = 1 << 14;
+  std::atomic<unsigned> readers_{0};
+  std::atomic<bool> writer_{false};
+};
+
+class BoostedHeapPQ {
+ public:
+  using Key = std::int64_t;
+
+  void add(BoostedTx& tx, Key key) {
+    acquire_read(tx);
+    Holder* holder = new Holder{key, {false}};
+    {
+      std::lock_guard<SpinLock> lk(heap_lock_);
+      heap_add(holder);
+    }
+    tx.log_undo([holder] {
+      holder->deleted.store(true, std::memory_order_release);
+    });
+  }
+
+  bool remove_min(BoostedTx& tx, Key* out) {
+    acquire_write(tx);
+    std::lock_guard<SpinLock> lk(heap_lock_);
+    // Poll past holders whose add was rolled back (Algorithm 4 lines 8–10).
+    while (!heap_.empty()) {
+      Holder* top = heap_pop();
+      if (top->deleted.load(std::memory_order_acquire)) {
+        delete top;
+        continue;
+      }
+      const Key key = top->key;
+      delete top;
+      *out = key;
+      tx.log_undo([this, key] {
+        std::lock_guard<SpinLock> relk(heap_lock_);
+        heap_add(new Holder{key, {false}});
+      });
+      return true;
+    }
+    return false;
+  }
+
+  bool min(BoostedTx& tx, Key* out) {
+    acquire_write(tx);  // min does not commute with removeMin either
+    std::lock_guard<SpinLock> lk(heap_lock_);
+    while (!heap_.empty()) {
+      Holder* top = heap_.front();
+      if (top->deleted.load(std::memory_order_acquire)) {
+        heap_pop();
+        delete top;
+        continue;
+      }
+      *out = top->key;
+      return true;
+    }
+    return false;
+  }
+
+  void add_seq(Key key) { heap_add(new Holder{key, {false}}); }
+
+  std::size_t size_unsafe() const {
+    std::size_t n = 0;
+    for (const Holder* h : heap_) {
+      if (!h->deleted.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+
+  ~BoostedHeapPQ() {
+    for (Holder* h : heap_) delete h;
+  }
+
+ private:
+  struct Holder {
+    Key key;
+    std::atomic<bool> deleted;
+  };
+
+  /// Per-transaction lock bookkeeping: one thread runs one transaction at a
+  /// time, so thread-local state keyed by queue instance suffices (the
+  /// counters always return to zero when the transaction ends).
+  struct TxLockState {
+    unsigned reads_held = 0;
+    bool write_held = false;
+  };
+
+  TxLockState& state() const {
+    thread_local std::unordered_map<const BoostedHeapPQ*, TxLockState> per_queue;
+    return per_queue[this];
+  }
+
+  void acquire_read(BoostedTx& tx) {
+    TxLockState& s = state();
+    if (s.write_held) return;  // write lock dominates
+    if (!rw_.acquire_read()) throw TxAbort{};
+    ++s.reads_held;
+    tx.log_release([this] {
+      TxLockState& st = state();
+      if (st.reads_held > 0) {
+        rw_.release_read();
+        --st.reads_held;
+      }
+    });
+  }
+
+  void acquire_write(BoostedTx& tx) {
+    TxLockState& s = state();
+    if (s.write_held) return;
+    if (!rw_.acquire_write(s.reads_held)) throw TxAbort{};
+    s.write_held = true;
+    tx.log_release([this] {
+      TxLockState& st = state();
+      if (st.write_held) {
+        rw_.release_write();
+        st.write_held = false;
+      }
+    });
+  }
+
+  void heap_add(Holder* h) {
+    heap_.push_back(h);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_[parent]->key <= heap_[i]->key) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  Holder* heap_pop() {
+    Holder* top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && heap_[l]->key < heap_[smallest]->key) smallest = l;
+      if (r < n && heap_[r]->key < heap_[smallest]->key) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+    return top;
+  }
+
+  AbstractRwLock rw_;
+  mutable SpinLock heap_lock_;
+  std::vector<Holder*> heap_;
+};
+
+}  // namespace otb::boosted

@@ -1,0 +1,70 @@
+// Minimal transaction runtime for Herlihy–Koskinen *pessimistic* boosting
+// (§2.3): eager execution on an underlying linearizable object, abstract
+// locks held in two-phase style until commit, and a semantic undo-log
+// replayed in reverse on abort.
+//
+// Aborts only ever come from failed abstract-lock acquisition (bounded
+// try-lock to preempt deadlock), exactly as the paper notes when comparing
+// abort sources against OTB.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "common/tx_abort.h"
+
+namespace otb::boosted {
+
+/// One pessimistic-boosting transaction attempt: the undo log plus the
+/// release actions for every abstract lock acquired so far.
+class BoostedTx {
+ public:
+  using Action = std::function<void()>;
+
+  /// Register the inverse of an operation that just executed eagerly.
+  void log_undo(Action inverse) { undo_.push_back(std::move(inverse)); }
+
+  /// Register how to release an abstract lock at transaction end.
+  void log_release(Action release) { releases_.push_back(std::move(release)); }
+
+  void commit() { release_all(); }
+
+  void abort_rollback() {
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) (*it)();
+    undo_.clear();
+    release_all();
+  }
+
+ private:
+  void release_all() {
+    for (auto it = releases_.rbegin(); it != releases_.rend(); ++it) (*it)();
+    releases_.clear();
+  }
+
+  std::vector<Action> undo_;
+  std::vector<Action> releases_;
+};
+
+/// Run `fn(tx)` under pessimistic boosting, retrying on abort.  Returns the
+/// number of aborted attempts.
+template <typename Fn>
+std::uint64_t atomically(Fn&& fn) {
+  Backoff backoff;
+  std::uint64_t aborts = 0;
+  for (;;) {
+    BoostedTx tx;
+    try {
+      fn(tx);
+      tx.commit();
+      return aborts;
+    } catch (const TxAbort&) {
+      tx.abort_rollback();
+      ++aborts;
+      backoff.pause();
+    }
+  }
+}
+
+}  // namespace otb::boosted

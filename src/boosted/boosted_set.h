@@ -1,0 +1,110 @@
+// Pessimistically boosted set (Herlihy & Koskinen, §2.3 / §3.2.1): the
+// baseline OTB is evaluated against in Figs 3.3–3.5.
+//
+// The underlying concurrent set (lazy list or lazy skip list) is used as a
+// **black box**.  A striped table of reentrant abstract locks keyed by the
+// operation's key provides semantic two-phase locking — commutative
+// operations (different keys, or same-key queries) proceed in parallel,
+// non-commutative ones serialize.  Writes execute eagerly and push their
+// inverse onto the transaction's semantic undo-log.  Note the paper's
+// criticism reproduced faithfully: even contains() must take the abstract
+// lock, making reads blocking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "boosted/boosted_runtime.h"
+#include "common/hash.h"
+#include "common/platform.h"
+#include "common/spinlock.h"
+
+namespace otb::boosted {
+
+/// Reentrant owner-recording abstract lock (one stripe of the lock table).
+class AbstractLock {
+ public:
+  /// Bounded acquisition; false on timeout (caller aborts).  `owner` is any
+  /// non-zero id stable for the transaction attempt.
+  bool acquire(std::uint64_t owner) {
+    if (owner_.load(std::memory_order_acquire) == owner) {
+      ++depth_;
+      return true;
+    }
+    Backoff bo;
+    for (int attempts = 0; attempts < kAttempts; ++attempts) {
+      std::uint64_t expected = 0;
+      if (owner_.compare_exchange_weak(expected, owner, std::memory_order_acq_rel)) {
+        depth_ = 1;
+        return true;
+      }
+      bo.pause();
+    }
+    return false;
+  }
+
+  void release(std::uint64_t owner) {
+    if (owner_.load(std::memory_order_acquire) != owner) return;
+    if (--depth_ == 0) owner_.store(0, std::memory_order_release);
+  }
+
+ private:
+  static constexpr int kAttempts = 1 << 10;
+  std::atomic<std::uint64_t> owner_{0};
+  unsigned depth_ = 0;  // only the owner touches it
+};
+
+/// Unique non-zero id for the current thread (abstract-lock ownership).
+inline std::uint64_t self_id() {
+  thread_local const int anchor = 0;
+  return reinterpret_cast<std::uintptr_t>(&anchor);
+}
+
+/// Boosted set over any concurrent set exposing add/remove/contains(Key).
+template <typename Underlying>
+class BoostedSet {
+ public:
+  using Key = std::int64_t;
+  static constexpr std::size_t kStripes = 1 << 14;
+
+  bool add(BoostedTx& tx, Key key) {
+    lock_key(tx, key);
+    const bool ok = under_.add(key);
+    if (ok) {
+      tx.log_undo([this, key] { under_.remove(key); });
+    }
+    return ok;
+  }
+
+  bool remove(BoostedTx& tx, Key key) {
+    lock_key(tx, key);
+    const bool ok = under_.remove(key);
+    if (ok) {
+      tx.log_undo([this, key] { under_.add(key); });
+    }
+    return ok;
+  }
+
+  bool contains(BoostedTx& tx, Key key) {
+    lock_key(tx, key);  // pessimistic boosting locks even for queries
+    return under_.contains(key);
+  }
+
+  Underlying& underlying() { return under_; }
+  std::size_t size_unsafe() const { return under_.size_unsafe(); }
+
+ private:
+  void lock_key(BoostedTx& tx, Key key) {
+    AbstractLock& lock = stripes_[mix64(static_cast<std::uint64_t>(key)) % kStripes];
+    const std::uint64_t me = self_id();
+    if (!lock.acquire(me)) throw TxAbort{};
+    tx.log_release([&lock, me] { lock.release(me); });
+  }
+
+  Underlying under_;
+  std::unique_ptr<AbstractLock[]> stripes_ = std::make_unique<AbstractLock[]>(kStripes);
+};
+
+}  // namespace otb::boosted

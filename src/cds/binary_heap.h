@@ -1,0 +1,108 @@
+// Sequential binary min-heap plus a coarse-locked concurrent wrapper.
+//
+// Substrate #6 of DESIGN.md.  The coarse-locked heap plays the role of the
+// "concurrent priority queue used as a black box" in Herlihy–Koskinen
+// pessimistic boosting (§3.2.2); the sequential heap is used directly by the
+// OTB semi-optimistic priority queue, which needs no thread-level
+// synchronisation (§3.2.2 optimisation iii).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/spinlock.h"
+
+namespace otb::cds {
+
+/// Sequential binary min-heap over 64-bit keys (duplicates allowed).
+class BinaryHeap {
+ public:
+  using Key = std::int64_t;
+
+  void add(Key key) {
+    data_.push_back(key);
+    sift_up(data_.size() - 1);
+  }
+
+  bool empty() const noexcept { return data_.empty(); }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  /// Smallest key; heap must be non-empty.
+  Key min() const { return data_.front(); }
+
+  /// Remove and return the smallest key; heap must be non-empty.
+  Key remove_min() {
+    const Key top = data_.front();
+    data_.front() = data_.back();
+    data_.pop_back();
+    if (!data_.empty()) sift_down(0);
+    return top;
+  }
+
+  void clear() noexcept { data_.clear(); }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (data_[parent] <= data_[i]) break;
+      std::swap(data_[parent], data_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = data_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && data_[l] < data_[smallest]) smallest = l;
+      if (r < n && data_[r] < data_[smallest]) smallest = r;
+      if (smallest == i) return;
+      std::swap(data_[i], data_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Key> data_;
+};
+
+/// Coarse-locked concurrent min-heap: the linearizable concurrent priority
+/// queue that pessimistic boosting treats as a black box.
+class CoarseHeapPQ {
+ public:
+  using Key = BinaryHeap::Key;
+
+  void add(Key key) {
+    std::lock_guard<SpinLock> lk(lock_);
+    heap_.add(key);
+  }
+
+  /// Remove the minimum into *out; false when empty.
+  bool remove_min(Key* out) {
+    std::lock_guard<SpinLock> lk(lock_);
+    if (heap_.empty()) return false;
+    *out = heap_.remove_min();
+    return true;
+  }
+
+  /// Read the minimum into *out; false when empty.
+  bool min(Key* out) const {
+    std::lock_guard<SpinLock> lk(lock_);
+    if (heap_.empty()) return false;
+    *out = heap_.min();
+    return true;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<SpinLock> lk(lock_);
+    return heap_.size();
+  }
+
+ private:
+  mutable SpinLock lock_;
+  BinaryHeap heap_;
+};
+
+}  // namespace otb::cds

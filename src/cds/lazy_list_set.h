@@ -1,0 +1,123 @@
+// Lazy concurrent linked-list set (Heller, Herlihy, Luchangco, Moir,
+// Scherer, Shavit — "A Lazy Concurrent List-Based Set Algorithm").
+//
+// This is substrate #4 of DESIGN.md: the paper's optimal non-transactional
+// baseline ("Lazy" curves in Figs 3.3–3.5) and the structural template the
+// OTB set is derived from.  Nodes carry a spin lock and a `marked` flag;
+// removal is split into logical (mark) and physical (unlink) steps, and
+// contains() is wait-free.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "common/epoch.h"
+#include "common/spinlock.h"
+
+namespace otb::cds {
+
+class LazyListSet {
+ public:
+  using Key = std::int64_t;
+
+  LazyListSet() {
+    head_ = new Node(std::numeric_limits<Key>::min());
+    tail_ = new Node(std::numeric_limits<Key>::max());
+    head_->next.store(tail_, std::memory_order_release);
+  }
+
+  ~LazyListSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  LazyListSet(const LazyListSet&) = delete;
+  LazyListSet& operator=(const LazyListSet&) = delete;
+
+  /// Insert `key`; returns false if already present.
+  bool add(Key key) {
+    ebr::Guard guard;
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      std::lock_guard<SpinLock> lp(pred->lock);
+      if (!validate(pred, curr)) continue;
+      if (curr->key == key) return false;
+      Node* node = new Node(key);
+      node->next.store(curr, std::memory_order_relaxed);
+      pred->next.store(node, std::memory_order_release);
+      return true;
+    }
+  }
+
+  /// Remove `key`; returns false if absent.
+  bool remove(Key key) {
+    ebr::Guard guard;
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      std::lock_guard<SpinLock> lp(pred->lock);
+      std::lock_guard<SpinLock> lc(curr->lock);
+      if (!validate(pred, curr)) continue;
+      if (curr->key != key) return false;
+      curr->marked.store(true, std::memory_order_release);  // logical delete
+      pred->next.store(curr->next.load(std::memory_order_relaxed),
+                       std::memory_order_release);          // physical unlink
+      ebr::retire(curr);
+      return true;
+    }
+  }
+
+  /// Wait-free membership test.
+  bool contains(Key key) const {
+    ebr::Guard guard;
+    const Node* curr = head_;
+    while (curr->key < key) curr = curr->next.load(std::memory_order_acquire);
+    return curr->key == key && !curr->marked.load(std::memory_order_acquire);
+  }
+
+  /// Non-concurrent size (test/diagnostic use only).
+  std::size_t size_unsafe() const {
+    std::size_t n = 0;
+    for (const Node* c = head_->next.load(std::memory_order_acquire); c != tail_;
+         c = c->next.load(std::memory_order_acquire)) {
+      if (!c->marked.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Node {
+    explicit Node(Key k) : key(k) {}
+    const Key key;
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> marked{false};
+    SpinLock lock;
+  };
+
+  static bool validate(const Node* pred, const Node* curr) {
+    return !pred->marked.load(std::memory_order_acquire) &&
+           !curr->marked.load(std::memory_order_acquire) &&
+           pred->next.load(std::memory_order_acquire) == curr;
+  }
+
+  /// Unmonitored traversal: find (pred, curr) with pred.key < key <= curr.key.
+  std::pair<Node*, Node*> locate(Key key) const {
+    Node* pred = head_;
+    Node* curr = pred->next.load(std::memory_order_acquire);
+    while (curr->key < key) {
+      pred = curr;
+      curr = curr->next.load(std::memory_order_acquire);
+    }
+    return {pred, curr};
+  }
+
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace otb::cds

@@ -1,0 +1,259 @@
+// Lazy concurrent skip-list set (Herlihy, Lev, Luchangco, Shavit —
+// "A Simple Optimistic Skiplist Algorithm").
+//
+// Substrate #5 of DESIGN.md: the "Lazy" baseline of Figs 3.4–3.5 and the
+// structural template for the OTB skip-list set.  Nodes carry a `marked`
+// flag (logical deletion) and a `fully_linked` flag (insertion is visible
+// only after all levels are linked); contains() is wait-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "common/epoch.h"
+#include "common/rng.h"
+#include "common/spinlock.h"
+
+namespace otb::cds {
+
+inline constexpr unsigned kSkipListMaxLevel = 20;
+
+class LazySkipListSet {
+ public:
+  using Key = std::int64_t;
+  static constexpr unsigned kMaxLevel = kSkipListMaxLevel;
+
+  LazySkipListSet() {
+    head_ = new Node(std::numeric_limits<Key>::min(), kMaxLevel - 1);
+    tail_ = new Node(std::numeric_limits<Key>::max(), kMaxLevel - 1);
+    for (unsigned l = 0; l < kMaxLevel; ++l) {
+      head_->next[l].store(tail_, std::memory_order_release);
+    }
+    head_->fully_linked.store(true, std::memory_order_release);
+    tail_->fully_linked.store(true, std::memory_order_release);
+  }
+
+  ~LazySkipListSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0].load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  LazySkipListSet(const LazySkipListSet&) = delete;
+  LazySkipListSet& operator=(const LazySkipListSet&) = delete;
+
+  bool add(Key key) {
+    ebr::Guard guard;
+    const unsigned top = random_level();
+    std::array<Node*, kMaxLevel> preds, succs;
+    for (;;) {
+      const int found_level = find(key, preds, succs);
+      if (found_level != -1) {
+        Node* found = succs[static_cast<unsigned>(found_level)];
+        if (!found->marked.load(std::memory_order_acquire)) {
+          // Spin until a concurrent inserter finishes linking, then report
+          // the key as already present.
+          while (!found->fully_linked.load(std::memory_order_acquire)) cpu_relax();
+          return false;
+        }
+        continue;  // marked: retry, the remover will unlink it
+      }
+      LevelLockSet locks;
+      bool valid = true;
+      for (unsigned l = 0; valid && l <= top; ++l) {
+        Node* pred = preds[l];
+        Node* succ = succs[l];
+        locks.acquire(pred);
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                !succ->marked.load(std::memory_order_acquire) &&
+                pred->next[l].load(std::memory_order_acquire) == succ;
+      }
+      if (!valid) continue;
+      Node* node = new Node(key, top);
+      for (unsigned l = 0; l <= top; ++l) {
+        node->next[l].store(succs[l], std::memory_order_relaxed);
+      }
+      for (unsigned l = 0; l <= top; ++l) {
+        preds[l]->next[l].store(node, std::memory_order_release);
+      }
+      node->fully_linked.store(true, std::memory_order_release);
+      return true;
+    }
+  }
+
+  bool remove(Key key) {
+    ebr::Guard guard;
+    std::array<Node*, kMaxLevel> preds, succs;
+    const int found_level = find(key, preds, succs);
+    if (found_level == -1) return false;
+    Node* victim = succs[static_cast<unsigned>(found_level)];
+    if (victim->top_level != static_cast<unsigned>(found_level) ||
+        !victim->fully_linked.load(std::memory_order_acquire) ||
+        victim->marked.load(std::memory_order_acquire)) {
+      return false;
+    }
+    victim->lock.lock();
+    if (victim->marked.load(std::memory_order_acquire)) {
+      victim->lock.unlock();
+      return false;
+    }
+    victim->marked.store(true, std::memory_order_release);  // logical delete
+    unlink_locked_victim(victim);
+    victim->lock.unlock();
+    ebr::retire(victim);
+    return true;
+  }
+
+  /// Remove and return the current minimum (Lotan–Shavit style: CAS-free
+  /// logical delete under the node lock, then physical unlink).  Used by the
+  /// concurrent skip-list priority queue.  Returns false when empty.
+  bool pop_min(Key* out) {
+    ebr::Guard guard;
+    for (Node* curr = head_->next[0].load(std::memory_order_acquire); curr != tail_;
+         curr = curr->next[0].load(std::memory_order_acquire)) {
+      if (!curr->fully_linked.load(std::memory_order_acquire) ||
+          curr->marked.load(std::memory_order_acquire)) {
+        continue;
+      }
+      curr->lock.lock();
+      if (curr->marked.load(std::memory_order_acquire) ||
+          !curr->fully_linked.load(std::memory_order_acquire)) {
+        curr->lock.unlock();
+        continue;
+      }
+      curr->marked.store(true, std::memory_order_release);
+      const Key key = curr->key;
+      unlink_locked_victim(curr);
+      curr->lock.unlock();
+      ebr::retire(curr);
+      *out = key;
+      return true;
+    }
+    return false;
+  }
+
+  /// Read the current minimum without removing it; false when empty.
+  bool min(Key* out) const {
+    ebr::Guard guard;
+    for (const Node* curr = head_->next[0].load(std::memory_order_acquire);
+         curr != tail_; curr = curr->next[0].load(std::memory_order_acquire)) {
+      if (curr->fully_linked.load(std::memory_order_acquire) &&
+          !curr->marked.load(std::memory_order_acquire)) {
+        *out = curr->key;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Wait-free membership test.
+  bool contains(Key key) const {
+    ebr::Guard guard;
+    std::array<Node*, kMaxLevel> preds, succs;
+    const int found_level = find(key, preds, succs);
+    if (found_level == -1) return false;
+    const Node* found = succs[static_cast<unsigned>(found_level)];
+    return found->fully_linked.load(std::memory_order_acquire) &&
+           !found->marked.load(std::memory_order_acquire);
+  }
+
+  std::size_t size_unsafe() const {
+    std::size_t n = 0;
+    for (const Node* c = head_->next[0].load(std::memory_order_acquire); c != tail_;
+         c = c->next[0].load(std::memory_order_acquire)) {
+      if (!c->marked.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Node {
+    Node(Key k, unsigned top) : key(k), top_level(top) {}
+    const Key key;
+    const unsigned top_level;
+    std::array<std::atomic<Node*>, kMaxLevel> next{};
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+    SpinLock lock;
+  };
+
+  /// RAII set of per-level pred locks; each distinct node is locked once.
+  class LevelLockSet {
+   public:
+    void acquire(Node* n) {
+      for (unsigned i = 0; i < count_; ++i) {
+        if (locked_[i] == n) return;
+      }
+      n->lock.lock();
+      locked_[count_++] = n;
+    }
+    ~LevelLockSet() {
+      for (unsigned i = count_; i-- > 0;) locked_[i]->lock.unlock();
+    }
+
+   private:
+    std::array<Node*, kMaxLevel> locked_{};
+    unsigned count_ = 0;
+  };
+
+  /// Physically unlink a victim that the caller has already marked and whose
+  /// node lock the caller holds.  Retries until the pred set validates.
+  void unlink_locked_victim(Node* victim) {
+    const unsigned top = victim->top_level;
+    std::array<Node*, kMaxLevel> preds, succs;
+    for (;;) {
+      find(victim->key, preds, succs);
+      LevelLockSet locks;
+      bool valid = true;
+      for (unsigned l = 0; valid && l <= top; ++l) {
+        Node* pred = preds[l];
+        locks.acquire(pred);
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[l].load(std::memory_order_acquire) == victim;
+      }
+      if (!valid) continue;
+      for (unsigned l = top + 1; l-- > 0;) {
+        preds[l]->next[l].store(victim->next[l].load(std::memory_order_relaxed),
+                                std::memory_order_release);
+      }
+      return;
+    }
+  }
+
+  /// Fill preds/succs at every level; return the highest level at which the
+  /// key was found, or -1.
+  int find(Key key, std::array<Node*, kMaxLevel>& preds,
+           std::array<Node*, kMaxLevel>& succs) const {
+    int found_level = -1;
+    Node* pred = head_;
+    for (unsigned l = kMaxLevel; l-- > 0;) {
+      Node* curr = pred->next[l].load(std::memory_order_acquire);
+      while (curr->key < key) {
+        pred = curr;
+        curr = pred->next[l].load(std::memory_order_acquire);
+      }
+      if (found_level == -1 && curr->key == key) {
+        found_level = static_cast<int>(l);
+      }
+      preds[l] = pred;
+      succs[l] = curr;
+    }
+    return found_level;
+  }
+
+  static unsigned random_level() {
+    thread_local Xorshift rng{0x5eedu ^ reinterpret_cast<std::uintptr_t>(&rng)};
+    unsigned level = 0;
+    while ((rng.next() & 1) != 0 && level < kMaxLevel - 1) ++level;
+    return level;
+  }
+
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace otb::cds

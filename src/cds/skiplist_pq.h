@@ -1,0 +1,30 @@
+// Concurrent skip-list priority queue (Lotan–Shavit flavour), built on the
+// lazy skip-list set.  Keys are unique, matching the paper's skip-list
+// priority-queue implementation (§3.2.2: "can be used even if items are not
+// unique, like our implementation").
+#pragma once
+
+#include "cds/lazy_skiplist_set.h"
+
+namespace otb::cds {
+
+class SkipListPQ {
+ public:
+  using Key = LazySkipListSet::Key;
+
+  /// Insert a key; false if already present.
+  bool add(Key key) { return set_.add(key); }
+
+  /// Remove the minimum into *out; false when empty.
+  bool remove_min(Key* out) { return set_.pop_min(out); }
+
+  /// Read the minimum into *out; false when empty.
+  bool min(Key* out) const { return set_.min(out); }
+
+  std::size_t size_unsafe() const { return set_.size_unsafe(); }
+
+ private:
+  LazySkipListSet set_;
+};
+
+}  // namespace otb::cds

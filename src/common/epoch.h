@@ -1,0 +1,169 @@
+// Epoch-based memory reclamation (EBR) for the lazy data structures.
+//
+// Readers wrap traversals in an `ebr::Guard`; writers `retire()` unlinked
+// nodes instead of deleting them.  A retired node is freed only after every
+// thread that might still hold a reference has left its critical region —
+// the classic three-epoch scheme (Fraser).  This keeps the lazy list /
+// skip-list traversals safe without per-node reference counting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/platform.h"
+
+namespace otb::ebr {
+
+namespace detail {
+
+inline constexpr unsigned kMaxThreads = 128;
+inline constexpr std::uint64_t kIdle = 0;  // local epoch 0 == not in a region
+inline constexpr std::size_t kScanThreshold = 256;
+
+struct Retired {
+  void* ptr;
+  void (*deleter)(void*);
+  std::uint64_t epoch;
+};
+
+struct alignas(kCacheLine) Slot {
+  std::atomic<std::uint64_t> local{kIdle};
+  std::atomic<bool> in_use{false};
+};
+
+struct Global {
+  std::atomic<std::uint64_t> epoch{1};
+  Slot slots[kMaxThreads];
+  std::mutex orphan_mu;
+  std::vector<Retired> orphans;  // limbo of exited threads
+
+  static Global& instance() {
+    static Global g;
+    return g;
+  }
+};
+
+/// Smallest epoch any active thread is still inside (or current epoch when
+/// every thread is idle).
+inline std::uint64_t min_active_epoch(Global& g) {
+  std::uint64_t min = g.epoch.load(std::memory_order_acquire);
+  for (auto& s : g.slots) {
+    const std::uint64_t e = s.local.load(std::memory_order_acquire);
+    if (e != kIdle && e < min) min = e;
+  }
+  return min;
+}
+
+class ThreadState {
+ public:
+  ThreadState() {
+    Global& g = Global::instance();
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (g.slots[i].in_use.compare_exchange_strong(expected, true)) {
+        index_ = i;
+        return;
+      }
+    }
+    index_ = kMaxThreads;  // over-subscribed: fall back to leaking retirement
+  }
+
+  ~ThreadState() {
+    Global& g = Global::instance();
+    if (!limbo_.empty()) {
+      std::lock_guard<std::mutex> lk(g.orphan_mu);
+      g.orphans.insert(g.orphans.end(), limbo_.begin(), limbo_.end());
+    }
+    if (index_ < kMaxThreads) {
+      g.slots[index_].local.store(kIdle, std::memory_order_release);
+      g.slots[index_].in_use.store(false, std::memory_order_release);
+    }
+  }
+
+  void enter() {
+    if (++depth_ > 1) return;
+    Global& g = Global::instance();
+    if (index_ < kMaxThreads) {
+      g.slots[index_].local.store(g.epoch.load(std::memory_order_acquire),
+                                  std::memory_order_release);
+      // Make the announcement visible before any shared read.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+  }
+
+  void exit() {
+    if (--depth_ > 0) return;
+    Global& g = Global::instance();
+    if (index_ < kMaxThreads) {
+      g.slots[index_].local.store(kIdle, std::memory_order_release);
+    }
+  }
+
+  void retire(void* p, void (*deleter)(void*)) {
+    Global& g = Global::instance();
+    limbo_.push_back({p, deleter, g.epoch.load(std::memory_order_acquire)});
+    if (limbo_.size() >= kScanThreshold) collect();
+  }
+
+  /// Advance the global epoch if possible and free every retired node whose
+  /// epoch is at least two behind the minimum active epoch.
+  void collect() {
+    Global& g = Global::instance();
+    g.epoch.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t safe = min_active_epoch(g);
+    free_older_than(limbo_, safe);
+    if (g.orphan_mu.try_lock()) {
+      free_older_than(g.orphans, safe);
+      g.orphan_mu.unlock();
+    }
+  }
+
+ private:
+  static void free_older_than(std::vector<Retired>& v, std::uint64_t safe) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      // Nodes retired in epoch e are unreachable once every thread has
+      // observed an epoch > e, i.e. when min-active >= e + 2.
+      if (v[i].epoch + 2 <= safe) {
+        v[i].deleter(v[i].ptr);
+      } else {
+        v[keep++] = v[i];
+      }
+    }
+    v.resize(keep);
+  }
+
+  unsigned index_ = kMaxThreads;
+  unsigned depth_ = 0;
+  std::vector<Retired> limbo_;
+};
+
+inline ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace detail
+
+/// RAII critical-region guard.  Re-entrant.
+class Guard {
+ public:
+  Guard() { detail::thread_state().enter(); }
+  ~Guard() { detail::thread_state().exit(); }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+};
+
+/// Defer deletion of `p` until no thread can still reach it.
+template <typename T>
+void retire(T* p) {
+  detail::thread_state().retire(
+      p, +[](void* q) { delete static_cast<T*>(q); });
+}
+
+/// Force a collection attempt (used by tests and shutdown paths).
+inline void collect() { detail::thread_state().collect(); }
+
+}  // namespace otb::ebr

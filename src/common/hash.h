@@ -1,0 +1,23 @@
+// Small non-cryptographic hash utilities used by the bloom filters, the
+// orec table (TL2), and the striped abstract-lock tables.
+#pragma once
+
+#include <cstdint>
+
+namespace otb {
+
+/// Finalizer from splitmix64 — a strong 64-bit bit mixer.
+inline constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash a pointer-sized address; drops the low alignment bits first so that
+/// adjacent words do not collide into identical filter bits.
+inline std::uint64_t hash_addr(const void* p) noexcept {
+  return mix64(reinterpret_cast<std::uintptr_t>(p) >> 3);
+}
+
+}  // namespace otb

@@ -1,0 +1,71 @@
+// Platform-level primitives shared by every module: cache-line geometry,
+// CPU pause hints, thread pinning, and monotonic timing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace otb {
+
+/// Cache-line size used for alignment of contended fields.  64 bytes is
+/// correct for every x86-64 and most AArch64 parts; over-aligning is safe.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Hint to the CPU that we are in a spin-wait loop (x86 PAUSE).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Best-effort pinning of the calling thread to a CPU.  Returns false when
+/// pinning is unavailable (e.g. single-core containers); callers must treat
+/// pinning as an optimisation only.
+inline bool pin_this_thread(unsigned cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % std::max(1u, std::thread::hardware_concurrency()), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+/// Spin helper that degrades to yielding: essential when threads outnumber
+/// cores (multiprogramming, Fig 5.9) — a pure PAUSE loop would burn the
+/// whole timeslice of the thread we are waiting for.
+class SpinWait {
+ public:
+  void spin() noexcept {
+    if (++count_ < kSpinLimit) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 128;
+  int count_ = 0;
+};
+
+/// Monotonic nanosecond timestamp.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace otb

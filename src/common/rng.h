@@ -1,0 +1,40 @@
+// Per-thread deterministic PRNGs for workload generation and property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace otb {
+
+/// xoshiro-style 64-bit generator seeded through splitmix64.  Deterministic
+/// per seed, cheap enough to call on every benchmark operation.
+class Xorshift {
+ public:
+  explicit constexpr Xorshift(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept
+      : state_(mix64(seed | 1)) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform value in [0, bound).  bound must be non-zero.
+  constexpr std::uint64_t next_bounded(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Bernoulli trial with probability pct/100.
+  constexpr bool chance_pct(unsigned pct) noexcept {
+    return next_bounded(100) < pct;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace otb

@@ -1,0 +1,136 @@
+// Locking primitives used throughout the library:
+//   * Backoff          — bounded exponential backoff for spin loops.
+//   * SpinLock         — test-and-test-and-set mutual exclusion.
+//   * SeqLock          — sequence lock (even = free, odd = writer inside),
+//                        the global synchronisation word of NOrec/TML/RTC.
+//   * VersionedLock    — per-node sequence lock used by OTB semantic locks
+//                        and the TL2 orec table (LSB = locked, rest = version).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/platform.h"
+
+namespace otb {
+
+/// Bounded exponential backoff for contended spin loops.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (limit_ >= kMax) {
+      // Saturated: the thread we are waiting for may need our core
+      // (oversubscribed hosts) — give it up instead of burning the slice.
+      std::this_thread::yield();
+      return;
+    }
+    for (unsigned i = 0; i < limit_; ++i) cpu_relax();
+    limit_ <<= 1;
+  }
+  void reset() noexcept { limit_ = 1; }
+
+ private:
+  static constexpr unsigned kMax = 1024;
+  unsigned limit_ = 1;
+};
+
+/// Minimal test-and-test-and-set spinlock.  Satisfies Lockable.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    Backoff bo;
+    for (;;) {
+      while (locked_.load(std::memory_order_relaxed)) bo.pause();
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// Global sequence lock.  The counter is even when no writer holds the lock
+/// and odd while a commit is being published — exactly the NOrec timestamp.
+class alignas(kCacheLine) SeqLock {
+ public:
+  /// Current value (even or odd).
+  std::uint64_t load(std::memory_order mo = std::memory_order_acquire) const noexcept {
+    return seq_.load(mo);
+  }
+
+  /// Spin until the value is even, then return it.
+  std::uint64_t wait_even() const noexcept {
+    Backoff bo;
+    for (;;) {
+      const std::uint64_t s = seq_.load(std::memory_order_acquire);
+      if ((s & 1) == 0) return s;
+      bo.pause();
+    }
+  }
+
+  /// Attempt to move from the even snapshot `expected` to `expected + 1`
+  /// (writer acquisition).  Returns true on success.
+  bool try_acquire(std::uint64_t expected) noexcept {
+    return seq_.compare_exchange_strong(expected, expected + 1,
+                                        std::memory_order_acq_rel);
+  }
+
+  /// Release after acquisition: odd -> next even.
+  void release() noexcept { seq_.fetch_add(1, std::memory_order_release); }
+
+  /// Privileged increment used by single-writer owners (the RTC servers);
+  /// no CAS needed because only one thread ever increments.
+  void server_increment() noexcept { seq_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+/// Per-node versioned lock: bit 0 = locked, bits 63..1 = version.
+/// Used for OTB semantic locks and TL2 ownership records.
+class VersionedLock {
+ public:
+  static constexpr std::uint64_t kLockedBit = 1;
+
+  std::uint64_t load(std::memory_order mo = std::memory_order_acquire) const noexcept {
+    return word_.load(mo);
+  }
+
+  static constexpr bool is_locked(std::uint64_t w) noexcept { return (w & kLockedBit) != 0; }
+  static constexpr std::uint64_t version_of(std::uint64_t w) noexcept { return w >> 1; }
+
+  /// Try to lock given an unlocked snapshot; fails if the word changed.
+  bool try_lock_from(std::uint64_t snapshot) noexcept {
+    if (is_locked(snapshot)) return false;
+    return word_.compare_exchange_strong(snapshot, snapshot | kLockedBit,
+                                         std::memory_order_acq_rel);
+  }
+
+  /// Try to lock from the current value.
+  bool try_lock() noexcept { return try_lock_from(word_.load(std::memory_order_acquire)); }
+
+  /// Unlock without bumping the version (used when nothing was modified).
+  void unlock_same_version() noexcept {
+    word_.fetch_and(~kLockedBit, std::memory_order_release);
+  }
+
+  /// Unlock and advance the version (modification happened).
+  void unlock_new_version() noexcept {
+    word_.fetch_add(kLockedBit, std::memory_order_release);  // odd + 1 = next even
+  }
+
+  /// Store an explicit version (TL2 commit publishes the write version).
+  void unlock_with_version(std::uint64_t version) noexcept {
+    word_.store(version << 1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> word_{0};
+};
+
+}  // namespace otb

@@ -1,0 +1,11 @@
+// The abort signal shared by every transactional runtime in this library
+// (standalone OTB transactions, the STM framework, and the integration
+// layer).  Thrown when validation or lock acquisition fails; caught by the
+// retry loop, never by user code.
+#pragma once
+
+namespace otb {
+
+struct TxAbort {};
+
+}  // namespace otb

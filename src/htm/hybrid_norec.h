@@ -1,0 +1,113 @@
+// Hybrid NOrec over the simulated HTM (§7.1.1's first proposal: best-effort
+// hardware transactions with an STM fallback, in the Hybrid-NOrec style the
+// paper cites as the natural fit for a single-global-lock STM).
+//
+// Fast path: run the whole transaction body inside a simulated hardware
+// transaction.  The HTM subscribes to the NOrec clock, so a software commit
+// aborts every live hardware transaction and vice versa — exactly the
+// coupling that makes Hybrid NOrec sound.  After `htm_retries` failed
+// hardware attempts (or a capacity abort, which retrying cannot fix), the
+// transaction falls back to the plain NOrec context.
+#pragma once
+
+#include "common/tx_abort.h"
+#include "htm/sim_htm.h"
+#include "stm/algs/norec.h"
+
+namespace otb::htm {
+
+/// Thrown inside the fast path to unwind the user lambda when the hardware
+/// transaction dies mid-body (the simulation's analogue of the implicit
+/// jump to the abort handler).
+struct HtmAborted {};
+
+/// Tx facade whose barriers go through a simulated hardware transaction.
+class HtmFastPathTx final : public stm::Tx {
+ public:
+  explicit HtmFastPathTx(SeqLock& clock) : htm_(clock) {}
+
+  void begin() override {
+    if (!htm_.begin()) throw HtmAborted{};
+  }
+
+  stm::Word read_word(const stm::TWord* addr) override {
+    stats_.reads += 1;
+    stm::Word value;
+    if (!htm_.read(addr, &value)) throw HtmAborted{};
+    return value;
+  }
+
+  void write_word(stm::TWord* addr, stm::Word value) override {
+    stats_.writes += 1;
+    if (!htm_.write(addr, value)) throw HtmAborted{};
+  }
+
+  void commit() override {
+    if (!htm_.commit()) throw HtmAborted{};
+  }
+
+  void rollback() override {}
+
+  AbortReason reason() const { return htm_.reason(); }
+
+ private:
+  HtmTx htm_;
+};
+
+class HybridNOrecRuntime {
+ public:
+  explicit HybridNOrecRuntime(stm::Config cfg = {}, unsigned htm_retries = 4)
+      : global_(cfg), htm_retries_(htm_retries) {}
+
+  /// Per-thread context pair (hardware facade + software fallback).
+  struct Thread {
+    explicit Thread(HybridNOrecRuntime& rt)
+        : hw(rt.global_.clock), sw(rt.global_) {}
+    HtmFastPathTx hw;
+    stm::NOrecTx sw;
+    HtmStats htm_stats;
+  };
+
+  std::unique_ptr<Thread> make_thread() { return std::make_unique<Thread>(*this); }
+
+  /// Execute atomically: HTM attempts first, NOrec fallback after.
+  template <typename Fn>
+  void atomically(Thread& th, Fn&& fn) {
+    for (unsigned attempt = 0; attempt < htm_retries_; ++attempt) {
+      try {
+        th.hw.begin();
+        fn(static_cast<stm::Tx&>(th.hw));
+        th.hw.commit();
+        th.htm_stats.commits += 1;
+        return;
+      } catch (const HtmAborted&) {
+        th.htm_stats.count(th.hw.reason());
+        if (th.hw.reason() == AbortReason::kCapacity) break;  // hopeless
+      }
+    }
+    // Software fallback: plain NOrec on the same clock — mutual abort with
+    // concurrent hardware transactions is automatic.
+    Backoff backoff;
+    for (;;) {
+      th.sw.begin();
+      try {
+        fn(static_cast<stm::Tx&>(th.sw));
+        th.sw.commit();
+        th.sw.stats().commits += 1;
+        return;
+      } catch (const TxAbort&) {
+        th.sw.rollback();
+        th.sw.stats().aborts += 1;
+        backoff.pause();
+      }
+    }
+  }
+
+  SeqLock& clock() { return global_.clock; }
+
+ private:
+  stm::NOrecGlobal global_;
+  unsigned htm_retries_;
+};
+
+}  // namespace otb::htm

@@ -1,0 +1,185 @@
+// Simulated best-effort hardware transactional memory (§7.1.1 substrate).
+//
+// The paper's post-preliminary work runs OTB commit phases and STM
+// fall-backs under Intel TSX.  This container has no TSX, so — per
+// DESIGN.md's substitution rule — we simulate a *best-effort* HTM with the
+// properties the paper's discussion relies on:
+//
+//   * bounded capacity: the transactional footprint must fit a small
+//     read/write buffer (models the L1-resident read/write sets; exceeding
+//     it raises a CAPACITY abort, §1.1.2);
+//   * eager conflict detection: any concurrent commit while a hardware
+//     transaction is live aborts it immediately (requester-loses, like a
+//     cache-line invalidation killing the speculative state);
+//   * spurious aborts: a small deterministic rate of SPURIOUS aborts models
+//     interrupts/page faults — the reason best-effort HTM guarantees
+//     nothing and always needs a software fallback;
+//   * no escape actions: writes are buffered and invisible until commit.
+//
+// Conflict detection rides the host's global commit clock (a SeqLock): a
+// hardware transaction starts at an even clock and dies the moment the
+// clock moves, and its commit bumps the same clock — so simulated-HTM and
+// NOrec-style software transactions compose soundly (the Hybrid NOrec of
+// hybrid_norec.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/spinlock.h"
+#include "stm/tvar.h"
+
+namespace otb::htm {
+
+enum class AbortReason : std::uint8_t {
+  kNone = 0,
+  kConflict,   // another commit moved the clock while we were live
+  kCapacity,   // footprint exceeded the simulated buffer
+  kSpurious,   // interrupt/fault simulation
+  kBusy,       // could not acquire the commit window
+};
+
+struct HtmStats {
+  std::uint64_t commits = 0;
+  std::uint64_t conflict_aborts = 0;
+  std::uint64_t capacity_aborts = 0;
+  std::uint64_t spurious_aborts = 0;
+  std::uint64_t busy_aborts = 0;
+
+  void count(AbortReason r) {
+    switch (r) {
+      case AbortReason::kConflict:
+        ++conflict_aborts;
+        break;
+      case AbortReason::kCapacity:
+        ++capacity_aborts;
+        break;
+      case AbortReason::kSpurious:
+        ++spurious_aborts;
+        break;
+      case AbortReason::kBusy:
+        ++busy_aborts;
+        break;
+      case AbortReason::kNone:
+        break;
+    }
+  }
+};
+
+/// One simulated hardware transaction.  Word-based, like the STM layer.
+class HtmTx {
+ public:
+  static constexpr std::size_t kReadCapacity = 64;
+  static constexpr std::size_t kWriteCapacity = 32;
+  /// One spurious abort every ~kSpuriousPeriod begins (deterministic).
+  static constexpr std::uint64_t kSpuriousPeriod = 10000;
+
+  explicit HtmTx(SeqLock& clock) : clock_(clock) {}
+
+  /// Begin; false when the clock is odd (a committer is live — immediate
+  /// conflict, like starting a transaction into contended lines).
+  bool begin() {
+    reason_ = AbortReason::kNone;
+    nreads_ = 0;
+    nwrites_ = 0;
+    if (spurious_due()) {
+      reason_ = AbortReason::kSpurious;
+      return false;
+    }
+    snapshot_ = clock_.load();
+    if ((snapshot_ & 1) != 0) {
+      reason_ = AbortReason::kConflict;
+      return false;
+    }
+    return true;
+  }
+
+  /// Transactional read; false => aborted (reason()).
+  bool read(const stm::TWord* addr, stm::Word* out) {
+    for (std::size_t i = 0; i < nwrites_; ++i) {
+      if (writes_[i].addr == addr) {
+        *out = writes_[i].value;
+        return true;
+      }
+    }
+    if (nreads_ == kReadCapacity) {
+      reason_ = AbortReason::kCapacity;
+      return false;
+    }
+    const stm::Word value = addr->load(std::memory_order_acquire);
+    if (clock_.load() != snapshot_) {  // eager conflict detection
+      reason_ = AbortReason::kConflict;
+      return false;
+    }
+    reads_[nreads_++] = {addr, value};
+    *out = value;
+    return true;
+  }
+
+  /// Buffered transactional write; false => capacity abort.
+  bool write(stm::TWord* addr, stm::Word value) {
+    for (std::size_t i = 0; i < nwrites_; ++i) {
+      if (writes_[i].addr == addr) {
+        writes_[i].value = value;
+        return true;
+      }
+    }
+    if (nwrites_ == kWriteCapacity) {
+      reason_ = AbortReason::kCapacity;
+      return false;
+    }
+    writes_[nwrites_++] = {addr, value};
+    return true;
+  }
+
+  /// Attempt to commit; on success the buffered writes are published
+  /// atomically with respect to every clock subscriber.
+  bool commit() {
+    if (nwrites_ == 0) {
+      // Read-only: reads were continuously validated against the clock.
+      return clock_.load() == snapshot_ ||
+             (reason_ = AbortReason::kConflict, false);
+    }
+    if (!clock_.try_acquire(snapshot_)) {
+      reason_ = AbortReason::kConflict;
+      return false;
+    }
+    for (std::size_t i = 0; i < nwrites_; ++i) {
+      writes_[i].addr->store(writes_[i].value, std::memory_order_release);
+    }
+    clock_.release();
+    return true;
+  }
+
+  AbortReason reason() const { return reason_; }
+  std::size_t read_footprint() const { return nreads_; }
+  std::size_t write_footprint() const { return nwrites_; }
+
+ private:
+  struct Entry {
+    const stm::TWord* addr;
+    stm::Word value;
+  };
+  struct WEntry {
+    stm::TWord* addr;
+    stm::Word value;
+  };
+
+  bool spurious_due() {
+    thread_local std::uint64_t counter = 0;
+    thread_local Xorshift rng{0xd15ea5e ^ reinterpret_cast<std::uintptr_t>(&counter)};
+    ++counter;
+    return rng.next_bounded(kSpuriousPeriod) == 0;
+  }
+
+  SeqLock& clock_;
+  std::uint64_t snapshot_ = 0;
+  std::array<Entry, kReadCapacity> reads_;
+  std::array<WEntry, kWriteCapacity> writes_;
+  std::size_t nreads_ = 0;
+  std::size_t nwrites_ = 0;
+  AbortReason reason_ = AbortReason::kNone;
+};
+
+}  // namespace otb::htm

@@ -1,0 +1,253 @@
+// Chapter 4: integrating OTB data structures with an STM framework.
+//
+// `OtbTx` is the joint context type — simultaneously an STM transaction
+// (memory reads/writes) and an OTB transaction host (semantic descriptors).
+// `OtbNOrecTx` and `OtbTl2Tx` are the two case-study contexts of §4.2:
+//
+//   * OTB-NOrec (§4.2.2): the single global lock subsumes the semantic
+//     locks, so boosted commits run with use_locks = false, and the NOrec
+//     value-based incremental validation is extended to also run
+//     validate-without-locks over every attached structure;
+//   * OTB-TL2 (§4.2.3): fine-grained orecs mean the semantic locks must be
+//     real — boosted operations validate-with-locks after every memory read
+//     and every boosted operation, and commit interleaves preCommit /
+//     onCommit / postCommit with the orec protocol.
+//
+// A transaction may freely mix `tx.read(var)` / `tx.write(var, v)` with
+// `set.add(tx, k)` — the Algorithm 7 programming model.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "common/epoch.h"
+#include "otb/otb_ds.h"
+#include "stm/algs/norec.h"
+#include "stm/algs/tl2.h"
+
+namespace otb::integration {
+
+/// Joint base: an STM context that can also host boosted structures.
+class OtbTx : public stm::Tx, public tx::TxHost {
+ protected:
+  /// Pins the reclamation epoch for the attempt (semantic read-set entries
+  /// hold raw node pointers other transactions may retire).
+  std::optional<ebr::Guard> epoch_guard_;
+};
+
+// ---- OTB-NOrec --------------------------------------------------------------
+
+class OtbNOrecTx final : public stm::NOrecTxT<OtbTx> {
+ public:
+  explicit OtbNOrecTx(stm::NOrecGlobal& global) : stm::NOrecTxT<OtbTx>(global) {}
+
+  void begin() override {
+    clear_attached();
+    epoch_guard_.emplace();
+    stm::NOrecTxT<OtbTx>::begin();
+  }
+
+  /// §4.2.2 onOperationValidate: same procedure as onReadAccess — if the
+  /// global timestamp has not moved since our snapshot the whole snapshot
+  /// is trivially still valid (NOrec's fast path, §2.1.1); otherwise run
+  /// the extended value-based validation.
+  void on_operation_validate() override {
+    if (global_.clock.load() == snapshot_) return;
+    snapshot_ = validate();
+  }
+
+  void commit() override {
+    const std::uint64_t t0 = global_.collect_timing ? now_ns() : 0;
+    if (writes_.empty() && !any_attached_writes()) {
+      end_attempt();
+      finish_attempt(t0);
+      return;  // fully read-only: lock-free commit
+    }
+    while (!global_.clock.try_acquire(snapshot_)) {
+      this->stats_.lock_cas_failures += 1;
+      snapshot_ = validate();
+    }
+    // Semantic locks are pointless under the global lock (§4.2.2): commit
+    // with use_locks = false.  pre_commit re-runs commit-time validation.
+    if (!pre_commit_attached(/*use_locks=*/false)) {
+      global_.clock.release();
+      end_attempt();
+      finish_attempt(t0);
+      throw TxAbort{};
+    }
+    writes_.publish();
+    on_commit_attached();
+    post_commit_attached();  // releases the locks on freshly inserted nodes
+    global_.clock.release();
+    end_attempt();
+    finish_attempt(t0);
+  }
+
+  void rollback() override {
+    on_abort_attached();
+    end_attempt();
+    stm::NOrecTxT<OtbTx>::rollback();
+  }
+
+ protected:
+  /// Extended NOrec validation: memory values *and* semantic read-sets
+  /// (validate-without-locks) under one even-timestamp window.
+  std::uint64_t validate() override {
+    this->stats_.validations += 1;
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t t = global_.clock.load();
+      if ((t & 1) != 0) {
+        this->stats_.lock_spins += 1;
+        backoff.pause();
+        continue;
+      }
+      if (!reads_.values_match() || !validate_attached(/*check_locks=*/false)) {
+        throw TxAbort{};
+      }
+      if (global_.clock.load() == t) return t;
+    }
+  }
+
+ private:
+  void end_attempt() {
+    clear_attached();
+    epoch_guard_.reset();
+  }
+};
+
+// ---- OTB-TL2 ----------------------------------------------------------------
+
+class OtbTl2Tx final : public stm::Tl2TxT<OtbTx> {
+ public:
+  explicit OtbTl2Tx(stm::Tl2Global& global) : stm::Tl2TxT<OtbTx>(global) {}
+
+  void begin() override {
+    clear_attached();
+    epoch_guard_.emplace();
+    stm::Tl2TxT<OtbTx>::begin();
+  }
+
+  /// §4.2.3 onOperationValidate: semantic validation with lock checks.  We
+  /// additionally re-validate the TL2 orec read-set (a linear version
+  /// check): the paper deems this unnecessary, but without it a transaction
+  /// mixing memory reads (snapshotted at rv) with boosted reads (validated
+  /// "now") can observe a memory/semantic state from two different points in
+  /// time — see DESIGN.md, "correctness strengthening".
+  void on_operation_validate() override {
+    if (!validate_reads() || !validate_attached(/*check_locks=*/true)) {
+      throw TxAbort{};
+    }
+  }
+
+  /// §4.2.3 onReadAccess: ordinary TL2 read plus validate-with-locks over
+  /// the attached structures.
+  stm::Word read_word(const stm::TWord* addr) override {
+    const stm::Word value = stm::Tl2TxT<OtbTx>::read_word(addr);
+    if (!attached().empty() && !validate_attached(/*check_locks=*/true)) {
+      throw TxAbort{};
+    }
+    return value;
+  }
+
+  void commit() override {
+    if (writes_.empty() && !any_attached_writes()) {
+      end_attempt();
+      return;
+    }
+    lock_write_orecs();  // throws (after self-cleanup) on CAS failure
+    // Acquire the semantic locks right after the memory locks (§4.2.3).
+    if (!pre_commit_attached(/*use_locks=*/true)) {
+      release_locked(/*stamp=*/false, 0);
+      end_attempt();
+      throw TxAbort{};
+    }
+    const std::uint64_t wv =
+        global_.clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // Memory read-set: plain TL2 validation (semantic read-sets were already
+    // commit-validated by pre_commit while their locks are held).
+    if (wv != rv_ + 1 && !validate_reads()) {
+      release_locked(/*stamp=*/false, 0);
+      on_abort_attached();
+      end_attempt();
+      throw TxAbort{};
+    }
+    writes_.publish();
+    on_commit_attached();
+    release_locked(/*stamp=*/true, wv);
+    post_commit_attached();
+    end_attempt();
+  }
+
+  void rollback() override {
+    on_abort_attached();
+    end_attempt();
+    stm::Tl2TxT<OtbTx>::rollback();
+  }
+
+ private:
+  void end_attempt() {
+    clear_attached();
+    epoch_guard_.reset();
+  }
+};
+
+// ---- integration runtime ----------------------------------------------------
+
+enum class HostAlgo { kOtbNOrec, kOtbTl2 };
+
+constexpr std::string_view to_string(HostAlgo a) {
+  return a == HostAlgo::kOtbNOrec ? "OTB-NOrec" : "OTB-TL2";
+}
+
+/// Owns the host algorithm's global state and runs the retry loop — the
+/// "new DEUCE agent" of Fig 4.1.
+class Runtime {
+ public:
+  explicit Runtime(HostAlgo algo, stm::Config cfg = {}) : algo_(algo) {
+    if (algo == HostAlgo::kOtbNOrec) {
+      norec_ = std::make_unique<stm::NOrecGlobal>(cfg);
+    } else {
+      tl2_ = std::make_unique<stm::Tl2Global>(cfg);
+    }
+  }
+
+  HostAlgo algo() const { return algo_; }
+
+  /// One context per thread.
+  std::unique_ptr<OtbTx> make_tx() {
+    if (algo_ == HostAlgo::kOtbNOrec) {
+      return std::make_unique<OtbNOrecTx>(*norec_);
+    }
+    return std::make_unique<OtbTl2Tx>(*tl2_);
+  }
+
+  /// Run `fn(tx)` atomically; returns the number of aborted attempts.
+  template <typename Fn>
+  std::uint64_t atomically(OtbTx& tx, Fn&& fn) {
+    Backoff backoff;
+    std::uint64_t aborted = 0;
+    for (;;) {
+      tx.begin();
+      try {
+        fn(tx);
+        tx.commit();
+        tx.stats().commits += 1;
+        return aborted;
+      } catch (const TxAbort&) {
+        tx.rollback();
+        tx.stats().aborts += 1;
+        ++aborted;
+        backoff.pause();
+      }
+    }
+  }
+
+ private:
+  HostAlgo algo_;
+  std::unique_ptr<stm::NOrecGlobal> norec_;
+  std::unique_ptr<stm::Tl2Global> tl2_;
+};
+
+}  // namespace otb::integration

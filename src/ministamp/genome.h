@@ -1,0 +1,62 @@
+// mini-genome: segment deduplication into a transactional hash map followed
+// by overlap chaining — a mixed read/write workload with a ~50% commit
+// ratio, matching genome's Table 5.1 profile.
+#pragma once
+
+#include "common/rng.h"
+#include "ministamp/app.h"
+#include "stmds/stm_hashmap.h"
+
+namespace otb::ministamp {
+
+class GenomeApp final : public App {
+ public:
+  const char* name() const override { return "genome"; }
+
+  AppResult run(stm::Runtime& rt, unsigned threads) const override {
+    const unsigned scale = stamp_scale();
+    const std::size_t nsegments = 4096 * scale;
+    const std::size_t distinct = 1024 * scale;
+
+    std::vector<std::int64_t> segments(nsegments);
+    Xorshift rng{1234};
+    for (auto& s : segments) s = std::int64_t(rng.next_bounded(distinct));
+
+    stmds::StmHashMap table(512);
+    stm::TVar<std::int64_t> unique{0};
+
+    // Phase 1: deduplicate segments.
+    AppResult phase1 =
+        run_tasks(rt, threads, nsegments, [&](stm::TxThread& th, std::uint64_t i) {
+          rt.atomically(th, [&](stm::Tx& tx) {
+            if (table.put(tx, segments[i], 1)) {
+              tx.write(unique, tx.read(unique) + 1);
+            }
+          });
+        });
+
+    // Phase 2: chain segments whose successor value also occurs (the
+    // overlap-matching step, read-mostly).
+    stm::TVar<std::int64_t> chains{0};
+    AppResult phase2 =
+        run_tasks(rt, threads, distinct, [&](stm::TxThread& th, std::uint64_t v) {
+          rt.atomically(th, [&](stm::Tx& tx) {
+            std::int64_t dummy;
+            if (table.get(tx, std::int64_t(v), &dummy) &&
+                table.get(tx, std::int64_t((v + 1) % distinct), &dummy)) {
+              tx.write(chains, tx.read(chains) + 1);
+            }
+          });
+        });
+
+    AppResult out;
+    out.exec_ms = phase1.exec_ms + phase2.exec_ms;
+    out.stats = phase1.stats;
+    out.stats += phase2.stats;
+    out.checksum = std::uint64_t(unique.load_direct()) * 1000003 +
+                   std::uint64_t(chains.load_direct());
+    return out;
+  }
+};
+
+}  // namespace otb::ministamp

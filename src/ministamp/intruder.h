@@ -1,0 +1,63 @@
+// mini-intruder: network-packet flow reassembly — fragments of each flow
+// arrive interleaved; transactions update per-flow progress in a shared map
+// and flag "attack" flows once fully reassembled.  Short, conflict-prone
+// transactions, matching intruder's bursty Table 5.1 profile.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "ministamp/app.h"
+#include "stmds/stm_hashmap.h"
+#include "stmds/stm_list.h"
+
+namespace otb::ministamp {
+
+class IntruderApp final : public App {
+ public:
+  const char* name() const override { return "intruder"; }
+
+  AppResult run(stm::Runtime& rt, unsigned threads) const override {
+    const unsigned scale = stamp_scale();
+    const std::size_t nflows = 512 * scale;
+    constexpr unsigned kFragments = 4;
+    const std::size_t npackets = nflows * kFragments;
+
+    // Deterministically shuffled fragment arrival order.
+    std::vector<std::uint32_t> packet_flow(npackets);
+    for (std::size_t i = 0; i < npackets; ++i) {
+      packet_flow[i] = std::uint32_t(i % nflows);
+    }
+    Xorshift rng{2025};
+    for (std::size_t i = npackets; i-- > 1;) {
+      std::swap(packet_flow[i], packet_flow[rng.next_bounded(i + 1)]);
+    }
+
+    stmds::StmHashMap progress(512);
+    stmds::StmList detected;  // flows flagged as attacks
+    stm::TVar<std::int64_t> completed{0};
+
+    AppResult result =
+        run_tasks(rt, threads, npackets, [&](stm::TxThread& th, std::uint64_t i) {
+          const std::int64_t flow = packet_flow[i];
+          rt.atomically(th, [&](stm::Tx& tx) {
+            std::int64_t seen = 0;
+            progress.get(tx, flow, &seen);
+            ++seen;
+            progress.put(tx, flow, seen);
+            if (seen == kFragments) {
+              tx.write(completed, tx.read(completed) + 1);
+              if (flow % 7 == 0) {
+                detected.add(tx, flow);  // attack signature match
+              }
+            }
+          });
+        });
+
+    result.checksum = std::uint64_t(completed.load_direct()) * 100003 +
+                      detected.size_unsafe();
+    return result;
+  }
+};
+
+}  // namespace otb::ministamp

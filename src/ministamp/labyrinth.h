@@ -1,0 +1,70 @@
+// mini-labyrinth: route claiming on a shared grid — very long transactions
+// (tens of reads and writes each) but few of them, so the commit-time share
+// of total execution is ~0 and algorithms tie (Fig 5.10 labyrinth panel).
+//
+// Route success depends on interleaving, so the checksum is NOT
+// deterministic; tests verify structural invariants instead (every claimed
+// route fully owns its cells).
+#pragma once
+
+#include "common/rng.h"
+#include "ministamp/app.h"
+
+namespace otb::ministamp {
+
+class LabyrinthApp final : public App {
+ public:
+  const char* name() const override { return "labyrinth"; }
+  bool deterministic() const override { return false; }
+
+  static constexpr std::size_t kGrid = 48;
+
+  AppResult run(stm::Runtime& rt, unsigned threads) const override {
+    const unsigned scale = stamp_scale();
+    const std::size_t nroutes = 96 * scale;
+
+    stm::TArray<std::int64_t> grid(kGrid * kGrid, 0);
+    stm::TVar<std::int64_t> routed{0}, failed{0};
+
+    AppResult result =
+        run_tasks(rt, threads, nroutes, [&](stm::TxThread& th, std::uint64_t id) {
+          Xorshift rng{id * 40503 + 17};
+          const std::size_t sx = rng.next_bounded(kGrid);
+          const std::size_t sy = rng.next_bounded(kGrid);
+          const std::size_t dx = rng.next_bounded(kGrid);
+          const std::size_t dy = rng.next_bounded(kGrid);
+          rt.atomically(th, [&](stm::Tx& tx) {
+            // L-shaped route: walk x first, then y.  Read every cell; claim
+            // only if the whole path is free (grid-router transaction shape).
+            std::vector<std::size_t> path;
+            for (std::size_t x = std::min(sx, dx); x <= std::max(sx, dx); ++x) {
+              path.push_back(sy * kGrid + x);
+            }
+            for (std::size_t y = std::min(sy, dy); y <= std::max(sy, dy); ++y) {
+              path.push_back(y * kGrid + dx);
+            }
+            bool free = true;
+            for (const std::size_t cell : path) {
+              if (tx.read(grid[cell]) != 0) {
+                free = false;
+                break;
+              }
+            }
+            if (free) {
+              for (const std::size_t cell : path) {
+                tx.write(grid[cell], std::int64_t(id + 1));
+              }
+              tx.write(routed, tx.read(routed) + 1);
+            } else {
+              tx.write(failed, tx.read(failed) + 1);
+            }
+          });
+        });
+
+    result.checksum = std::uint64_t(routed.load_direct()) * 1000 +
+                      std::uint64_t(failed.load_direct());
+    return result;
+  }
+};
+
+}  // namespace otb::ministamp

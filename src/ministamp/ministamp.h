@@ -1,0 +1,27 @@
+// Registry of the mini-STAMP applications.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ministamp/genome.h"
+#include "ministamp/intruder.h"
+#include "ministamp/kmeans.h"
+#include "ministamp/labyrinth.h"
+#include "ministamp/ssca2.h"
+#include "ministamp/vacation.h"
+
+namespace otb::ministamp {
+
+inline std::vector<std::unique_ptr<App>> make_all_apps() {
+  std::vector<std::unique_ptr<App>> apps;
+  apps.push_back(std::make_unique<GenomeApp>());
+  apps.push_back(std::make_unique<IntruderApp>());
+  apps.push_back(std::make_unique<KMeansApp>());
+  apps.push_back(std::make_unique<LabyrinthApp>());
+  apps.push_back(std::make_unique<Ssca2App>());
+  apps.push_back(std::make_unique<VacationApp>());
+  return apps;
+}
+
+}  // namespace otb::ministamp

@@ -1,0 +1,57 @@
+// mini-ssca2: graph kernel building adjacency structure with tiny write-only
+// transactions — the highest commit-time ratio in Table 5.1 (83–95%), which
+// is where RTC/RInval shine.
+#pragma once
+
+#include "common/rng.h"
+#include "ministamp/app.h"
+
+namespace otb::ministamp {
+
+class Ssca2App final : public App {
+ public:
+  const char* name() const override { return "ssca2"; }
+
+  AppResult run(stm::Runtime& rt, unsigned threads) const override {
+    const unsigned scale = stamp_scale();
+    const std::size_t nnodes = 2048 * scale;
+    const std::size_t nedges = nnodes * 4;
+    constexpr std::size_t kBatch = 2;
+
+    // Deterministic edge list.
+    std::vector<std::uint32_t> from(nedges), to(nedges);
+    Xorshift rng{7};
+    for (std::size_t e = 0; e < nedges; ++e) {
+      from[e] = std::uint32_t(rng.next_bounded(nnodes));
+      to[e] = std::uint32_t(rng.next_bounded(nnodes));
+    }
+
+    stm::TArray<std::int64_t> degree(nnodes, 0);
+    stm::TArray<std::int64_t> weight(nnodes, 0);
+
+    const std::uint64_t batches = (nedges + kBatch - 1) / kBatch;
+    AppResult result = run_tasks(rt, threads, batches, [&](stm::TxThread& th,
+                                                           std::uint64_t task) {
+      const std::size_t begin = std::size_t(task) * kBatch;
+      const std::size_t end = std::min(begin + kBatch, nedges);
+      rt.atomically(th, [&](stm::Tx& tx) {
+        for (std::size_t e = begin; e < end; ++e) {
+          tx.write(degree[from[e]], tx.read(degree[from[e]]) + 1);
+          tx.write(degree[to[e]], tx.read(degree[to[e]]) + 1);
+          tx.write(weight[from[e]],
+                   tx.read(weight[from[e]]) + std::int64_t(e % 17));
+        }
+      });
+    });
+
+    std::uint64_t sum = 0;
+    for (std::size_t n = 0; n < nnodes; ++n) {
+      sum += std::uint64_t(degree[n].load_direct()) * (n + 1) +
+             std::uint64_t(weight[n].load_direct());
+    }
+    result.checksum = sum;
+    return result;
+  }
+};
+
+}  // namespace otb::ministamp

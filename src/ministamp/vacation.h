@@ -1,0 +1,68 @@
+// mini-vacation: travel reservations against three resource tables held in
+// transactional red-black trees — mid-size transactions with low commit
+// ratio at few threads that grows with contention, as in Table 5.1.
+#pragma once
+
+#include "common/rng.h"
+#include "ministamp/app.h"
+#include "stmds/stm_rbtree.h"
+
+namespace otb::ministamp {
+
+class VacationApp final : public App {
+ public:
+  const char* name() const override { return "vacation"; }
+
+  AppResult run(stm::Runtime& rt, unsigned threads) const override {
+    const unsigned scale = stamp_scale();
+    const std::size_t nresources = 256 * scale;
+    const std::size_t ntasks = 2048 * scale;
+
+    // Three relation trees (cars/flights/rooms) and per-resource capacity.
+    stmds::StmRbTree tables[3];
+    stm::TArray<std::int64_t> capacity(nresources * 3, 8 * std::int64_t(ntasks));
+    for (unsigned r = 0; r < 3; ++r) {
+      for (std::size_t i = 0; i < nresources; ++i) {
+        tables[r].add_seq(std::int64_t(i));
+      }
+    }
+    stm::TVar<std::int64_t> booked{0};
+
+    AppResult result =
+        run_tasks(rt, threads, ntasks, [&](stm::TxThread& th, std::uint64_t task) {
+          rt.atomically(th, [&](stm::Tx& tx) {
+            // Seeded inside the transaction body: retries replay the exact
+            // same reservation request.
+            Xorshift pick{task * 2654435761u + 99};
+            std::int64_t reserved = 0;
+            const unsigned kinds = 1 + unsigned(pick.next_bounded(3));
+            for (unsigned k = 0; k < kinds; ++k) {
+              const unsigned kind = unsigned(pick.next_bounded(3));
+              const std::size_t res = std::size_t(pick.next_bounded(nresources));
+              // Query the relation tree (read traversal), then decrement the
+              // resource capacity (write).
+              if (tables[kind].contains(tx, std::int64_t(res))) {
+                auto& cap = capacity[kind * nresources + res];
+                const std::int64_t c = tx.read(cap);
+                if (c > 0) {
+                  tx.write(cap, c - 1);
+                  ++reserved;
+                }
+              }
+            }
+            if (reserved > 0) {
+              tx.write(booked, tx.read(booked) + reserved);
+            }
+          });
+        });
+
+    std::uint64_t cap_sum = 0;
+    for (std::size_t i = 0; i < nresources * 3; ++i) {
+      cap_sum += std::uint64_t(capacity[i].load_direct());
+    }
+    result.checksum = cap_sum * 31 + std::uint64_t(booked.load_direct());
+    return result;
+  }
+};
+
+}  // namespace otb::ministamp

@@ -1,0 +1,145 @@
+// OTB with a simulated-HTM commit phase (§7.1.1: "OTB can be significantly
+// enhanced if the monitored commit part is executed inside HTM blocks
+// instead of being executed using software lock-based mechanisms"; the
+// traversal stays outside any speculation, as the paper requires).
+//
+// Simulation model (no TSX on this host — DESIGN.md substitution): the
+// hardware commit is a *lock-elision* window on a global commit clock —
+//   * the fast path takes the window, commit-validates the semantic
+//     read-sets and publishes WITHOUT acquiring any per-node semantic lock
+//     (that is the saving hardware transactions buy);
+//   * capacity (total deferred writes) and simulated spurious aborts send
+//     the transaction to the software fallback, which commits with the
+//     ordinary fine-grained semantic 2PL — under the same window, so the
+//     two paths compose;
+//   * readers subscribe to the commit clock during post-validation, which
+//     models hardware transactions being killed by a committer's cache-line
+//     invalidations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/epoch.h"
+#include "common/rng.h"
+#include "common/spinlock.h"
+#include "common/tx_abort.h"
+#include "otb/otb_ds.h"
+
+namespace otb::tx {
+
+struct HtmCommitStats {
+  std::atomic<std::uint64_t> htm_commits{0};
+  std::atomic<std::uint64_t> fallback_commits{0};
+  std::atomic<std::uint64_t> htm_aborts{0};
+};
+
+class HtmCommitRuntime {
+ public:
+  /// Maximum deferred writes the simulated hardware buffer holds.
+  static constexpr std::size_t kWriteCapacity = 16;
+  static constexpr unsigned kHtmRetries = 4;
+  static constexpr std::uint64_t kSpuriousPeriod = 10000;
+
+  class Transaction final : public TxHost {
+   public:
+    explicit Transaction(HtmCommitRuntime& rt) : rt_(rt) {}
+
+    /// Post-validation subscribes to the commit clock: a fast-path commit
+    /// takes no semantic locks, so the clock is the only way a reader can
+    /// notice it (the cache-invalidation analogue).
+    void on_operation_validate() override {
+      for (;;) {
+        const std::uint64_t s = rt_.clock_.wait_even();
+        if (!validate_attached(/*check_locks=*/true)) throw TxAbort{};
+        if (rt_.clock_.load() == s) return;
+      }
+    }
+
+    void commit() {
+      if (!any_attached_writes()) return;  // read-only
+      // --- hardware attempts -------------------------------------------
+      if (attached_write_count() <= kWriteCapacity) {
+        for (unsigned attempt = 0; attempt < kHtmRetries; ++attempt) {
+          if (spurious_due()) {
+            rt_.stats_.htm_aborts.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const std::uint64_t even = rt_.clock_.load();
+          if ((even & 1) != 0 || !rt_.clock_.try_acquire(even)) {
+            rt_.stats_.htm_aborts.fetch_add(1, std::memory_order_relaxed);
+            continue;  // busy window = immediate conflict abort
+          }
+          // Inside the "hardware" window: no semantic locks (use_locks =
+          // false).  Every committer — fast path or fallback — holds this
+          // window, so commit-validation runs against quiescent state.
+          // (Structures driven by this runtime must not simultaneously be
+          // committed through the plain tx::atomically runtime.)
+          if (!pre_commit_attached(/*use_locks=*/false)) {
+            rt_.clock_.release();
+            throw TxAbort{};
+          }
+          on_commit_attached();
+          post_commit_attached();
+          rt_.clock_.release();
+          rt_.stats_.htm_commits.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      // --- software fallback: fine-grained semantic 2PL under the same
+      // window (the paper's lock-based commit). ---------------------------
+      std::uint64_t even = rt_.clock_.wait_even();
+      while (!rt_.clock_.try_acquire(even)) even = rt_.clock_.wait_even();
+      if (!pre_commit_attached(/*use_locks=*/true)) {
+        rt_.clock_.release();
+        throw TxAbort{};
+      }
+      on_commit_attached();
+      post_commit_attached();
+      rt_.clock_.release();
+      rt_.stats_.fallback_commits.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void abandon() {
+      on_abort_attached();
+      clear_attached();
+    }
+
+   private:
+    bool spurious_due() {
+      thread_local Xorshift rng{0xbeef ^ reinterpret_cast<std::uintptr_t>(this)};
+      return rng.next_bounded(kSpuriousPeriod) == 0;
+    }
+
+    HtmCommitRuntime& rt_;
+    ebr::Guard epoch_guard_;
+  };
+
+  /// Run `fn(tx)` atomically with the HTM-commit protocol.
+  template <typename Fn>
+  std::uint64_t atomically(Fn&& fn) {
+    Backoff backoff;
+    std::uint64_t aborts = 0;
+    for (;;) {
+      Transaction tx(*this);
+      try {
+        fn(tx);
+        tx.commit();
+        return aborts;
+      } catch (const TxAbort&) {
+        tx.abandon();
+        ++aborts;
+        backoff.pause();
+      }
+    }
+  }
+
+  const HtmCommitStats& stats() const { return stats_; }
+
+ private:
+  friend class Transaction;
+  SeqLock clock_;
+  HtmCommitStats stats_;
+};
+
+}  // namespace otb::tx

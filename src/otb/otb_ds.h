@@ -1,0 +1,145 @@
+// The OTB data-structure interface (DESIGN.md item #23's "OTB-DS").
+//
+// Every optimistically boosted structure exposes the five sub-routines the
+// paper's framework extension defines (§4.1.2): validation with and without
+// semantic-lock checks, and the preCommit / onCommit / postCommit commit
+// protocol (plus onAbort).  A structure keeps **no** per-transaction state
+// of its own; all semantic read/write sets live in a per-transaction
+// descriptor owned by the hosting transaction (`TxHost`), which may be the
+// standalone OTB runtime (§3) or an OTB-aware STM context (§4).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/tx_abort.h"
+
+namespace otb::tx {
+
+/// Base class of per-transaction, per-structure descriptors (semantic
+/// read-set + semantic write-set/redo-log).
+struct OtbDsDesc {
+  virtual ~OtbDsDesc() = default;
+};
+
+/// Interface every boosted data structure implements so a transaction host
+/// can drive its validation/commit protocol generically.
+class OtbDs {
+ public:
+  virtual ~OtbDs() = default;
+
+  /// Fresh, empty descriptor for a new transaction.
+  virtual std::unique_ptr<OtbDsDesc> make_desc() const = 0;
+
+  /// Semantic validation of the descriptor's read-set.  With
+  /// `check_locks` the semantic locks are snapshotted before and re-checked
+  /// after (post-validation during execution); without, only values are
+  /// checked (commit-time validation while the locks are held, or hosts
+  /// whose global lock subsumes semantic locks — OTB-NOrec, §4.2.2).
+  virtual bool validate(const OtbDsDesc& desc, bool check_locks) const = 0;
+
+  /// Acquire semantic locks (when `use_locks`) and run commit-time
+  /// validation.  Returns false on failure; the caller must then invoke
+  /// on_abort() on every attached structure.
+  virtual bool pre_commit(OtbDsDesc& desc, bool use_locks) = 0;
+
+  /// Publish the semantic write-set to the shared structure.
+  virtual void on_commit(OtbDsDesc& desc) = 0;
+
+  /// Release semantic locks acquired by pre_commit.
+  virtual void post_commit(OtbDsDesc& desc) = 0;
+
+  /// Release any locks still held after a failed pre_commit / host abort.
+  virtual void on_abort(OtbDsDesc& desc) = 0;
+
+  /// Whether the descriptor carries deferred writes — hosts use this to keep
+  /// read-only transactions on their lock-free commit path.
+  virtual bool has_writes(const OtbDsDesc& desc) const = 0;
+
+  /// Number of deferred write operations (used by the simulated-HTM commit
+  /// path to model capacity limits).
+  virtual std::size_t write_count(const OtbDsDesc& desc) const {
+    return has_writes(desc) ? 1 : 0;
+  }
+};
+
+/// A transaction host: owns the per-structure descriptors and decides how
+/// operation post-validation composes with its own state (memory read-sets
+/// for STM hosts, nothing extra for the standalone runtime).
+class TxHost {
+ public:
+  virtual ~TxHost() = default;
+
+  /// Descriptor for `ds`, attaching the structure on first use (§4.1.2
+  /// "attachSet").
+  OtbDsDesc& descriptor(OtbDs& ds) {
+    for (auto& [attached, desc] : attached_) {
+      if (attached == &ds) return *desc;
+    }
+    attached_.emplace_back(&ds, ds.make_desc());
+    return *attached_.back().second;
+  }
+
+  /// Post-validation hook run after every boosted operation (§4.1.2
+  /// "onOperationValidate").  Throws TxAbort on failure.
+  virtual void on_operation_validate() = 0;
+
+  const std::vector<std::pair<OtbDs*, std::unique_ptr<OtbDsDesc>>>& attached() const {
+    return attached_;
+  }
+
+ protected:
+  /// Validate every attached structure (helper for hosts).
+  bool validate_attached(bool check_locks) const {
+    for (const auto& [ds, desc] : attached_) {
+      if (!ds->validate(*desc, check_locks)) return false;
+    }
+    return true;
+  }
+
+  /// pre_commit every structure; on failure, roll back the ones already
+  /// locked and report false.
+  bool pre_commit_attached(bool use_locks) {
+    for (std::size_t i = 0; i < attached_.size(); ++i) {
+      if (!attached_[i].first->pre_commit(*attached_[i].second, use_locks)) {
+        for (std::size_t j = 0; j <= i; ++j) {
+          attached_[j].first->on_abort(*attached_[j].second);
+        }
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void on_commit_attached() {
+    for (auto& [ds, desc] : attached_) ds->on_commit(*desc);
+  }
+
+  void post_commit_attached() {
+    for (auto& [ds, desc] : attached_) ds->post_commit(*desc);
+  }
+
+  void on_abort_attached() {
+    for (auto& [ds, desc] : attached_) ds->on_abort(*desc);
+  }
+
+  void clear_attached() { attached_.clear(); }
+
+  bool any_attached_writes() const {
+    for (const auto& [ds, desc] : attached_) {
+      if (ds->has_writes(*desc)) return true;
+    }
+    return false;
+  }
+
+  std::size_t attached_write_count() const {
+    std::size_t n = 0;
+    for (const auto& [ds, desc] : attached_) n += ds->write_count(*desc);
+    return n;
+  }
+
+  std::vector<std::pair<OtbDs*, std::unique_ptr<OtbDsDesc>>> attached_;
+};
+
+}  // namespace otb::tx

@@ -1,0 +1,175 @@
+// Semi-optimistic OTB heap-based priority queue (§3.2.2, Algorithm 5).
+//
+// The paper's three optimisations over pessimistic boosting:
+//   (i)  add operations are buffered in a local semantic redo-log and only
+//        published once the transaction's first removeMin/min forces the
+//        single global lock (or at commit when the transaction is add-only);
+//   (ii) no semantic undo-log or inverse operations are needed for the
+//        deferred adds — nothing touched shared state yet;
+//   (iii) the underlying heap is the *sequential* binary heap: a thread only
+//        reaches it while holding the global lock, so the queue needs no
+//        thread-level synchronisation of its own.
+//
+// "Semi"-optimistic: removeMin/min still acquire the global lock eagerly,
+// which is why the skip-list variant (otb_skiplist_pq.h) exists.  To stay
+// composable with other boosted structures in one transaction we do keep a
+// minimal undo-log for the operations executed *while the lock is held*;
+// single-structure transactions never roll it back (the lock holder cannot
+// be invalidated), matching the paper's claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cds/binary_heap.h"
+#include "common/spinlock.h"
+#include "otb/otb_ds.h"
+
+namespace otb::tx {
+
+class OtbHeapPQ final : public OtbDs {
+ public:
+  using Key = cds::BinaryHeap::Key;
+
+  // ---- transactional operations -----------------------------------------
+
+  void add(TxHost& tx, Key key) {
+    Desc& desc = static_cast<Desc&>(tx.descriptor(*this));
+    if (desc.holds_lock) {
+      heap_.add(key);
+      desc.eager_adds.push_back(key);
+    } else {
+      desc.redo_log.push_back(key);  // deferred until the lock is forced
+    }
+  }
+
+  /// Remove the minimum; false when the queue is empty.
+  bool remove_min(TxHost& tx, Key* out) {
+    Desc& desc = static_cast<Desc&>(tx.descriptor(*this));
+    force_lock(desc);
+    if (heap_.empty()) return false;
+    *out = heap_.remove_min();
+    desc.eager_removes.push_back(*out);
+    return true;
+  }
+
+  /// Read the minimum; false when empty.
+  bool min(TxHost& tx, Key* out) {
+    Desc& desc = static_cast<Desc&>(tx.descriptor(*this));
+    force_lock(desc);
+    if (heap_.empty()) return false;
+    *out = heap_.min();
+    return true;
+  }
+
+  std::size_t size_unsafe() const { return heap_.size(); }
+  void add_seq(Key key) { heap_.add(key); }
+
+  // ---- OTB-DS protocol ----------------------------------------------------
+
+  std::unique_ptr<OtbDsDesc> make_desc() const override {
+    return std::make_unique<Desc>();
+  }
+
+  /// The lock subsumes all conflicts; deferred adds are invisible — nothing
+  /// can invalidate this structure's view.
+  bool validate(const OtbDsDesc&, bool) const override { return true; }
+
+  bool pre_commit(OtbDsDesc& base, bool) override {
+    Desc& desc = static_cast<Desc&>(base);
+    if (desc.redo_log.empty() && !desc.holds_lock) return true;  // read nothing
+    if (!desc.holds_lock) {
+      // Add-only transaction: take the lock just to publish (bounded, so a
+      // multi-structure commit cannot deadlock through us).
+      Backoff bo;
+      for (int attempts = 0; !lock_.try_lock(); ++attempts) {
+        if (attempts > kCommitLockAttempts) return false;
+        bo.pause();
+      }
+      desc.holds_lock = true;
+    }
+    publish_redo(desc);
+    return true;
+  }
+
+  void on_commit(OtbDsDesc&) override {}  // everything already applied
+
+  void post_commit(OtbDsDesc& base) override {
+    Desc& desc = static_cast<Desc&>(base);
+    if (desc.holds_lock) {
+      lock_.unlock();
+      desc.holds_lock = false;
+    }
+    desc.eager_adds.clear();
+    desc.eager_removes.clear();
+    desc.redo_log.clear();
+  }
+
+  void on_abort(OtbDsDesc& base) override {
+    Desc& desc = static_cast<Desc&>(base);
+    if (desc.holds_lock) {
+      // Roll back eager effects (only possible when another structure in the
+      // same transaction failed its commit).
+      for (const Key k : desc.eager_removes) heap_.add(k);
+      for (const Key k : desc.eager_adds) remove_one(k);
+      lock_.unlock();
+      desc.holds_lock = false;
+    }
+    desc.eager_adds.clear();
+    desc.eager_removes.clear();
+    desc.redo_log.clear();
+  }
+
+  bool has_writes(const OtbDsDesc& base) const override {
+    const Desc& desc = static_cast<const Desc&>(base);
+    return desc.holds_lock || !desc.redo_log.empty();
+  }
+
+ private:
+  static constexpr int kCommitLockAttempts = 1 << 16;
+
+  struct Desc final : OtbDsDesc {
+    std::vector<Key> redo_log;       // deferred adds (lock not yet held)
+    std::vector<Key> eager_adds;     // applied under the lock (for undo)
+    std::vector<Key> eager_removes;  // removed mins under the lock (for undo)
+    bool holds_lock = false;
+  };
+
+  /// First removeMin/min: take the global lock and publish deferred adds.
+  /// Blocking here is deadlock-free — a lock holder never waits on another
+  /// in-flight transaction during its execution phase.
+  void force_lock(Desc& desc) {
+    if (desc.holds_lock) return;
+    lock_.lock();
+    desc.holds_lock = true;
+    publish_redo(desc);
+  }
+
+  void publish_redo(Desc& desc) {
+    for (const Key k : desc.redo_log) {
+      heap_.add(k);
+      desc.eager_adds.push_back(k);
+    }
+    desc.redo_log.clear();
+  }
+
+  /// O(n) removal of one instance of `k` (abort path only).
+  void remove_one(Key k) {
+    cds::BinaryHeap rebuilt;
+    bool skipped = false;
+    while (!heap_.empty()) {
+      const Key v = heap_.remove_min();
+      if (!skipped && v == k) {
+        skipped = true;
+        continue;
+      }
+      rebuilt.add(v);
+    }
+    heap_ = rebuilt;
+  }
+
+  SpinLock lock_;
+  cds::BinaryHeap heap_;
+};
+
+}  // namespace otb::tx

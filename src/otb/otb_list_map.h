@@ -1,0 +1,381 @@
+// OTB-Map — one of the paper's proposed post-prelim extensions ("More OTB
+// Data Structures", §7.1.2), built with the same three-step OTB protocol as
+// the linked-list set.
+//
+// Nodes are immutable (key, value) pairs, so a `put` over an existing key
+// is a *node replacement* at commit (unlink the old node, insert a fresh
+// one).  That choice keeps the set's validation rules sound unchanged: a
+// `get` pins only "this node is still unmarked", and any concurrent value
+// change marks the node, invalidating the reader — no per-node version
+// counters are needed.
+//
+// Local write-set state machine per key (at most one entry):
+//     put  on Insert  -> Insert (new value)        returns false
+//     put  on Replace -> Replace (new value)       returns false
+//     put  on Erase   -> Replace                   returns true
+//     erase on Insert -> entry eliminated          returns true
+//     erase on Replace-> Erase                     returns true
+//     erase on Erase  -> no-op                     returns false
+// (`put` returns true iff the key was absent, insert-or-assign style.)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/spinlock.h"
+#include "otb/otb_ds.h"
+
+namespace otb::tx {
+
+class OtbListMap final : public OtbDs {
+ public:
+  using Key = std::int64_t;
+  using Value = std::int64_t;
+
+  OtbListMap() {
+    head_ = new Node(std::numeric_limits<Key>::min(), 0);
+    tail_ = new Node(std::numeric_limits<Key>::max(), 0);
+    head_->next.store(tail_, std::memory_order_release);
+  }
+
+  ~OtbListMap() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  OtbListMap(const OtbListMap&) = delete;
+  OtbListMap& operator=(const OtbListMap&) = delete;
+
+  // ---- transactional operations -----------------------------------------
+
+  /// Insert-or-assign; true iff the key was newly inserted.
+  bool put(TxHost& tx, Key key, Value value) {
+    Desc& desc = this->desc(tx);
+    if (WriteEntry* w = find_local(desc, key)) {
+      switch (w->op) {
+        case Op::kInsert:
+        case Op::kReplace:
+          w->value = value;
+          return false;
+        case Op::kErase:
+          w->op = Op::kReplace;
+          w->value = value;
+          return true;
+      }
+    }
+    auto [pred, curr, found] = traverse(tx, desc, key);
+    // Both outcomes modify links at commit, so both need the full
+    // structural rule (pred -> curr intact), never the relaxed one.
+    desc.reads.push_back({pred, curr, ReadKind::kStructural});
+    desc.writes.push_back(
+        {pred, curr, found ? Op::kReplace : Op::kInsert, key, value});
+    tx.on_operation_validate();
+    return !found;
+  }
+
+  /// Remove; false when absent.
+  bool erase(TxHost& tx, Key key) {
+    Desc& desc = this->desc(tx);
+    if (WriteEntry* w = find_local(desc, key)) {
+      switch (w->op) {
+        case Op::kInsert:
+          erase_local(desc, key);  // elimination; read entries stay
+          return true;
+        case Op::kReplace:
+          w->op = Op::kErase;
+          return true;
+        case Op::kErase:
+          return false;
+      }
+    }
+    auto [pred, curr, found] = traverse(tx, desc, key);
+    if (!found) {
+      desc.reads.push_back({pred, curr, ReadKind::kStructural});
+      tx.on_operation_validate();
+      return false;
+    }
+    desc.reads.push_back({pred, curr, ReadKind::kStructural});
+    desc.writes.push_back({pred, curr, Op::kErase, key, 0});
+    tx.on_operation_validate();
+    return true;
+  }
+
+  /// Lookup; false when absent.  Never acquires locks.
+  bool get(TxHost& tx, Key key, Value* out) {
+    Desc& desc = this->desc(tx);
+    if (const WriteEntry* w = find_local(desc, key)) {
+      if (w->op == Op::kErase) return false;
+      *out = w->value;
+      return true;
+    }
+    auto [pred, curr, found] = traverse(tx, desc, key);
+    if (found) {
+      desc.reads.push_back({pred, curr, ReadKind::kPresent});
+      *out = curr->value;
+    } else {
+      desc.reads.push_back({pred, curr, ReadKind::kStructural});
+    }
+    tx.on_operation_validate();
+    return found;
+  }
+
+  bool contains(TxHost& tx, Key key) {
+    Value ignored;
+    return get(tx, key, &ignored);
+  }
+
+  // ---- non-transactional helpers -----------------------------------------
+
+  bool put_seq(Key key, Value value) {
+    auto [pred, curr] = locate(key);
+    if (curr->key == key) {
+      Node* node = new Node(key, value);
+      node->next.store(curr->next.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      curr->marked.store(true, std::memory_order_relaxed);
+      pred->next.store(node, std::memory_order_release);
+      delete curr;
+      return false;
+    }
+    Node* node = new Node(key, value);
+    node->next.store(curr, std::memory_order_relaxed);
+    pred->next.store(node, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size_unsafe() const {
+    std::size_t n = 0;
+    for (const Node* c = head_->next.load(std::memory_order_acquire); c != tail_;
+         c = c->next.load(std::memory_order_acquire)) {
+      if (!c->marked.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+
+  std::vector<std::pair<Key, Value>> snapshot_unsafe() const {
+    std::vector<std::pair<Key, Value>> out;
+    for (const Node* c = head_->next.load(std::memory_order_acquire); c != tail_;
+         c = c->next.load(std::memory_order_acquire)) {
+      if (!c->marked.load(std::memory_order_acquire)) {
+        out.emplace_back(c->key, c->value);
+      }
+    }
+    return out;
+  }
+
+  // ---- OTB-DS protocol ----------------------------------------------------
+
+  std::unique_ptr<OtbDsDesc> make_desc() const override {
+    return std::make_unique<Desc>();
+  }
+
+  bool validate(const OtbDsDesc& base, bool check_locks) const override {
+    const Desc& desc = static_cast<const Desc&>(base);
+    std::vector<std::uint64_t> snaps;
+    if (check_locks) {
+      snaps.reserve(desc.reads.size() * 2);
+      for (const ReadEntry& e : desc.reads) {
+        const std::uint64_t p = e.pred->lock.load();
+        const std::uint64_t c = e.curr->lock.load();
+        if (VersionedLock::is_locked(p) || VersionedLock::is_locked(c)) return false;
+        snaps.push_back(p);
+        snaps.push_back(c);
+      }
+    }
+    for (const ReadEntry& e : desc.reads) {
+      if (!validate_entry(e)) return false;
+    }
+    if (check_locks) {
+      std::size_t i = 0;
+      for (const ReadEntry& e : desc.reads) {
+        if (e.pred->lock.load() != snaps[i++]) return false;
+        if (e.curr->lock.load() != snaps[i++]) return false;
+      }
+    }
+    return true;
+  }
+
+  bool pre_commit(OtbDsDesc& base, bool use_locks) override {
+    Desc& desc = static_cast<Desc&>(base);
+    if (desc.writes.empty()) return true;
+    std::sort(desc.writes.begin(), desc.writes.end(),
+              [](const WriteEntry& a, const WriteEntry& b) { return a.key > b.key; });
+    if (use_locks) {
+      auto lock_one = [&](Node* n) -> bool {
+        for (Node* held : desc.locked) {
+          if (held == n) return true;
+        }
+        if (!n->lock.try_lock()) return false;
+        desc.locked.push_back(n);
+        return true;
+      };
+      for (const WriteEntry& e : desc.writes) {
+        if (!lock_one(e.pred)) return false;
+        if (e.op != Op::kInsert && !lock_one(e.curr)) return false;
+      }
+    }
+    return validate(desc, /*check_locks=*/false);
+  }
+
+  void on_commit(OtbDsDesc& base) override {
+    Desc& desc = static_cast<Desc&>(base);
+    ebr::Guard guard;
+    for (const WriteEntry& e : desc.writes) {
+      Node* pred = e.pred;
+      Node* curr = pred->next.load(std::memory_order_acquire);
+      while (curr->key < e.key) {
+        pred = curr;
+        curr = pred->next.load(std::memory_order_acquire);
+      }
+      switch (e.op) {
+        case Op::kInsert: {
+          Node* node = new Node(e.key, e.value);
+          node->lock.try_lock();
+          desc.locked.push_back(node);
+          node->next.store(curr, std::memory_order_relaxed);
+          pred->next.store(node, std::memory_order_release);
+          break;
+        }
+        case Op::kReplace: {
+          Node* node = new Node(e.key, e.value);
+          node->lock.try_lock();
+          desc.locked.push_back(node);
+          curr->marked.store(true, std::memory_order_release);
+          node->next.store(curr->next.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+          pred->next.store(node, std::memory_order_release);
+          ebr::retire(curr);
+          break;
+        }
+        case Op::kErase: {
+          curr->marked.store(true, std::memory_order_release);
+          pred->next.store(curr->next.load(std::memory_order_relaxed),
+                           std::memory_order_release);
+          ebr::retire(curr);
+          break;
+        }
+      }
+    }
+  }
+
+  void post_commit(OtbDsDesc& base) override {
+    Desc& desc = static_cast<Desc&>(base);
+    for (Node* n : desc.locked) n->lock.unlock_new_version();
+    desc.locked.clear();
+  }
+
+  void on_abort(OtbDsDesc& base) override {
+    Desc& desc = static_cast<Desc&>(base);
+    for (Node* n : desc.locked) n->lock.unlock_same_version();
+    desc.locked.clear();
+  }
+
+  bool has_writes(const OtbDsDesc& base) const override {
+    return !static_cast<const Desc&>(base).writes.empty();
+  }
+
+  std::size_t write_count(const OtbDsDesc& base) const override {
+    return static_cast<const Desc&>(base).writes.size();
+  }
+
+ private:
+  enum class Op : std::uint8_t { kInsert, kReplace, kErase };
+
+  /// kPresent: the found node must merely stay unmarked (optimised rule).
+  /// kStructural: the (pred -> curr) link must be intact and both unmarked.
+  enum class ReadKind : std::uint8_t { kPresent, kStructural };
+
+  struct Node {
+    Node(Key k, Value v) : key(k), value(v) {}
+    const Key key;
+    const Value value;
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> marked{false};
+    VersionedLock lock;
+  };
+
+  struct ReadEntry {
+    Node* pred;
+    Node* curr;
+    ReadKind kind;
+  };
+
+  struct WriteEntry {
+    Node* pred;
+    Node* curr;  // victim for kReplace / kErase
+    Op op;
+    Key key;
+    Value value;
+  };
+
+  struct Desc final : OtbDsDesc {
+    std::vector<ReadEntry> reads;
+    std::vector<WriteEntry> writes;
+    std::vector<Node*> locked;
+  };
+
+  Desc& desc(TxHost& tx) { return static_cast<Desc&>(tx.descriptor(*this)); }
+
+  bool validate_entry(const ReadEntry& e) const {
+    const bool curr_live = !e.curr->marked.load(std::memory_order_acquire);
+    if (e.kind == ReadKind::kPresent) return curr_live;
+    return curr_live && !e.pred->marked.load(std::memory_order_acquire) &&
+           e.pred->next.load(std::memory_order_acquire) == e.curr;
+  }
+
+  /// Unmonitored traversal with mid-removal re-runs (as in the set).
+  std::tuple<Node*, Node*, bool> traverse(TxHost& tx, Desc&, Key key) {
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      if (!pred->marked.load(std::memory_order_acquire) &&
+          !curr->marked.load(std::memory_order_acquire)) {
+        return {pred, curr, curr->key == key};
+      }
+      tx.on_operation_validate();
+    }
+  }
+
+  WriteEntry* find_local(Desc& desc, Key key) {
+    for (WriteEntry& w : desc.writes) {
+      if (w.key == key) return &w;
+    }
+    return nullptr;
+  }
+  const WriteEntry* find_local(const Desc& desc, Key key) const {
+    for (const WriteEntry& w : desc.writes) {
+      if (w.key == key) return &w;
+    }
+    return nullptr;
+  }
+
+  void erase_local(Desc& desc, Key key) {
+    for (auto it = desc.writes.begin(); it != desc.writes.end(); ++it) {
+      if (it->key == key) {
+        desc.writes.erase(it);
+        return;
+      }
+    }
+  }
+
+  std::pair<Node*, Node*> locate(Key key) const {
+    Node* pred = head_;
+    Node* curr = pred->next.load(std::memory_order_acquire);
+    while (curr->key < key) {
+      pred = curr;
+      curr = pred->next.load(std::memory_order_acquire);
+    }
+    return {pred, curr};
+  }
+
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace otb::tx

@@ -1,0 +1,346 @@
+// OTB-Set over a lazy linked list — the paper's primary contribution
+// (§3.2.1, Algorithms 1–3).
+//
+// Operations are split into the three OTB steps:
+//   1. unmonitored traversal (identical to the lazy list, no logging of
+//      traversed nodes — this is what removes STM false conflicts),
+//   2. post-validation of the semantic read-set after every operation
+//      (opacity), and
+//   3. commit: semantic two-phase locking over only the involved nodes,
+//      commit-time validation, then publication of the semantic write-set
+//      in descending key order (§3.2.1's three commit guidelines, Fig 3.2).
+//
+// Structure-specific optimisations from the paper:
+//   * contains() and unsuccessful add/remove acquire no locks, ever;
+//   * successful contains / unsuccessful add validate only !curr.marked;
+//   * add/remove pairs on the same key eliminate each other locally,
+//     leaving their read-set entries behind (isolation is preserved);
+//   * inserted nodes stay locked until the whole commit finishes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/spinlock.h"
+#include "otb/otb_ds.h"
+
+namespace otb::tx {
+
+class OtbListSet final : public OtbDs {
+ public:
+  using Key = std::int64_t;
+
+  OtbListSet() {
+    head_ = new Node(std::numeric_limits<Key>::min());
+    tail_ = new Node(std::numeric_limits<Key>::max());
+    head_->next.store(tail_, std::memory_order_release);
+  }
+
+  ~OtbListSet() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  OtbListSet(const OtbListSet&) = delete;
+  OtbListSet& operator=(const OtbListSet&) = delete;
+
+  // ---- transactional operations -----------------------------------------
+
+  /// Transactional insert; false when the key is already present (which the
+  /// paper treats as a read-only outcome — no semantic lock at commit).
+  bool add(TxHost& tx, Key key) { return operation(tx, Op::kAdd, key); }
+
+  /// Transactional remove; false when absent.
+  bool remove(TxHost& tx, Key key) { return operation(tx, Op::kRemove, key); }
+
+  /// Transactional membership test; never acquires locks.
+  bool contains(TxHost& tx, Key key) { return operation(tx, Op::kContains, key); }
+
+  // ---- non-transactional helpers (setup / verification) -----------------
+
+  /// Sequential insert used to seed benchmarks; not thread-safe.
+  bool add_seq(Key key) {
+    auto [pred, curr] = locate(key);
+    if (curr->key == key) return false;
+    Node* node = new Node(key);
+    node->next.store(curr, std::memory_order_relaxed);
+    pred->next.store(node, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size_unsafe() const {
+    std::size_t n = 0;
+    for (const Node* c = head_->next.load(std::memory_order_acquire); c != tail_;
+         c = c->next.load(std::memory_order_acquire)) {
+      if (!c->marked.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+
+  std::vector<Key> snapshot_unsafe() const {
+    std::vector<Key> out;
+    for (const Node* c = head_->next.load(std::memory_order_acquire); c != tail_;
+         c = c->next.load(std::memory_order_acquire)) {
+      if (!c->marked.load(std::memory_order_acquire)) out.push_back(c->key);
+    }
+    return out;
+  }
+
+  // ---- OTB-DS protocol (§4.1.2) ------------------------------------------
+
+  std::unique_ptr<OtbDsDesc> make_desc() const override {
+    return std::make_unique<Desc>();
+  }
+
+  bool validate(const OtbDsDesc& base, bool check_locks) const override {
+    const Desc& desc = static_cast<const Desc&>(base);
+    // Phase 1: snapshot the involved locks and require them free.
+    std::vector<std::uint64_t> snaps;
+    if (check_locks) {
+      snaps.reserve(desc.reads.size() * 2);
+      for (const ReadEntry& e : desc.reads) {
+        const std::uint64_t p = e.pred->lock.load();
+        const std::uint64_t c = e.curr->lock.load();
+        if (VersionedLock::is_locked(p) || VersionedLock::is_locked(c)) return false;
+        snaps.push_back(p);
+        snaps.push_back(c);
+      }
+    }
+    // Phase 2: semantic checks.
+    for (const ReadEntry& e : desc.reads) {
+      if (!validate_entry(e)) return false;
+    }
+    // Phase 3: lock versions unchanged while we validated.
+    if (check_locks) {
+      std::size_t i = 0;
+      for (const ReadEntry& e : desc.reads) {
+        if (e.pred->lock.load() != snaps[i++]) return false;
+        if (e.curr->lock.load() != snaps[i++]) return false;
+      }
+    }
+    return true;
+  }
+
+  bool pre_commit(OtbDsDesc& base, bool use_locks) override {
+    Desc& desc = static_cast<Desc&>(base);
+    if (desc.writes.empty()) return true;  // read-only: nothing to do
+    // Guideline 2 (§3.2.1): publish in descending key order.
+    std::sort(desc.writes.begin(), desc.writes.end(),
+              [](const WriteEntry& a, const WriteEntry& b) { return a.key > b.key; });
+    if (use_locks && !acquire_semantic_locks(desc)) return false;
+    // Commit-time validation: lock versions need no re-check, the involved
+    // nodes are locked by us.
+    return validate(desc, /*check_locks=*/false);
+  }
+
+  void on_commit(OtbDsDesc& base) override {
+    Desc& desc = static_cast<Desc&>(base);
+    ebr::Guard guard;
+    for (const WriteEntry& e : desc.writes) {
+      // Guideline 3: resume traversal from the saved pred; every node on the
+      // resumed path is either the saved pred or a node this transaction
+      // inserted (and holds locked), so the walk is race-free.
+      Node* pred = e.pred;
+      Node* curr = pred->next.load(std::memory_order_acquire);
+      while (curr->key < e.key) {
+        pred = curr;
+        curr = pred->next.load(std::memory_order_acquire);
+      }
+      if (e.op == Op::kAdd) {
+        Node* node = new Node(e.key);
+        node->lock.try_lock();  // guideline 1: new nodes stay locked
+        desc.locked.push_back(node);
+        node->next.store(curr, std::memory_order_relaxed);
+        pred->next.store(node, std::memory_order_release);
+      } else {  // kRemove: curr is the victim (validation pinned it)
+        curr->marked.store(true, std::memory_order_release);
+        pred->next.store(curr->next.load(std::memory_order_relaxed),
+                         std::memory_order_release);
+        ebr::retire(curr);
+      }
+    }
+  }
+
+  void post_commit(OtbDsDesc& base) override {
+    Desc& desc = static_cast<Desc&>(base);
+    for (Node* n : desc.locked) n->lock.unlock_new_version();
+    desc.locked.clear();
+  }
+
+  void on_abort(OtbDsDesc& base) override {
+    Desc& desc = static_cast<Desc&>(base);
+    // Nothing was published (on_commit never fails); release what we locked
+    // without disturbing versions.
+    for (Node* n : desc.locked) n->lock.unlock_same_version();
+    desc.locked.clear();
+  }
+
+  bool has_writes(const OtbDsDesc& base) const override {
+    return !static_cast<const Desc&>(base).writes.empty();
+  }
+
+  std::size_t write_count(const OtbDsDesc& base) const override {
+    return static_cast<const Desc&>(base).writes.size();
+  }
+
+ private:
+  enum class Op : std::uint8_t { kAdd, kRemove, kContains };
+
+  struct Node {
+    explicit Node(Key k) : key(k) {}
+    const Key key;
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> marked{false};
+    VersionedLock lock;
+  };
+
+  struct ReadEntry {
+    Node* pred;
+    Node* curr;
+    Op op;
+    bool success = false;
+  };
+
+  struct WriteEntry {
+    Node* pred;
+    Node* curr;
+    Op op;  // kAdd or kRemove only
+    Key key;
+  };
+
+  struct Desc final : OtbDsDesc {
+    std::vector<ReadEntry> reads;
+    std::vector<WriteEntry> writes;
+    std::vector<Node*> locked;  // semantic locks held (commit phase only)
+  };
+
+  /// Algorithm 1 (all three operations share its skeleton).
+  bool operation(TxHost& tx, Op op, Key key) {
+    Desc& desc = static_cast<Desc&>(tx.descriptor(*this));
+
+    // Step 1: consult the local semantic write-set first.
+    if (const WriteEntry* w = find_local(desc, key)) {
+      if (w->op == Op::kAdd) {
+        switch (op) {
+          case Op::kAdd:
+            return false;
+          case Op::kContains:
+            return true;
+          case Op::kRemove:
+            erase_local(desc, key);  // elimination; read-set entry remains
+            return true;
+        }
+      } else {  // pending remove
+        switch (op) {
+          case Op::kRemove:
+          case Op::kContains:
+            return false;
+          case Op::kAdd:
+            erase_local(desc, key);  // elimination
+            return true;
+        }
+      }
+    }
+
+    // Step 2: unmonitored traversal.  Re-traverse when we land on a node
+    // mid-removal so we never record an entry that is doomed to fail.
+    Node* pred;
+    Node* curr;
+    for (;;) {
+      std::tie(pred, curr) = locate(key);
+      if (!pred->marked.load(std::memory_order_acquire) &&
+          !curr->marked.load(std::memory_order_acquire)) {
+        break;
+      }
+      tx.on_operation_validate();  // throws TxAbort when our snapshot broke
+    }
+
+    // Step 4 (decide + log); the host runs step 3 (post-validation) below.
+    const bool found = curr->key == key;
+    bool success = false;
+    switch (op) {
+      case Op::kAdd:
+        success = !found;
+        break;
+      case Op::kRemove:
+      case Op::kContains:
+        success = found;
+        break;
+    }
+    desc.reads.push_back({pred, curr, op, success});
+    if (success && op != Op::kContains) {
+      desc.writes.push_back({pred, curr, op, key});
+    }
+
+    // Step 3: post-validate everything the transaction has read so far.
+    tx.on_operation_validate();
+    return success;
+  }
+
+  bool validate_entry(const ReadEntry& e) const {
+    const bool curr_live = !e.curr->marked.load(std::memory_order_acquire);
+    if ((e.op == Op::kContains && e.success) || (e.op == Op::kAdd && !e.success)) {
+      // Optimised rule: the found node just has to stay in the set; changes
+      // to pred are not semantic conflicts (§3.2.1).
+      return curr_live;
+    }
+    return curr_live && !e.pred->marked.load(std::memory_order_acquire) &&
+           e.pred->next.load(std::memory_order_acquire) == e.curr;
+  }
+
+  /// Lock pred for adds, pred+curr for removes (the lazy-list rule), with
+  /// pointer dedup.  CAS failure releases everything and reports false.
+  bool acquire_semantic_locks(Desc& desc) {
+    auto lock_one = [&](Node* n) -> bool {
+      for (Node* held : desc.locked) {
+        if (held == n) return true;
+      }
+      if (!n->lock.try_lock()) return false;
+      desc.locked.push_back(n);
+      return true;
+    };
+    for (const WriteEntry& e : desc.writes) {
+      if (!lock_one(e.pred)) return false;
+      if (e.op == Op::kRemove && !lock_one(e.curr)) return false;
+    }
+    return true;
+  }
+
+  const WriteEntry* find_local(const Desc& desc, Key key) const {
+    for (const WriteEntry& w : desc.writes) {
+      if (w.key == key) return &w;
+    }
+    return nullptr;
+  }
+
+  void erase_local(Desc& desc, Key key) {
+    for (auto it = desc.writes.begin(); it != desc.writes.end(); ++it) {
+      if (it->key == key) {
+        desc.writes.erase(it);
+        return;
+      }
+    }
+  }
+
+  std::pair<Node*, Node*> locate(Key key) const {
+    Node* pred = head_;
+    Node* curr = pred->next.load(std::memory_order_acquire);
+    while (curr->key < key) {
+      pred = curr;
+      curr = pred->next.load(std::memory_order_acquire);
+    }
+    return {pred, curr};
+  }
+
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace otb::tx

@@ -1,0 +1,86 @@
+// Standalone OTB transaction runtime (Chapter 3).
+//
+// Drives transactions that touch only boosted data structures: a retry
+// loop, per-attempt `Transaction` host, and the commit protocol
+//   pre_commit (semantic 2PL + commit-time validation)
+//   on_commit  (publish semantic write-sets)
+//   post_commit(release locks)
+// Aborts are signalled with TxAbort and retried with bounded backoff.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/epoch.h"
+#include "common/spinlock.h"
+#include "common/tx_abort.h"
+#include "otb/otb_ds.h"
+
+namespace otb::tx {
+
+/// Commit/abort counters, aggregated across threads.
+struct RuntimeStats {
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> aborts{0};
+};
+
+inline RuntimeStats& runtime_stats() {
+  static RuntimeStats stats;
+  return stats;
+}
+
+/// One transaction attempt over boosted structures only.
+class Transaction final : public TxHost {
+ public:
+  /// Post-validation after every boosted operation: every attached
+  /// structure's semantic read-set must still hold, with lock checks
+  /// (nothing is locked by us during execution).
+  void on_operation_validate() override {
+    if (!validate_attached(/*check_locks=*/true)) throw TxAbort{};
+  }
+
+  /// Two-phase commit across all attached structures.
+  void commit() {
+    if (!pre_commit_attached(/*use_locks=*/true)) throw TxAbort{};
+    on_commit_attached();
+    post_commit_attached();
+  }
+
+  /// Failed attempt: every attached structure rolls back whatever it still
+  /// holds (semantic locks, the heap PQ's global lock and eager effects);
+  /// on_abort is idempotent, so double-notification after a failed
+  /// pre_commit is harmless.
+  void abandon() {
+    on_abort_attached();
+    clear_attached();
+  }
+
+ private:
+  // Pin the reclamation epoch for the attempt's lifetime: semantic read-set
+  // entries hold raw node pointers that other transactions may retire.
+  ebr::Guard epoch_guard_;
+};
+
+/// Run `fn(tx)` atomically, retrying on abort.  Returns the number of
+/// attempts that aborted before the commit succeeded.
+template <typename Fn>
+std::uint64_t atomically(Fn&& fn) {
+  Backoff backoff;
+  std::uint64_t aborts = 0;
+  for (;;) {
+    Transaction tx;
+    try {
+      fn(tx);
+      tx.commit();
+      runtime_stats().commits.fetch_add(1, std::memory_order_relaxed);
+      return aborts;
+    } catch (const TxAbort&) {
+      tx.abandon();
+      runtime_stats().aborts.fetch_add(1, std::memory_order_relaxed);
+      ++aborts;
+      backoff.pause();
+    }
+  }
+}
+
+}  // namespace otb::tx

@@ -1,0 +1,63 @@
+// CGL — coarse-grained global locking "STM": every transaction runs under
+// one mutex.  §2.1.3: "STM runtimes like RSTM use such a solution to
+// calculate the single-thread overhead of other algorithms, and to be used
+// in special cases or in adaptive STM systems."  It is the floor baseline
+// of the micro-benches and the irrevocable fallback of the adaptive
+// runtime.
+#pragma once
+
+#include "common/spinlock.h"
+#include "stm/runtime.h"
+
+namespace otb::stm {
+
+struct CglGlobal final : AlgoGlobal {
+  SpinLock lock;
+
+  explicit CglGlobal(const Config&) {}
+
+  std::unique_ptr<Tx> make_tx(unsigned) override;
+};
+
+class CglTx final : public Tx {
+ public:
+  explicit CglTx(CglGlobal& global) : global_(global) {}
+
+  void begin() override {
+    global_.lock.lock();
+    held_ = true;
+  }
+
+  Word read_word(const TWord* addr) override {
+    stats_.reads += 1;
+    return addr->load(std::memory_order_relaxed);  // we own the world
+  }
+
+  void write_word(TWord* addr, Word value) override {
+    stats_.writes += 1;
+    addr->store(value, std::memory_order_relaxed);
+  }
+
+  void commit() override { release(); }
+
+  /// CGL transactions are irrevocable; rollback only releases the lock
+  /// after a user-thrown abort (eager writes stay, as with any mutex).
+  void rollback() override { release(); }
+
+ private:
+  void release() {
+    if (held_) {
+      global_.lock.unlock();
+      held_ = false;
+    }
+  }
+
+  CglGlobal& global_;
+  bool held_ = false;
+};
+
+inline std::unique_ptr<Tx> CglGlobal::make_tx(unsigned) {
+  return std::make_unique<CglTx>(*this);
+}
+
+}  // namespace otb::stm

@@ -1,0 +1,167 @@
+// InvalSTM (Gottschlich, Vachharajani, Siek) — commit-time invalidation,
+// §2.1.2.
+//
+// Validation is replaced by invalidation: the committing transaction, while
+// holding the single global commit lock, compares its write bloom filter
+// with the read filters of every in-flight transaction and sets the losers'
+// `invalidated` flag.  A read therefore costs O(1): re-read the timestamp,
+// check the own flag.  The trade-offs the paper calls out — the commit
+// routine carries the whole invalidation scan, and commits fully serialize —
+// are exactly what RInval later attacks with server threads.
+#pragma once
+
+#include <memory>
+
+#include "common/bloom_filter.h"
+#include "common/platform.h"
+#include "common/spinlock.h"
+#include "stm/read_write_sets.h"
+#include "stm/runtime.h"
+
+namespace otb::stm {
+
+/// Shared per-thread record the committer scans.  One per runtime slot.
+struct alignas(kCacheLine) InvalRecord {
+  std::atomic<bool> active{false};
+  std::atomic<bool> invalidated{false};
+  /// Guards `read_filter` against a concurrent committer scan.
+  SpinLock filter_lock;
+  TxFilter read_filter;
+};
+
+struct InvalStmGlobal final : AlgoGlobal {
+  SeqLock clock;
+  unsigned nslots;
+  unsigned cm_max_doomed;  // §7.1.3 contention manager; 0 = requester wins
+  std::unique_ptr<InvalRecord[]> records;
+
+  explicit InvalStmGlobal(const Config& cfg)
+      : nslots(cfg.max_threads),
+        cm_max_doomed(cfg.inval_cm_max_doomed),
+        records(std::make_unique<InvalRecord[]>(cfg.max_threads)) {}
+
+  /// How many active transactions a write filter would doom (CM input).
+  unsigned count_conflicting(const TxFilter& write_filter,
+                             const InvalRecord* self) {
+    unsigned doomed = 0;
+    for (unsigned i = 0; i < nslots; ++i) {
+      InvalRecord& other = records[i];
+      if (&other == self || !other.active.load(std::memory_order_acquire)) {
+        continue;
+      }
+      std::lock_guard<SpinLock> lk(other.filter_lock);
+      if (other.read_filter.intersects(write_filter)) ++doomed;
+    }
+    return doomed;
+  }
+
+  std::unique_ptr<Tx> make_tx(unsigned slot) override;
+};
+
+class InvalStmTx final : public Tx {
+ public:
+  InvalStmTx(InvalStmGlobal& global, unsigned slot)
+      : global_(global), rec_(global.records[slot]) {}
+
+  ~InvalStmTx() override { rec_.active.store(false, std::memory_order_release); }
+
+  void begin() override {
+    writes_.clear();
+    write_filter_.clear();
+    {
+      std::lock_guard<SpinLock> lk(rec_.filter_lock);
+      rec_.read_filter.clear();
+    }
+    rec_.invalidated.store(false, std::memory_order_release);
+    rec_.active.store(true, std::memory_order_release);
+    snapshot_ = global_.clock.wait_even();
+  }
+
+  Word read_word(const TWord* addr) override {
+    stats_.reads += 1;
+    Word buffered;
+    if (writes_.lookup(addr, &buffered)) return buffered;
+    for (;;) {
+      const std::uint64_t s1 = global_.clock.wait_even();
+      const Word value = addr->load(std::memory_order_acquire);
+      {
+        // Announce the read before confirming the timestamp: any committer
+        // that publishes after our confirmation is then guaranteed to see
+        // this filter bit during its invalidation scan.
+        std::lock_guard<SpinLock> lk(rec_.filter_lock);
+        rec_.read_filter.add(addr);
+      }
+      if (global_.clock.load() != s1) {
+        stats_.lock_spins += 1;
+        continue;  // a commit raced our read; take a fresh snapshot
+      }
+      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      snapshot_ = s1;
+      return value;
+    }
+  }
+
+  void write_word(TWord* addr, Word value) override {
+    stats_.writes += 1;
+    writes_.put(addr, value);
+    write_filter_.add(addr);
+  }
+
+  void commit() override {
+    if (writes_.empty()) {
+      // Reads were continuously guarded by the invalidation flag.
+      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      rec_.active.store(false, std::memory_order_release);
+      return;
+    }
+    // Acquire the global commit lock.
+    for (;;) {
+      const std::uint64_t even = global_.clock.wait_even();
+      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      if (global_.clock.try_acquire(even)) break;
+      stats_.lock_cas_failures += 1;
+    }
+    if (rec_.invalidated.load(std::memory_order_acquire)) {
+      global_.clock.release();
+      throw TxAbort{};
+    }
+    // Contention manager (§2.1.2's "more complex implementation"): a
+    // committer about to doom a large crowd yields and retries instead.
+    if (global_.cm_max_doomed > 0 &&
+        global_.count_conflicting(write_filter_, &rec_) > global_.cm_max_doomed) {
+      global_.clock.release();
+      throw TxAbort{};
+    }
+    writes_.publish();
+    invalidate_conflicting();
+    rec_.active.store(false, std::memory_order_release);
+    global_.clock.release();
+  }
+
+  void rollback() override { rec_.active.store(false, std::memory_order_release); }
+
+ private:
+  void invalidate_conflicting() {
+    stats_.validations += 1;
+    for (unsigned i = 0; i < global_.nslots; ++i) {
+      InvalRecord& other = global_.records[i];
+      if (&other == &rec_ || !other.active.load(std::memory_order_acquire)) continue;
+      std::lock_guard<SpinLock> lk(other.filter_lock);
+      if (other.read_filter.intersects(write_filter_)) {
+        other.invalidated.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+  InvalStmGlobal& global_;
+  InvalRecord& rec_;
+  RedoWriteSet writes_;
+  TxFilter write_filter_;
+  std::uint64_t snapshot_ = 0;
+};
+
+inline std::unique_ptr<Tx> InvalStmGlobal::make_tx(unsigned slot) {
+  return std::make_unique<InvalStmTx>(*this, slot);
+}
+
+}  // namespace otb::stm

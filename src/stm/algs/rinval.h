@@ -1,0 +1,322 @@
+// RInval — Remote Invalidation (Chapter 6).
+//
+// Combines the two ideas the paper builds on:
+//   * like InvalSTM, validation is replaced by commit-time invalidation, so
+//     a read costs O(1) (snapshot the clock, check the own `invalidated`
+//     flag) and total validation work is linear in the read-set instead of
+//     NOrec's quadratic incremental scheme (§6.2);
+//   * like RTC, the commit routine runs in a dedicated *commit server*
+//     reached through a cache-aligned request array, removing all client
+//     CAS/spinning on shared locks (§6.2.1, "V1").
+//
+// With Config::rinval_parallel_invalidation (the paper's V2), the
+// invalidation scan runs in a second *invalidation server* concurrently with
+// the commit server's write-back of the same transaction; the commit window
+// (odd clock) closes only after both finish, which preserves InvalSTM's
+// opacity argument while overlapping the two halves of the commit.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bloom_filter.h"
+#include "common/platform.h"
+#include "common/spinlock.h"
+#include "stm/algs/invalstm.h"
+#include "stm/runtime.h"
+
+namespace otb::stm {
+
+class RInvalClientTx;
+
+struct RInvalGlobal final : AlgoGlobal {
+  enum ReqState : int { kReady = 0, kPending = 1, kAborted = 2 };
+
+  struct alignas(kCacheLine) Request {
+    std::atomic<int> state{kReady};
+    RInvalClientTx* tx = nullptr;
+    // Spin-then-block handoff (see RTC): clients sleep after a short spin so
+    // the servers get CPU time on oversubscribed hosts.
+    std::mutex mu;
+    std::condition_variable cv;
+
+    void complete(int final_state) {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        state.store(final_state, std::memory_order_release);
+      }
+      cv.notify_one();
+    }
+
+    int await_completion() {
+      int s;
+      for (int spin = 0; spin < 512; ++spin) {
+        s = state.load(std::memory_order_acquire);
+        if (s != kPending) return s;
+        cpu_relax();
+      }
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] {
+        return (s = state.load(std::memory_order_acquire)) != kPending;
+      });
+      return s;
+    }
+  };
+
+  SeqLock clock;
+  Config cfg;
+  unsigned nslots;
+  std::unique_ptr<InvalRecord[]> records;
+  std::unique_ptr<Request[]> requests;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> servers;
+
+  // Commit→invalidation server handoff (V2).
+  std::atomic<std::uint64_t> inval_job{0};   // sequence of the issued job
+  std::atomic<std::uint64_t> inval_done{0};  // sequence of the finished job
+  const TxFilter* inval_filter = nullptr;    // write filter of the job
+  unsigned inval_requester = 0;              // slot to skip
+
+  explicit RInvalGlobal(const Config& config)
+      : cfg(config),
+        nslots(config.max_threads),
+        records(std::make_unique<InvalRecord[]>(config.max_threads)),
+        requests(std::make_unique<Request[]>(config.max_threads)) {
+    servers.emplace_back([this] { commit_server_loop(); });
+    if (cfg.rinval_parallel_invalidation) {
+      servers.emplace_back([this] { invalidation_server_loop(); });
+    }
+  }
+
+  ~RInvalGlobal() override {
+    stop.store(true, std::memory_order_release);
+    for (auto& t : servers) t.join();
+    for (unsigned i = 0; i < nslots; ++i) {
+      int expected = kPending;
+      if (requests[i].state.compare_exchange_strong(expected, kAborted,
+                                                    std::memory_order_acq_rel)) {
+        requests[i].cv.notify_one();
+      }
+    }
+  }
+
+  std::unique_ptr<Tx> make_tx(unsigned slot) override;
+
+  /// Spins the commit server grants the invalidation server before helping
+  /// with the scan itself (matters only when servers share a core).
+  static constexpr int kHelpThreshold = 256;
+
+  /// CM input: how many active transactions `write_filter` would doom.
+  unsigned count_conflicting(const TxFilter& write_filter, unsigned requester) {
+    unsigned doomed = 0;
+    for (unsigned i = 0; i < nslots; ++i) {
+      if (i == requester) continue;
+      InvalRecord& other = records[i];
+      if (!other.active.load(std::memory_order_acquire)) continue;
+      std::lock_guard<SpinLock> lk(other.filter_lock);
+      if (other.read_filter.intersects(write_filter)) ++doomed;
+    }
+    return doomed;
+  }
+
+  /// InvalSTM-style scan: doom every active transaction whose read filter
+  /// intersects `write_filter`, except the committing slot.
+  void invalidate_conflicting(const TxFilter& write_filter, unsigned requester) {
+    for (unsigned i = 0; i < nslots; ++i) {
+      if (i == requester) continue;
+      InvalRecord& other = records[i];
+      if (!other.active.load(std::memory_order_acquire)) continue;
+      std::lock_guard<SpinLock> lk(other.filter_lock);
+      if (other.read_filter.intersects(write_filter)) {
+        other.invalidated.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+ private:
+  void commit_server_loop();
+  void invalidation_server_loop();
+};
+
+class RInvalClientTx final : public Tx {
+ public:
+  RInvalClientTx(RInvalGlobal& global, unsigned slot)
+      : global_(global), rec_(global.records[slot]), slot_(slot) {
+    global_.requests[slot_].tx = this;
+  }
+
+  ~RInvalClientTx() override {
+    rec_.active.store(false, std::memory_order_release);
+    global_.requests[slot_].tx = nullptr;
+  }
+
+  void begin() override {
+    writes_.clear();
+    write_filter_.clear();
+    {
+      std::lock_guard<SpinLock> lk(rec_.filter_lock);
+      rec_.read_filter.clear();
+    }
+    rec_.invalidated.store(false, std::memory_order_release);
+    rec_.active.store(true, std::memory_order_release);
+    if (global_.cfg.collect_timing) begin_ns_ = now_ns();
+  }
+
+  Word read_word(const TWord* addr) override {
+    stats_.reads += 1;
+    Word buffered;
+    if (writes_.lookup(addr, &buffered)) return buffered;
+    for (;;) {
+      const std::uint64_t s1 = global_.clock.wait_even();
+      const Word value = addr->load(std::memory_order_acquire);
+      {
+        std::lock_guard<SpinLock> lk(rec_.filter_lock);
+        rec_.read_filter.add(addr);
+      }
+      if (global_.clock.load() != s1) {
+        stats_.lock_spins += 1;
+        continue;
+      }
+      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      return value;
+    }
+  }
+
+  void write_word(TWord* addr, Word value) override {
+    stats_.writes += 1;
+    writes_.put(addr, value);
+    write_filter_.add(addr);
+  }
+
+  void commit() override {
+    const std::uint64_t t0 = global_.cfg.collect_timing ? now_ns() : 0;
+    if (writes_.empty()) {
+      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      rec_.active.store(false, std::memory_order_release);
+      finish_attempt(t0);
+      return;
+    }
+    auto& req = global_.requests[slot_];
+    req.state.store(RInvalGlobal::kPending, std::memory_order_release);
+    const int state = req.await_completion();
+    req.state.store(RInvalGlobal::kReady, std::memory_order_release);
+    rec_.active.store(false, std::memory_order_release);
+    finish_attempt(t0);
+    if (state == RInvalGlobal::kAborted) throw TxAbort{};
+  }
+
+  void rollback() override {
+    rec_.active.store(false, std::memory_order_release);
+    if (global_.cfg.collect_timing && begin_ns_ != 0) {
+      stats_.ns_total += now_ns() - begin_ns_;
+      begin_ns_ = 0;
+    }
+  }
+
+  // Server-side accessors.
+  bool doomed() const { return rec_.invalidated.load(std::memory_order_acquire); }
+  void server_publish() const { writes_.publish(); }
+  const TxFilter& w_filter() const { return write_filter_; }
+
+ private:
+  void finish_attempt(std::uint64_t t0) {
+    if (global_.cfg.collect_timing) {
+      const std::uint64_t now = now_ns();
+      stats_.ns_commit += now - t0;
+      if (begin_ns_ != 0) {
+        stats_.ns_total += now - begin_ns_;
+        begin_ns_ = 0;
+      }
+    }
+  }
+
+  RInvalGlobal& global_;
+  InvalRecord& rec_;
+  unsigned slot_;
+  RedoWriteSet writes_;
+  TxFilter write_filter_;
+  std::uint64_t begin_ns_ = 0;
+};
+
+inline std::unique_ptr<Tx> RInvalGlobal::make_tx(unsigned slot) {
+  return std::make_unique<RInvalClientTx>(*this, slot);
+}
+
+// ---- servers ---------------------------------------------------------------
+
+inline void RInvalGlobal::commit_server_loop() {
+  if (cfg.pin_servers) pin_this_thread(0);
+  while (!stop.load(std::memory_order_acquire)) {
+    bool worked = false;
+    for (unsigned i = 0; i < nslots; ++i) {
+      Request& req = requests[i];
+      if (req.state.load(std::memory_order_acquire) != kPending) continue;
+      RInvalClientTx* tx = req.tx;
+      if (tx == nullptr) continue;
+      worked = true;
+      if (tx->doomed()) {
+        req.complete(kAborted);
+        continue;
+      }
+      // Contention manager (§7.1.3): the server, which can see every
+      // in-flight transaction, aborts the requester when its commit would
+      // doom more readers than the policy allows.
+      if (cfg.inval_cm_max_doomed > 0 &&
+          count_conflicting(tx->w_filter(), i) > cfg.inval_cm_max_doomed) {
+        req.complete(kAborted);
+        continue;
+      }
+      clock.server_increment();  // odd: readers and committers are held off
+      if (cfg.rinval_parallel_invalidation) {
+        // V2: hand the scan to the invalidation server and write back
+        // concurrently; the window closes when both are done.
+        inval_filter = &tx->w_filter();
+        inval_requester = i;
+        inval_job.fetch_add(1, std::memory_order_release);
+        tx->server_publish();
+        const std::uint64_t job = inval_job.load(std::memory_order_acquire);
+        int spins = 0;
+        while (inval_done.load(std::memory_order_acquire) < job &&
+               !stop.load(std::memory_order_acquire)) {
+          if (++spins > kHelpThreshold) {
+            // Help-first fallback: when the invalidation server is not
+            // being scheduled (oversubscribed hosts), do the scan here.
+            // Double invalidation is idempotent and only ever conservative,
+            // so racing the server on the same job is safe.
+            invalidate_conflicting(tx->w_filter(), i);
+            break;
+          }
+          cpu_relax();
+        }
+      } else {
+        // V1: this server does both halves sequentially.
+        tx->server_publish();
+        invalidate_conflicting(tx->w_filter(), i);
+      }
+      clock.server_increment();  // even
+      req.complete(kReady);
+    }
+    if (!worked) std::this_thread::yield();  // oversubscribed hosts
+  }
+}
+
+inline void RInvalGlobal::invalidation_server_loop() {
+  if (cfg.pin_servers) pin_this_thread(1);
+  std::uint64_t done = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    const std::uint64_t job = inval_job.load(std::memory_order_acquire);
+    if (job == done) {
+      std::this_thread::yield();
+      continue;
+    }
+    invalidate_conflicting(*inval_filter, inval_requester);
+    done = job;
+    inval_done.store(done, std::memory_order_release);
+  }
+}
+
+}  // namespace otb::stm

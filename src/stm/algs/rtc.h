@@ -1,0 +1,250 @@
+// RTC — Remote Transaction Commit (Chapter 5).
+//
+// Clients execute NOrec-style transactions (value-based validation, lazy
+// redo logs) but never touch the global lock themselves: at commit they
+// post a request into a cache-aligned request array and spin on their own
+// entry.  A dedicated *main server* thread scans the array, validates and
+// publishes write-sets on the clients' behalf (it is the only writer of the
+// global timestamp, so it needs no CAS), and — when the write-set is large
+// enough to enable dependency detection (§5.1.1) — *secondary servers*
+// concurrently commit requests whose read/write bloom filter is disjoint
+// from the write filter of the in-flight main commit (§5.2.3, Fig 5.4).
+//
+// The servers and the `servers_lock` handshake implement exactly the
+// Algorithm 10/11 protocol, including the "secondary is an extension of the
+// main commit" rule: the main server cannot move the timestamp back to even
+// while a secondary holds the lock, and a secondary commits at most one
+// request per main-commit window.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bloom_filter.h"
+#include "common/platform.h"
+#include "common/spinlock.h"
+#include "stm/algs/norec.h"
+#include "stm/runtime.h"
+
+namespace otb::stm {
+
+class RtcClientTx;
+
+struct RtcGlobal final : AlgoGlobal {
+  enum ReqState : int { kReady = 0, kPending = 1, kAborted = 2 };
+
+  struct alignas(kCacheLine) Request {
+    std::atomic<int> state{kReady};
+    RtcClientTx* tx = nullptr;
+    // Spin-then-block handoff: after a short spin the client sleeps here so
+    // the servers get the CPU on oversubscribed hosts (DESIGN.md).
+    std::mutex mu;
+    std::condition_variable cv;
+
+    void complete(int final_state) {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        state.store(final_state, std::memory_order_release);
+      }
+      cv.notify_one();
+    }
+
+    int await_completion() {
+      int s;
+      for (int spin = 0; spin < kClientSpins; ++spin) {
+        s = state.load(std::memory_order_acquire);
+        if (s != kPending) return s;
+        cpu_relax();
+      }
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] {
+        return (s = state.load(std::memory_order_acquire)) != kPending;
+      });
+      return s;
+    }
+  };
+
+  static constexpr int kClientSpins = 512;
+
+  NOrecGlobal norec;  // shared timestamp + timing flag for the client side
+  Config cfg;
+  std::unique_ptr<Request[]> requests;
+  unsigned nslots;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> dd_enabled{false};
+  std::atomic<Request*> main_request{nullptr};
+  SpinLock servers_lock;
+  std::vector<std::thread> servers;
+
+  explicit RtcGlobal(const Config& config)
+      : norec(config),
+        cfg(config),
+        requests(std::make_unique<Request[]>(config.max_threads)),
+        nslots(config.max_threads) {
+    servers.emplace_back([this] { main_server_loop(); });
+    for (unsigned s = 0; s < cfg.rtc_secondary_servers; ++s) {
+      servers.emplace_back([this, s] { secondary_server_loop(s); });
+    }
+  }
+
+  ~RtcGlobal() override {
+    stop.store(true, std::memory_order_release);
+    for (auto& t : servers) t.join();
+    drain_pending();  // nobody should be left, but never strand a client
+  }
+
+  std::unique_ptr<Tx> make_tx(unsigned slot) override;
+
+ private:
+  void main_server_loop();
+  void secondary_server_loop(unsigned id);
+  void drain_pending();
+};
+
+class RtcClientTx final : public NOrecTx {
+ public:
+  RtcClientTx(RtcGlobal& rtc, unsigned slot)
+      : NOrecTx(rtc.norec), rtc_(rtc), slot_(slot) {
+    track_filters_ = true;
+    rtc_.requests[slot_].tx = this;
+  }
+
+  ~RtcClientTx() override { rtc_.requests[slot_].tx = nullptr; }
+
+  void commit() override {
+    const std::uint64_t t0 = rtc_.norec.collect_timing ? now_ns() : 0;
+    if (!writes_.empty()) {
+      validate();  // pre-flight client validation (Algorithm 9); may abort
+      auto& req = rtc_.requests[slot_];
+      req.state.store(RtcGlobal::kPending, std::memory_order_release);
+      const int state = req.await_completion();
+      if (state == RtcGlobal::kAborted) {
+        req.state.store(RtcGlobal::kReady, std::memory_order_release);
+        finish_attempt(t0);
+        throw TxAbort{};
+      }
+      req.state.store(RtcGlobal::kReady, std::memory_order_release);
+    }
+    finish_attempt(t0);
+  }
+
+  // Server-side accessors.
+  bool server_validate() const { return reads_.values_match(); }
+  void server_publish() const { writes_.publish(); }
+  std::size_t write_set_size() const { return writes_.size(); }
+  const TxFilter& rw_filter() const { return read_filter_; }
+  const TxFilter& w_filter() const { return write_filter_; }
+
+ private:
+  RtcGlobal& rtc_;
+  unsigned slot_;
+};
+
+inline std::unique_ptr<Tx> RtcGlobal::make_tx(unsigned slot) {
+  return std::make_unique<RtcClientTx>(*this, slot);
+}
+
+// ---- server loops ----------------------------------------------------------
+
+inline void RtcGlobal::main_server_loop() {
+  if (cfg.pin_servers) pin_this_thread(0);
+  const bool has_secondary = cfg.rtc_secondary_servers > 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    bool worked = false;
+    for (unsigned i = 0; i < nslots; ++i) {
+      Request& req = requests[i];
+      if (req.state.load(std::memory_order_acquire) != kPending) continue;
+      RtcClientTx* tx = req.tx;
+      if (tx == nullptr) continue;
+      worked = true;
+      // Only this thread moves the timestamp, so it is even here and the
+      // validation below runs against quiescent shared memory.
+      if (!tx->server_validate()) {
+        req.complete(kAborted);
+        continue;
+      }
+      if (!has_secondary || tx->write_set_size() < cfg.rtc_dd_threshold) {
+        // Fast path: dependency detection disabled (Algorithm 10, left).
+        norec.clock.server_increment();  // odd
+        tx->server_publish();
+        norec.clock.server_increment();  // even
+        req.complete(kReady);
+      } else {
+        // DD path (Algorithm 10, right): let secondaries piggy-back.
+        main_request.store(&req, std::memory_order_release);
+        dd_enabled.store(true, std::memory_order_release);
+        norec.clock.server_increment();  // odd
+        tx->server_publish();
+        // The window closes only when no secondary is mid-commit.
+        servers_lock.lock();
+        norec.clock.server_increment();  // even
+        servers_lock.unlock();
+        dd_enabled.store(false, std::memory_order_release);
+        main_request.store(nullptr, std::memory_order_release);
+        req.complete(kReady);
+      }
+    }
+    if (!worked) std::this_thread::yield();  // oversubscribed hosts
+  }
+}
+
+inline void RtcGlobal::secondary_server_loop(unsigned id) {
+  if (cfg.pin_servers) pin_this_thread(1 + id);
+  while (!stop.load(std::memory_order_acquire)) {
+    if (!dd_enabled.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (unsigned i = 0; i < nslots && !stop.load(std::memory_order_relaxed); ++i) {
+      if (!dd_enabled.load(std::memory_order_acquire)) continue;
+      const std::uint64_t s = norec.clock.load();
+      if ((s & 1) == 0) continue;  // main server not inside a commit window
+      Request& req = requests[i];
+      Request* main_req = main_request.load(std::memory_order_acquire);
+      if (&req == main_req || main_req == nullptr) continue;
+      if (req.state.load(std::memory_order_acquire) != kPending) continue;
+      RtcClientTx* tx = req.tx;
+      RtcClientTx* main_tx = main_req->tx;
+      if (tx == nullptr || main_tx == nullptr) continue;
+      // Independence test (§5.1.1): rwf(candidate) ∩ wf(main) must be empty.
+      if (tx->rw_filter().intersects(main_tx->w_filter())) continue;
+      if (!servers_lock.try_lock()) continue;
+      if (norec.clock.load() != s) {  // main finished while we decided
+        servers_lock.unlock();
+        continue;
+      }
+      // Validate under the lock: main's writes cannot touch our read-set
+      // (independence), and any earlier secondary commit of this window is
+      // fully published, so value-based validation is exact.
+      if (!tx->server_validate()) {
+        req.complete(kAborted);
+        servers_lock.unlock();
+        continue;
+      }
+      tx->server_publish();
+      req.complete(kReady);
+      servers_lock.unlock();
+      // One request per commit window: wait until the main server closes it.
+      SpinWait waiter;
+      while (norec.clock.load() == s && !stop.load(std::memory_order_acquire)) {
+        waiter.spin();
+      }
+    }
+  }
+}
+
+inline void RtcGlobal::drain_pending() {
+  for (unsigned i = 0; i < nslots; ++i) {
+    int expected = kPending;
+    if (requests[i].state.compare_exchange_strong(expected, kAborted,
+                                                  std::memory_order_acq_rel)) {
+      requests[i].cv.notify_one();
+    }
+  }
+}
+
+}  // namespace otb::stm

@@ -1,0 +1,160 @@
+// TinySTM-style eager orec algorithm (Felber, Fetzer, Riegel —
+// write-through variant): encounter-time locking on a hashed orec table, an
+// undo log for in-place writes, and time-based read validation against a
+// global version clock with snapshot extension.
+//
+// §1.1.1 places it on the design spectrum the dissertation analyses
+// ("fine-grained using ownership records as in TL2 and TinySTM"); it is the
+// eager counterpart to our lazy TL2 and completes the framework's coverage
+// of that axis.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/spinlock.h"
+#include "stm/runtime.h"
+
+namespace otb::stm {
+
+struct TinyStmGlobal final : AlgoGlobal {
+  static constexpr std::size_t kOrecCount = 1 << 20;
+
+  std::atomic<std::uint64_t> clock{0};
+  std::unique_ptr<VersionedLock[]> orecs =
+      std::make_unique<VersionedLock[]>(kOrecCount);
+
+  explicit TinyStmGlobal(const Config&) {}
+
+  VersionedLock& orec_for(const TWord* addr) {
+    return orecs[hash_addr(addr) & (kOrecCount - 1)];
+  }
+
+  std::unique_ptr<Tx> make_tx(unsigned) override;
+};
+
+class TinyStmTx final : public Tx {
+ public:
+  explicit TinyStmTx(TinyStmGlobal& global) : global_(global) {}
+
+  void begin() override {
+    reads_.clear();
+    undo_.clear();
+    locked_.clear();
+    start_ = global_.clock.load(std::memory_order_acquire);
+  }
+
+  Word read_word(const TWord* addr) override {
+    stats_.reads += 1;
+    VersionedLock& orec = global_.orec_for(addr);
+    for (;;) {
+      const std::uint64_t pre = orec.load();
+      if (VersionedLock::is_locked(pre)) {
+        if (holds(&orec)) return addr->load(std::memory_order_relaxed);
+        throw TxAbort{};  // owned by another writer
+      }
+      const Word value = addr->load(std::memory_order_acquire);
+      if (orec.load() != pre) continue;  // raced a writer; resample
+      if (VersionedLock::version_of(pre) > start_ && !extend()) throw TxAbort{};
+      reads_.push_back(&orec);
+      return value;
+    }
+  }
+
+  void write_word(TWord* addr, Word value) override {
+    stats_.writes += 1;
+    VersionedLock& orec = global_.orec_for(addr);
+    if (!holds(&orec)) {
+      const std::uint64_t w = orec.load();
+      if (VersionedLock::is_locked(w) ||
+          VersionedLock::version_of(w) > start_ || !orec.try_lock_from(w)) {
+        stats_.lock_cas_failures += 1;
+        throw TxAbort{};
+      }
+      locked_.push_back(&orec);
+    }
+    // Eager write-through with undo logging.
+    undo_.push_back({addr, addr->load(std::memory_order_relaxed)});
+    addr->store(value, std::memory_order_release);
+  }
+
+  void commit() override {
+    if (locked_.empty()) return;  // read-only
+    const std::uint64_t wv =
+        global_.clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (wv != start_ + 1 && !validate_reads()) {
+      undo_writes();
+      release_locked(/*stamp=*/false, 0);
+      throw TxAbort{};
+    }
+    undo_.clear();
+    release_locked(/*stamp=*/true, wv);
+  }
+
+  void rollback() override {
+    undo_writes();
+    release_locked(/*stamp=*/false, 0);
+  }
+
+ private:
+  struct UndoEntry {
+    TWord* addr;
+    Word old_value;
+  };
+
+  /// Snapshot extension: move `start_` forward when every read orec is
+  /// still clean at the current clock.
+  bool extend() {
+    const std::uint64_t now = global_.clock.load(std::memory_order_acquire);
+    if (!validate_reads()) return false;
+    start_ = now;
+    return true;
+  }
+
+  bool validate_reads() {
+    stats_.validations += 1;
+    for (VersionedLock* orec : reads_) {
+      const std::uint64_t w = orec->load();
+      if (VersionedLock::is_locked(w) && !holds(orec)) return false;
+      if (!VersionedLock::is_locked(w) && VersionedLock::version_of(w) > start_) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void undo_writes() {
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      it->addr->store(it->old_value, std::memory_order_release);
+    }
+    undo_.clear();
+  }
+
+  bool holds(const VersionedLock* orec) const {
+    return std::find(locked_.begin(), locked_.end(), orec) != locked_.end();
+  }
+
+  void release_locked(bool stamp, std::uint64_t wv) {
+    for (VersionedLock* orec : locked_) {
+      if (stamp) {
+        orec->unlock_with_version(wv);
+      } else {
+        orec->unlock_same_version();
+      }
+    }
+    locked_.clear();
+  }
+
+  TinyStmGlobal& global_;
+  std::vector<VersionedLock*> reads_;
+  std::vector<UndoEntry> undo_;
+  std::vector<VersionedLock*> locked_;
+  std::uint64_t start_ = 0;
+};
+
+inline std::unique_ptr<Tx> TinyStmGlobal::make_tx(unsigned) {
+  return std::make_unique<TinyStmTx>(*this);
+}
+
+}  // namespace otb::stm

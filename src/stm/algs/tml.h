@@ -1,0 +1,76 @@
+// TML (Transactional Mutex Lock, Dalessandro et al. [66]) — the minimal
+// global-seqlock STM the paper repeatedly references as the coarse extreme
+// of the locking-granularity spectrum.  Readers validate the timestamp
+// after every read; the first write CASes the lock and the transaction
+// becomes the irrevocable single writer (eager in-place stores, no logs).
+#pragma once
+
+#include "common/spinlock.h"
+#include "stm/runtime.h"
+
+namespace otb::stm {
+
+struct TmlGlobal final : AlgoGlobal {
+  SeqLock clock;
+
+  explicit TmlGlobal(const Config&) {}
+
+  std::unique_ptr<Tx> make_tx(unsigned) override;
+};
+
+class TmlTx final : public Tx {
+ public:
+  explicit TmlTx(TmlGlobal& global) : global_(global) {}
+
+  void begin() override {
+    writer_ = false;
+    snapshot_ = global_.clock.wait_even();
+  }
+
+  Word read_word(const TWord* addr) override {
+    stats_.reads += 1;
+    const Word value = addr->load(std::memory_order_acquire);
+    if (!writer_ && global_.clock.load() != snapshot_) throw TxAbort{};
+    return value;
+  }
+
+  void write_word(TWord* addr, Word value) override {
+    stats_.writes += 1;
+    if (!writer_) {
+      if (!global_.clock.try_acquire(snapshot_)) {
+        stats_.lock_cas_failures += 1;
+        throw TxAbort{};
+      }
+      writer_ = true;  // irrevocable from here on
+    }
+    addr->store(value, std::memory_order_release);
+  }
+
+  void commit() override {
+    if (writer_) {
+      global_.clock.release();
+      writer_ = false;
+    }
+  }
+
+  void rollback() override {
+    // A TML writer never aborts through the algorithm (writes are eager and
+    // unlogged); releasing here only covers user-thrown aborts, whose eager
+    // writes TML by design cannot undo.
+    if (writer_) {
+      global_.clock.release();
+      writer_ = false;
+    }
+  }
+
+ private:
+  TmlGlobal& global_;
+  std::uint64_t snapshot_ = 0;
+  bool writer_ = false;
+};
+
+inline std::unique_ptr<Tx> TmlGlobal::make_tx(unsigned) {
+  return std::make_unique<TmlTx>(*this);
+}
+
+}  // namespace otb::stm

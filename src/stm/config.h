@@ -1,0 +1,75 @@
+// Runtime configuration: which algorithm, how many thread slots, and the
+// RTC/RInval server knobs the paper sweeps.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace otb::stm {
+
+enum class AlgoKind {
+  kNOrec,     // §2.1.1 — value-based validation, one global seqlock
+  kTML,       // eager single-writer global seqlock (TML [66])
+  kTL2,       // §4.2.3 — orec table + global version clock
+  kRingSW,    // §2.1.3 — ring of commit bloom filters
+  kInvalSTM,  // §2.1.2 — commit-time invalidation
+  kRTC,       // Chapter 5 — remote transaction commit
+  kRInval,    // Chapter 6 — remote invalidation
+  kCGL,       // coarse global lock (RSTM's sequential baseline, §2.1.3)
+  kTinySTM,   // eager orec algorithm (encounter-time locking, undo log)
+};
+
+constexpr std::string_view to_string(AlgoKind k) {
+  switch (k) {
+    case AlgoKind::kNOrec:
+      return "NOrec";
+    case AlgoKind::kTML:
+      return "TML";
+    case AlgoKind::kTL2:
+      return "TL2";
+    case AlgoKind::kRingSW:
+      return "RingSW";
+    case AlgoKind::kInvalSTM:
+      return "InvalSTM";
+    case AlgoKind::kRTC:
+      return "RTC";
+    case AlgoKind::kRInval:
+      return "RInval";
+    case AlgoKind::kCGL:
+      return "CGL";
+    case AlgoKind::kTinySTM:
+      return "TinySTM";
+  }
+  return "?";
+}
+
+struct Config {
+  /// Upper bound on concurrently registered transactional threads.
+  unsigned max_threads = 64;
+
+  /// RTC: number of secondary (dependency-detector) servers (Fig 5.11).
+  unsigned rtc_secondary_servers = 1;
+
+  /// RTC: write-set size at which dependency detection is enabled (§5.1.1).
+  std::size_t rtc_dd_threshold = 8;
+
+  /// RInval: run invalidation in a separate server, concurrently with the
+  /// commit server's write-back (V2); false = the commit server also
+  /// invalidates (V1).
+  bool rinval_parallel_invalidation = true;
+
+  /// Contention manager for the invalidation-based algorithms (§7.1.3 /
+  /// §2.1.2): when > 0, a committer that would doom more than this many
+  /// in-flight readers aborts itself instead (the "polite" policy the
+  /// InvalSTM paper sketches).  0 disables the CM (always requester-wins).
+  unsigned inval_cm_max_doomed = 0;
+
+  /// Collect per-phase wall-clock times (Figs 6.2–6.3, Table 5.1).  Off by
+  /// default: two clock reads per validation are not free.
+  bool collect_timing = false;
+
+  /// Best-effort pinning of server threads to dedicated CPUs.
+  bool pin_servers = true;
+};
+
+}  // namespace otb::stm

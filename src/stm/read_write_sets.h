@@ -1,0 +1,109 @@
+// Transaction-local logs shared by the STM algorithms:
+//   * ValueReadSet — (address, observed value) pairs for the value-based
+//     validation of NOrec/RTC (§2.1.1);
+//   * RedoWriteSet — address→value redo log with an open-addressing index
+//     so read-after-write lookups stay O(1) as write-sets grow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "stm/tvar.h"
+
+namespace otb::stm {
+
+class ValueReadSet {
+ public:
+  struct Entry {
+    const TWord* addr;
+    Word value;
+  };
+
+  void record(const TWord* addr, Word value) { entries_.push_back({addr, value}); }
+
+  /// True when every logged read still matches memory.
+  bool values_match() const {
+    for (const Entry& e : entries_) {
+      if (e.addr->load(std::memory_order_acquire) != e.value) return false;
+    }
+    return true;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+class RedoWriteSet {
+ public:
+  struct Entry {
+    TWord* addr;
+    Word value;
+  };
+
+  void put(TWord* addr, Word value) {
+    if (index_.size() < entries_.size() * 2 + 2) rehash();
+    const std::size_t slot = probe(addr);
+    if (index_[slot] != kEmpty) {
+      entries_[index_[slot]].value = value;  // overwrite earlier write
+      return;
+    }
+    index_[slot] = entries_.size();
+    entries_.push_back({addr, value});
+  }
+
+  /// Read-after-write lookup.
+  bool lookup(const TWord* addr, Word* out) const {
+    if (entries_.empty()) return false;
+    const std::size_t slot = probe(addr);
+    if (index_[slot] == kEmpty) return false;
+    *out = entries_[index_[slot]].value;
+    return true;
+  }
+
+  /// Publish every buffered write to shared memory.
+  void publish() const {
+    for (const Entry& e : entries_) {
+      e.addr->store(e.value, std::memory_order_release);
+    }
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  void clear() {
+    entries_.clear();
+    index_.assign(index_.size(), kEmpty);
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  std::size_t probe(const TWord* addr) const {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t slot = hash_addr(addr) & mask;
+    while (index_[slot] != kEmpty && entries_[index_[slot]].addr != addr) {
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  }
+
+  void rehash() {
+    std::size_t cap = index_.empty() ? 16 : index_.size() * 2;
+    index_.assign(cap, kEmpty);
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+      index_[probe(entries_[i].addr)] = i;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> index_;
+};
+
+}  // namespace otb::stm

@@ -1,0 +1,43 @@
+// Per-transaction-context statistics.
+//
+// Besides throughput bookkeeping these provide the *software proxies* for
+// the paper's hardware counters (DESIGN.md substitutions): shared-lock CAS
+// failures and spin iterations stand in for coherence-miss measurements
+// (Fig 5.6), and the validation/commit nanosecond accumulators drive the
+// critical-path breakdowns (Figs 6.2–6.3, Table 5.1).
+#pragma once
+
+#include <cstdint>
+
+namespace otb::stm {
+
+struct TxStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t validations = 0;
+  std::uint64_t lock_cas_failures = 0;  // failed CAS on shared locks
+  std::uint64_t lock_acquisitions = 0;  // successful CAS on shared locks
+  std::uint64_t lock_spins = 0;         // spin iterations on shared state
+  std::uint64_t ns_validation = 0;      // time inside validation
+  std::uint64_t ns_commit = 0;          // time inside the commit routine
+  std::uint64_t ns_total = 0;           // time inside transactions overall
+
+  TxStats& operator+=(const TxStats& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    reads += o.reads;
+    writes += o.writes;
+    validations += o.validations;
+    lock_cas_failures += o.lock_cas_failures;
+    lock_acquisitions += o.lock_acquisitions;
+    lock_spins += o.lock_spins;
+    ns_validation += o.ns_validation;
+    ns_commit += o.ns_commit;
+    ns_total += o.ns_total;
+    return *this;
+  }
+};
+
+}  // namespace otb::stm

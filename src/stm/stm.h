@@ -1,0 +1,52 @@
+// Umbrella header: include this to get the full STM framework (runtime,
+// typed TVars, every algorithm).  Defines the Runtime constructor, which
+// must see every AlgoGlobal.
+#pragma once
+
+#include "stm/algs/cgl.h"
+#include "stm/algs/invalstm.h"
+#include "stm/algs/norec.h"
+#include "stm/algs/rinval.h"
+#include "stm/algs/ringsw.h"
+#include "stm/algs/rtc.h"
+#include "stm/algs/tinystm.h"
+#include "stm/algs/tl2.h"
+#include "stm/algs/tml.h"
+#include "stm/runtime.h"
+
+namespace otb::stm {
+
+inline Runtime::Runtime(AlgoKind kind, Config config)
+    : kind_(kind), config_(config), slot_used_(config.max_threads, false) {
+  switch (kind) {
+    case AlgoKind::kNOrec:
+      global_ = std::make_unique<NOrecGlobal>(config);
+      break;
+    case AlgoKind::kTML:
+      global_ = std::make_unique<TmlGlobal>(config);
+      break;
+    case AlgoKind::kTL2:
+      global_ = std::make_unique<Tl2Global>(config);
+      break;
+    case AlgoKind::kRingSW:
+      global_ = std::make_unique<RingSwGlobal>(config);
+      break;
+    case AlgoKind::kInvalSTM:
+      global_ = std::make_unique<InvalStmGlobal>(config);
+      break;
+    case AlgoKind::kRTC:
+      global_ = std::make_unique<RtcGlobal>(config);
+      break;
+    case AlgoKind::kRInval:
+      global_ = std::make_unique<RInvalGlobal>(config);
+      break;
+    case AlgoKind::kCGL:
+      global_ = std::make_unique<CglGlobal>(config);
+      break;
+    case AlgoKind::kTinySTM:
+      global_ = std::make_unique<TinyStmGlobal>(config);
+      break;
+  }
+}
+
+}  // namespace otb::stm

@@ -1,0 +1,77 @@
+// Transactional memory words.
+//
+// Every STM algorithm in this framework is word-based: it speculates over
+// 64-bit `TWord`s.  `TVar<T>` is the typed veneer (T must fit a word and be
+// trivially copyable) used by application code; `TArray<T>` is a fixed-size
+// vector of TVars for bulk data (mini-STAMP, STM data structures).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace otb::stm {
+
+using Word = std::uint64_t;
+using TWord = std::atomic<Word>;
+
+template <typename T>
+concept WordSized =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(Word);
+
+template <typename T>
+Word to_word(T value) {
+  Word w = 0;
+  __builtin_memcpy(&w, &value, sizeof(T));
+  return w;
+}
+
+template <typename T>
+T from_word(Word w) {
+  T value;
+  __builtin_memcpy(&value, &w, sizeof(T));
+  return value;
+}
+
+/// A transactionally managed variable.  Direct (non-transactional) access is
+/// provided for initialisation and quiescent verification only.
+template <WordSized T>
+class TVar {
+ public:
+  TVar() = default;
+  explicit TVar(T initial) : word_(to_word(initial)) {}
+
+  TWord& word() { return word_; }
+  const TWord& word() const { return word_; }
+
+  /// Non-transactional load (setup / quiescent checks).
+  T load_direct() const { return from_word<T>(word_.load(std::memory_order_acquire)); }
+
+  /// Non-transactional store (setup only).
+  void store_direct(T value) {
+    word_.store(to_word(value), std::memory_order_release);
+  }
+
+ private:
+  TWord word_{0};
+};
+
+/// Fixed-size array of transactional words.
+template <WordSized T>
+class TArray {
+ public:
+  explicit TArray(std::size_t n, T initial = T{}) : vars_(n) {
+    for (auto& v : vars_) v.store_direct(initial);
+  }
+
+  TVar<T>& operator[](std::size_t i) { return vars_[i]; }
+  const TVar<T>& operator[](std::size_t i) const { return vars_[i]; }
+  std::size_t size() const { return vars_.size(); }
+
+ private:
+  std::vector<TVar<T>> vars_;
+};
+
+}  // namespace otb::stm

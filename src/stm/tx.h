@@ -1,0 +1,56 @@
+// Abstract per-thread transaction context — the C++ analogue of the DEUCE
+// "STM context" layer (§4.1.2): each algorithm implements begin / read /
+// write / commit / rollback, and the runtime drives the retry loop.
+#pragma once
+
+#include "common/tx_abort.h"
+#include "stm/stats.h"
+#include "stm/tvar.h"
+
+namespace otb::stm {
+
+class Tx {
+ public:
+  virtual ~Tx() = default;
+
+  /// Start (or restart) a transaction attempt.
+  virtual void begin() = 0;
+
+  /// Transactional word read; throws TxAbort on conflict.
+  virtual Word read_word(const TWord* addr) = 0;
+
+  /// Transactional (buffered or eager, per algorithm) word write.
+  virtual void write_word(TWord* addr, Word value) = 0;
+
+  /// Attempt to commit; throws TxAbort on failure.
+  virtual void commit() = 0;
+
+  /// Clean up after an abort (release anything held, clear logs).
+  virtual void rollback() = 0;
+
+  // ---- typed sugar --------------------------------------------------------
+
+  template <WordSized T>
+  T read(const TVar<T>& var) {
+    return from_word<T>(read_word(&var.word()));
+  }
+
+  template <WordSized T>
+  void write(TVar<T>& var, T value) {
+    write_word(&var.word(), to_word(value));
+  }
+
+  /// Read-modify-write helper.
+  template <WordSized T, typename Fn>
+  void update(TVar<T>& var, Fn&& fn) {
+    write(var, fn(read(var)));
+  }
+
+  TxStats& stats() { return stats_; }
+  const TxStats& stats() const { return stats_; }
+
+ protected:
+  TxStats stats_;
+};
+
+}  // namespace otb::stm

@@ -1,0 +1,135 @@
+// Pure-STM chained hash map (key → value): the Fig 5.7 substrate.  Buckets
+// are sorted transactional lists; short chains keep read-sets small, which
+// is why hash maps stress commit cost rather than validation cost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.h"
+#include "stm/tx.h"
+
+namespace otb::stmds {
+
+class StmHashMap {
+ public:
+  using Key = std::int64_t;
+  using Value = std::int64_t;
+
+  explicit StmHashMap(std::size_t buckets = 256) : heads_(buckets) {
+    for (auto& head : heads_) {
+      Node* tail = alloc(std::numeric_limits<Key>::max(), 0);
+      head.store_direct(tail);
+    }
+  }
+
+  /// Insert or overwrite; returns true when the key was newly inserted.
+  bool put(stm::Tx& tx, Key key, Value value) {
+    auto [prev, curr] = locate(tx, key);
+    if (curr->key == key) {
+      tx.write(curr->value, value);
+      return false;
+    }
+    Node* node = alloc(key, value);
+    node->next.store_direct(curr);
+    if (prev == nullptr) {
+      tx.write(heads_[bucket(key)], node);
+    } else {
+      tx.write(prev->next, node);
+    }
+    return true;
+  }
+
+  /// Fetch into *out; false when absent.
+  bool get(stm::Tx& tx, Key key, Value* out) {
+    auto [prev, curr] = locate(tx, key);
+    (void)prev;
+    if (curr->key != key) return false;
+    *out = tx.read(curr->value);
+    return true;
+  }
+
+  bool erase(stm::Tx& tx, Key key) {
+    auto [prev, curr] = locate(tx, key);
+    if (curr->key != key) return false;
+    Node* next = tx.read(curr->next);
+    if (prev == nullptr) {
+      tx.write(heads_[bucket(key)], next);
+    } else {
+      tx.write(prev->next, next);
+    }
+    return true;
+  }
+
+  bool put_seq(Key key, Value value) {
+    Node* prev = nullptr;
+    Node* curr = heads_[bucket(key)].load_direct();
+    while (curr->key < key) {
+      prev = curr;
+      curr = curr->next.load_direct();
+    }
+    if (curr->key == key) {
+      curr->value.store_direct(value);
+      return false;
+    }
+    Node* node = alloc(key, value);
+    node->next.store_direct(curr);
+    if (prev == nullptr) {
+      heads_[bucket(key)].store_direct(node);
+    } else {
+      prev->next.store_direct(node);
+    }
+    return true;
+  }
+
+  std::size_t size_unsafe() const {
+    std::size_t n = 0;
+    for (const auto& head : heads_) {
+      for (const Node* c = head.load_direct();
+           c->key != std::numeric_limits<Key>::max(); c = c->next.load_direct()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  struct Node {
+    Node(Key k, Value v) : key(k), value(v) {}
+    const Key key;
+    stm::TVar<Value> value;
+    stm::TVar<Node*> next{nullptr};
+  };
+
+  std::size_t bucket(Key key) const {
+    return mix64(static_cast<std::uint64_t>(key)) % heads_.size();
+  }
+
+  Node* alloc(Key key, Value value) {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_.push_back(std::make_unique<Node>(key, value));
+    return pool_.back().get();
+  }
+
+  /// (prev, curr) inside the key's bucket; prev == nullptr when curr is the
+  /// bucket head.
+  std::pair<Node*, Node*> locate(stm::Tx& tx, Key key) {
+    Node* prev = nullptr;
+    Node* curr = tx.read(heads_[bucket(key)]);
+    while (curr->key < key) {
+      prev = curr;
+      curr = tx.read(prev->next);
+    }
+    return {prev, curr};
+  }
+
+  std::vector<stm::TVar<Node*>> heads_;
+  std::mutex pool_mu_;
+  std::deque<std::unique_ptr<Node>> pool_;
+};
+
+}  // namespace otb::stmds

@@ -1,0 +1,106 @@
+// Pure-STM sorted linked-list set: every next-pointer on the traversal path
+// goes through the transactional read barrier, so the read-set grows with
+// the traversal — exactly the false-conflict behaviour Fig 1.1 illustrates
+// and the OTB comparison benchmarks (Figs 4.2, 4.4) quantify.
+//
+// Removed nodes are returned to the structure's pool only at destruction:
+// doomed transactions may still dereference stale pointers before their
+// next validation, the standard STM benchmark discipline (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "stm/tx.h"
+
+namespace otb::stmds {
+
+class StmList {
+ public:
+  using Key = std::int64_t;
+
+  StmList() {
+    head_ = alloc(std::numeric_limits<Key>::min());
+    tail_ = alloc(std::numeric_limits<Key>::max());
+    head_->next.store_direct(tail_);
+  }
+
+  bool add(stm::Tx& tx, Key key) {
+    auto [pred, curr] = locate(tx, key);
+    if (curr->key == key) return false;
+    Node* node = alloc(key);
+    node->next.store_direct(curr);
+    tx.write(pred->next, node);
+    return true;
+  }
+
+  bool remove(stm::Tx& tx, Key key) {
+    auto [pred, curr] = locate(tx, key);
+    if (curr->key != key) return false;
+    tx.write(pred->next, tx.read(curr->next));
+    return true;
+  }
+
+  bool contains(stm::Tx& tx, Key key) {
+    auto [pred, curr] = locate(tx, key);
+    (void)pred;
+    return curr->key == key;
+  }
+
+  /// Non-transactional seeding.
+  bool add_seq(Key key) {
+    Node* pred = head_;
+    Node* curr = pred->next.load_direct();
+    while (curr->key < key) {
+      pred = curr;
+      curr = curr->next.load_direct();
+    }
+    if (curr->key == key) return false;
+    Node* node = alloc(key);
+    node->next.store_direct(curr);
+    pred->next.store_direct(node);
+    return true;
+  }
+
+  std::size_t size_unsafe() const {
+    std::size_t n = 0;
+    for (const Node* c = head_->next.load_direct(); c != tail_;
+         c = c->next.load_direct()) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Node {
+    explicit Node(Key k) : key(k) {}
+    const Key key;
+    stm::TVar<Node*> next{nullptr};
+  };
+
+  Node* alloc(Key key) {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_.push_back(std::make_unique<Node>(key));
+    return pool_.back().get();
+  }
+
+  std::pair<Node*, Node*> locate(stm::Tx& tx, Key key) {
+    Node* pred = head_;
+    Node* curr = tx.read(pred->next);
+    while (curr->key < key) {
+      pred = curr;
+      curr = tx.read(pred->next);
+    }
+    return {pred, curr};
+  }
+
+  Node* head_;
+  Node* tail_;
+  std::mutex pool_mu_;
+  std::deque<std::unique_ptr<Node>> pool_;
+};
+
+}  // namespace otb::stmds

@@ -1,0 +1,340 @@
+// Pure-STM red-black tree (CLRS formulation with a nil sentinel): the
+// micro-benchmark substrate of Figs 5.5, 5.6, 5.9 and 6.7.  Every pointer
+// and colour access runs through the transactional barrier; keys are
+// immutable per node (deletion transplants nodes, not keys).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "stm/tx.h"
+
+namespace otb::stmds {
+
+class StmRbTree {
+ public:
+  using Key = std::int64_t;
+
+  StmRbTree() {
+    nil_ = alloc(0);
+    nil_->red.store_direct(false);
+    nil_->left.store_direct(nil_);
+    nil_->right.store_direct(nil_);
+    nil_->parent.store_direct(nil_);
+    root_.store_direct(nil_);
+  }
+
+  bool contains(stm::Tx& tx, Key key) {
+    Node* x = tx.read(root_);
+    while (x != nil_) {
+      if (key == x->key) return true;
+      x = key < x->key ? tx.read(x->left) : tx.read(x->right);
+    }
+    return false;
+  }
+
+  bool add(stm::Tx& tx, Key key) {
+    Node* y = nil_;
+    Node* x = tx.read(root_);
+    while (x != nil_) {
+      y = x;
+      if (key == x->key) return false;
+      x = key < x->key ? tx.read(x->left) : tx.read(x->right);
+    }
+    Node* z = alloc(key);
+    z->left.store_direct(nil_);
+    z->right.store_direct(nil_);
+    z->red.store_direct(true);
+    tx.write(z->parent, y);
+    if (y == nil_) {
+      tx.write(root_, z);
+    } else if (key < y->key) {
+      tx.write(y->left, z);
+    } else {
+      tx.write(y->right, z);
+    }
+    insert_fixup(tx, z);
+    return true;
+  }
+
+  bool remove(stm::Tx& tx, Key key) {
+    Node* z = tx.read(root_);
+    while (z != nil_ && z->key != key) {
+      z = key < z->key ? tx.read(z->left) : tx.read(z->right);
+    }
+    if (z == nil_) return false;
+    erase(tx, z);
+    return true;
+  }
+
+  bool add_seq(Key key) { return seq_apply(key, /*insert=*/true); }
+  bool remove_seq(Key key) { return seq_apply(key, /*insert=*/false); }
+
+  std::size_t size_unsafe() const { return count(root_.load_direct()); }
+
+  /// Structural invariant checks (tests): returns black height, -1 on
+  /// violation (red-red edge or unequal black heights).
+  int check_invariants() const {
+    const Node* root = root_.load_direct();
+    if (root != nil_ && root->red.load_direct()) return -1;  // root must be black
+    return black_height(root);
+  }
+
+ private:
+  struct Node {
+    explicit Node(Key k) : key(k) {}
+    const Key key;
+    stm::TVar<bool> red{false};
+    stm::TVar<Node*> left{nullptr};
+    stm::TVar<Node*> right{nullptr};
+    stm::TVar<Node*> parent{nullptr};
+  };
+
+  Node* alloc(Key key) {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_.push_back(std::make_unique<Node>(key));
+    return pool_.back().get();
+  }
+
+  // ---- transactional CLRS machinery ---------------------------------------
+
+  void rotate_left(stm::Tx& tx, Node* x) {
+    Node* y = tx.read(x->right);
+    Node* yl = tx.read(y->left);
+    tx.write(x->right, yl);
+    if (yl != nil_) tx.write(yl->parent, x);
+    Node* xp = tx.read(x->parent);
+    tx.write(y->parent, xp);
+    if (xp == nil_) {
+      tx.write(root_, y);
+    } else if (x == tx.read(xp->left)) {
+      tx.write(xp->left, y);
+    } else {
+      tx.write(xp->right, y);
+    }
+    tx.write(y->left, x);
+    tx.write(x->parent, y);
+  }
+
+  void rotate_right(stm::Tx& tx, Node* x) {
+    Node* y = tx.read(x->left);
+    Node* yr = tx.read(y->right);
+    tx.write(x->left, yr);
+    if (yr != nil_) tx.write(yr->parent, x);
+    Node* xp = tx.read(x->parent);
+    tx.write(y->parent, xp);
+    if (xp == nil_) {
+      tx.write(root_, y);
+    } else if (x == tx.read(xp->right)) {
+      tx.write(xp->right, y);
+    } else {
+      tx.write(xp->left, y);
+    }
+    tx.write(y->right, x);
+    tx.write(x->parent, y);
+  }
+
+  void insert_fixup(stm::Tx& tx, Node* z) {
+    while (true) {
+      Node* zp = tx.read(z->parent);
+      if (zp == nil_ || !tx.read(zp->red)) break;
+      Node* zpp = tx.read(zp->parent);
+      if (zp == tx.read(zpp->left)) {
+        Node* uncle = tx.read(zpp->right);
+        if (tx.read(uncle->red)) {
+          tx.write(zp->red, false);
+          tx.write(uncle->red, false);
+          tx.write(zpp->red, true);
+          z = zpp;
+        } else {
+          if (z == tx.read(zp->right)) {
+            z = zp;
+            rotate_left(tx, z);
+            zp = tx.read(z->parent);
+            zpp = tx.read(zp->parent);
+          }
+          tx.write(zp->red, false);
+          tx.write(zpp->red, true);
+          rotate_right(tx, zpp);
+        }
+      } else {
+        Node* uncle = tx.read(zpp->left);
+        if (tx.read(uncle->red)) {
+          tx.write(zp->red, false);
+          tx.write(uncle->red, false);
+          tx.write(zpp->red, true);
+          z = zpp;
+        } else {
+          if (z == tx.read(zp->left)) {
+            z = zp;
+            rotate_right(tx, z);
+            zp = tx.read(z->parent);
+            zpp = tx.read(zp->parent);
+          }
+          tx.write(zp->red, false);
+          tx.write(zpp->red, true);
+          rotate_left(tx, zpp);
+        }
+      }
+    }
+    Node* root = tx.read(root_);
+    tx.write(root->red, false);
+  }
+
+  void transplant(stm::Tx& tx, Node* u, Node* v) {
+    Node* up = tx.read(u->parent);
+    if (up == nil_) {
+      tx.write(root_, v);
+    } else if (u == tx.read(up->left)) {
+      tx.write(up->left, v);
+    } else {
+      tx.write(up->right, v);
+    }
+    tx.write(v->parent, up);
+  }
+
+  Node* minimum(stm::Tx& tx, Node* x) {
+    for (Node* l = tx.read(x->left); l != nil_; l = tx.read(x->left)) x = l;
+    return x;
+  }
+
+  void erase(stm::Tx& tx, Node* z) {
+    Node* y = z;
+    bool y_was_red = tx.read(y->red);
+    Node* x;
+    if (tx.read(z->left) == nil_) {
+      x = tx.read(z->right);
+      transplant(tx, z, x);
+    } else if (tx.read(z->right) == nil_) {
+      x = tx.read(z->left);
+      transplant(tx, z, x);
+    } else {
+      y = minimum(tx, tx.read(z->right));
+      y_was_red = tx.read(y->red);
+      x = tx.read(y->right);
+      if (tx.read(y->parent) == z) {
+        tx.write(x->parent, y);  // may write the nil sentinel; harmless
+      } else {
+        transplant(tx, y, x);
+        Node* zr = tx.read(z->right);
+        tx.write(y->right, zr);
+        tx.write(zr->parent, y);
+      }
+      transplant(tx, z, y);
+      Node* zl = tx.read(z->left);
+      tx.write(y->left, zl);
+      tx.write(zl->parent, y);
+      tx.write(y->red, tx.read(z->red));
+    }
+    if (!y_was_red) erase_fixup(tx, x);
+  }
+
+  void erase_fixup(stm::Tx& tx, Node* x) {
+    while (x != tx.read(root_) && !tx.read(x->red)) {
+      Node* xp = tx.read(x->parent);
+      if (x == tx.read(xp->left)) {
+        Node* w = tx.read(xp->right);
+        if (tx.read(w->red)) {
+          tx.write(w->red, false);
+          tx.write(xp->red, true);
+          rotate_left(tx, xp);
+          w = tx.read(xp->right);
+        }
+        if (!tx.read(tx.read(w->left)->red) && !tx.read(tx.read(w->right)->red)) {
+          tx.write(w->red, true);
+          x = xp;
+        } else {
+          if (!tx.read(tx.read(w->right)->red)) {
+            tx.write(tx.read(w->left)->red, false);
+            tx.write(w->red, true);
+            rotate_right(tx, w);
+            w = tx.read(xp->right);
+          }
+          tx.write(w->red, tx.read(xp->red));
+          tx.write(xp->red, false);
+          tx.write(tx.read(w->right)->red, false);
+          rotate_left(tx, xp);
+          x = tx.read(root_);
+        }
+      } else {
+        Node* w = tx.read(xp->left);
+        if (tx.read(w->red)) {
+          tx.write(w->red, false);
+          tx.write(xp->red, true);
+          rotate_right(tx, xp);
+          w = tx.read(xp->left);
+        }
+        if (!tx.read(tx.read(w->right)->red) && !tx.read(tx.read(w->left)->red)) {
+          tx.write(w->red, true);
+          x = xp;
+        } else {
+          if (!tx.read(tx.read(w->left)->red)) {
+            tx.write(tx.read(w->right)->red, false);
+            tx.write(w->red, true);
+            rotate_left(tx, w);
+            w = tx.read(xp->left);
+          }
+          tx.write(w->red, tx.read(xp->red));
+          tx.write(xp->red, false);
+          tx.write(tx.read(w->left)->red, false);
+          rotate_right(tx, xp);
+          x = tx.read(root_);
+        }
+      }
+    }
+    tx.write(x->red, false);
+  }
+
+  // ---- sequential helpers ---------------------------------------------------
+
+  /// Dummy context whose barriers are direct loads/stores (single-threaded
+  /// seeding — far faster than running real transactions).
+  class SeqTx final : public stm::Tx {
+   public:
+    void begin() override {}
+    stm::Word read_word(const stm::TWord* addr) override {
+      return addr->load(std::memory_order_relaxed);
+    }
+    void write_word(stm::TWord* addr, stm::Word v) override {
+      addr->store(v, std::memory_order_relaxed);
+    }
+    void commit() override {}
+    void rollback() override {}
+  };
+
+  bool seq_apply(Key key, bool insert) {
+    SeqTx tx;
+    return insert ? add(tx, key) : remove(tx, key);
+  }
+
+  std::size_t count(const Node* n) const {
+    if (n == nil_) return 0;
+    return 1 + count(n->left.load_direct()) + count(n->right.load_direct());
+  }
+
+  /// -1 on violation, else the black height of `n`.
+  int black_height(const Node* n) const {
+    if (n == nil_) return 1;
+    const Node* l = n->left.load_direct();
+    const Node* r = n->right.load_direct();
+    if (n->red.load_direct() &&
+        (l->red.load_direct() || r->red.load_direct())) {
+      return -1;  // red-red edge
+    }
+    if (l != nil_ && l->key >= n->key) return -1;
+    if (r != nil_ && r->key <= n->key) return -1;
+    const int hl = black_height(l);
+    const int hr = black_height(r);
+    if (hl == -1 || hr == -1 || hl != hr) return -1;
+    return hl + (n->red.load_direct() ? 0 : 1);
+  }
+
+  stm::TVar<Node*> root_;
+  Node* nil_;
+  std::mutex pool_mu_;
+  std::deque<std::unique_ptr<Node>> pool_;
+};
+
+}  // namespace otb::stmds

@@ -1,0 +1,129 @@
+// Pure-STM skip-list set: logarithmic traversal, but every hop is still an
+// instrumented transactional read (the Fig 4.3 baseline).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.h"
+#include "stm/tx.h"
+
+namespace otb::stmds {
+
+class StmSkipList {
+ public:
+  using Key = std::int64_t;
+  static constexpr unsigned kMaxLevel = 20;
+
+  StmSkipList() {
+    head_ = alloc(std::numeric_limits<Key>::min(), kMaxLevel - 1);
+    tail_ = alloc(std::numeric_limits<Key>::max(), kMaxLevel - 1);
+    for (unsigned l = 0; l < kMaxLevel; ++l) head_->next[l].store_direct(tail_);
+  }
+
+  bool add(stm::Tx& tx, Key key) {
+    std::array<Node*, kMaxLevel> preds, succs;
+    if (locate(tx, key, preds, succs)) return false;
+    const unsigned top = random_level();
+    Node* node = alloc(key, top);
+    for (unsigned l = 0; l <= top; ++l) node->next[l].store_direct(succs[l]);
+    for (unsigned l = 0; l <= top; ++l) tx.write(preds[l]->next[l], node);
+    return true;
+  }
+
+  bool remove(stm::Tx& tx, Key key) {
+    std::array<Node*, kMaxLevel> preds, succs;
+    if (!locate(tx, key, preds, succs)) return false;
+    Node* victim = succs[0];
+    for (unsigned l = 0; l <= victim->top_level; ++l) {
+      if (tx.read(preds[l]->next[l]) == victim) {
+        tx.write(preds[l]->next[l], tx.read(victim->next[l]));
+      }
+    }
+    return true;
+  }
+
+  bool contains(stm::Tx& tx, Key key) {
+    std::array<Node*, kMaxLevel> preds, succs;
+    return locate(tx, key, preds, succs);
+  }
+
+  bool add_seq(Key key) {
+    std::array<Node*, kMaxLevel> preds, succs;
+    Node* pred = head_;
+    for (unsigned l = kMaxLevel; l-- > 0;) {
+      Node* curr = pred->next[l].load_direct();
+      while (curr->key < key) {
+        pred = curr;
+        curr = pred->next[l].load_direct();
+      }
+      preds[l] = pred;
+      succs[l] = curr;
+    }
+    if (succs[0]->key == key) return false;
+    const unsigned top = random_level();
+    Node* node = alloc(key, top);
+    for (unsigned l = 0; l <= top; ++l) {
+      node->next[l].store_direct(succs[l]);
+      preds[l]->next[l].store_direct(node);
+    }
+    return true;
+  }
+
+  std::size_t size_unsafe() const {
+    std::size_t n = 0;
+    for (const Node* c = head_->next[0].load_direct(); c != tail_;
+         c = c->next[0].load_direct()) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Node {
+    Node(Key k, unsigned top) : key(k), top_level(top) {}
+    const Key key;
+    const unsigned top_level;
+    std::array<stm::TVar<Node*>, kMaxLevel> next;
+  };
+
+  Node* alloc(Key key, unsigned top) {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_.push_back(std::make_unique<Node>(key, top));
+    return pool_.back().get();
+  }
+
+  /// Transactional search; fills preds/succs, returns whether key is present.
+  bool locate(stm::Tx& tx, Key key, std::array<Node*, kMaxLevel>& preds,
+              std::array<Node*, kMaxLevel>& succs) {
+    Node* pred = head_;
+    for (unsigned l = kMaxLevel; l-- > 0;) {
+      Node* curr = tx.read(pred->next[l]);
+      while (curr->key < key) {
+        pred = curr;
+        curr = tx.read(pred->next[l]);
+      }
+      preds[l] = pred;
+      succs[l] = curr;
+    }
+    return succs[0]->key == key;
+  }
+
+  static unsigned random_level() {
+    thread_local Xorshift rng{0xabcdu ^ reinterpret_cast<std::uintptr_t>(&rng)};
+    unsigned level = 0;
+    while ((rng.next() & 1) != 0 && level < kMaxLevel - 1) ++level;
+    return level;
+  }
+
+  Node* head_;
+  Node* tail_;
+  std::mutex pool_mu_;
+  std::deque<std::unique_ptr<Node>> pool_;
+};
+
+}  // namespace otb::stmds

@@ -1,0 +1,70 @@
+// Tests for the benchmark harness itself: the fixed-duration driver's
+// phase protocol and aggregation, and environment-variable handling —
+// deliverable (d) is only as trustworthy as this machinery.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "benchlib/driver.h"
+#include "benchlib/table.h"
+
+namespace otb::bench {
+namespace {
+
+TEST(BenchDriver, CountsOnlyMeasuredPhase) {
+  const RunResult r = run_fixed_duration(
+      2, /*warm_ms=*/20, /*run_ms=*/60,
+      [](unsigned, const std::function<Phase()>& phase, ThreadResult& out) {
+        bool saw_warmup = false;
+        while (phase() != Phase::kDone) {
+          if (phase() == Phase::kWarmup) saw_warmup = true;
+          if (phase() == Phase::kMeasure) ++out.ops;
+        }
+        EXPECT_TRUE(saw_warmup);
+      });
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+}
+
+TEST(BenchDriver, AggregatesAcrossThreads) {
+  const RunResult r = run_fixed_duration(
+      4, 5, 30,
+      [](unsigned tid, const std::function<Phase()>& phase, ThreadResult& out) {
+        while (phase() != Phase::kDone) {
+          if (phase() == Phase::kMeasure) {
+            ++out.ops;
+            out.aborts += tid;  // distinguishable per-thread contributions
+          }
+        }
+        out.stats.commits = 7;
+      });
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_EQ(r.stats.commits, 4u * 7u);
+}
+
+TEST(BenchDriver, EnvOverridesRespected) {
+  setenv("OTB_BENCH_MS", "123", 1);
+  EXPECT_EQ(measure_ms(), 123u);
+  unsetenv("OTB_BENCH_MS");
+  EXPECT_EQ(measure_ms(), 250u);
+
+  setenv("OTB_BENCH_THREADS", "3 5", 1);
+  const auto counts = thread_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 5u);
+  unsetenv("OTB_BENCH_THREADS");
+  EXPECT_EQ(thread_counts().size(), 4u);  // default "1 2 4 8"
+}
+
+TEST(BenchTable, PrintsAllRowsAndShape) {
+  // Smoke test: printing must not crash and must handle ragged use.
+  SeriesTable table("unit", "threads", {"1", "2"});
+  table.add_row("A", {100.0, 200.0});
+  table.add_row("B", {150.0, 120.0});
+  table.print("ops");                 // winner at col 2 is A
+  table.print_fractional("fraction");  // alternate format
+}
+
+}  // namespace
+}  // namespace otb::bench

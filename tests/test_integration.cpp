@@ -1,0 +1,187 @@
+// Tests for the Chapter-4 integration layer: transactions that mix OTB
+// data-structure operations with raw STM memory reads/writes must stay
+// atomic and consistent, under both host algorithms (OTB-NOrec, OTB-TL2).
+// Includes the Algorithm 7 test case the paper uses to justify correctness:
+// transactionally maintained success counters must match the set's state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "integration/otb_stm.h"
+#include "otb/otb_heap_pq.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_pq.h"
+#include "otb/otb_skiplist_set.h"
+
+namespace otb::integration {
+namespace {
+
+class IntegrationTest : public ::testing::TestWithParam<HostAlgo> {};
+
+INSTANTIATE_TEST_SUITE_P(Hosts, IntegrationTest,
+                         ::testing::Values(HostAlgo::kOtbNOrec, HostAlgo::kOtbTl2),
+                         [](const auto& info) {
+                           return info.param == HostAlgo::kOtbNOrec ? "OtbNOrec"
+                                                                    : "OtbTl2";
+                         });
+
+TEST_P(IntegrationTest, MixedSetOpAndMemoryWrite) {
+  Runtime rt(GetParam());
+  tx::OtbListSet set;
+  stm::TVar<std::int64_t> added{0};
+  auto ctx = rt.make_tx();
+  rt.atomically(*ctx, [&](OtbTx& tx) {
+    if (set.add(tx, 7)) {
+      tx.write(added, tx.read(added) + 1);
+    }
+  });
+  EXPECT_EQ(set.size_unsafe(), 1u);
+  EXPECT_EQ(added.load_direct(), 1);
+  // Second insertion fails, counter untouched.
+  rt.atomically(*ctx, [&](OtbTx& tx) {
+    if (set.add(tx, 7)) {
+      tx.write(added, tx.read(added) + 1);
+    }
+  });
+  EXPECT_EQ(added.load_direct(), 1);
+}
+
+TEST_P(IntegrationTest, Algorithm7CountersMatchSetState) {
+  // The paper's integration test case (§4.3.3): per-outcome counters updated
+  // in the same transaction as the set operation; at quiescence the counters
+  // must exactly reconcile with the set contents.
+  Runtime rt(GetParam());
+  tx::OtbSkipListSet set;
+  stm::TVar<std::int64_t> ok_add{0}, fail_add{0}, ok_rem{0}, fail_rem{0};
+  constexpr int kThreads = 4, kIters = 250, kRange = 48;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto ctx = rt.make_tx();
+      Xorshift rng{std::uint64_t(t) * 7919 + 13};
+      for (int i = 0; i < kIters; ++i) {
+        const std::int64_t key = std::int64_t(rng.next_bounded(kRange));
+        if (rng.chance_pct(50)) {
+          rt.atomically(*ctx, [&](OtbTx& tx) {
+            if (set.add(tx, key)) {
+              tx.write(ok_add, tx.read(ok_add) + 1);
+            } else {
+              tx.write(fail_add, tx.read(fail_add) + 1);
+            }
+          });
+        } else {
+          rt.atomically(*ctx, [&](OtbTx& tx) {
+            if (set.remove(tx, key)) {
+              tx.write(ok_rem, tx.read(ok_rem) + 1);
+            } else {
+              tx.write(fail_rem, tx.read(fail_rem) + 1);
+            }
+          });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok_add.load_direct() + fail_add.load_direct() +
+                ok_rem.load_direct() + fail_rem.load_direct(),
+            std::int64_t(kThreads) * kIters);
+  EXPECT_EQ(std::size_t(ok_add.load_direct() - ok_rem.load_direct()),
+            set.size_unsafe());
+}
+
+TEST_P(IntegrationTest, SetAndMemoryAbortTogether) {
+  Runtime rt(GetParam());
+  tx::OtbListSet set;
+  stm::TVar<std::int64_t> x{0};
+  auto ctx = rt.make_tx();
+  int attempts = 0;
+  rt.atomically(*ctx, [&](OtbTx& tx) {
+    set.add(tx, 1);
+    tx.write(x, std::int64_t{99});
+    if (++attempts == 1) throw TxAbort{};
+  });
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(set.size_unsafe(), 1u);
+  EXPECT_EQ(x.load_direct(), 99);
+}
+
+TEST_P(IntegrationTest, TwoStructuresAndMemoryCompose) {
+  // Producer/consumer over an OTB priority queue plus an OTB set plus a
+  // memory counter: the whole triple must move atomically.
+  Runtime rt(GetParam());
+  tx::OtbSkipListPQ queue;
+  tx::OtbSkipListSet done;
+  stm::TVar<std::int64_t> processed{0};
+  for (std::int64_t k = 1; k <= 40; ++k) queue.add_seq(k);
+  constexpr int kThreads = 2;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto ctx = rt.make_tx();
+      for (;;) {
+        bool empty = false;
+        rt.atomically(*ctx, [&](OtbTx& tx) {
+          std::int64_t v;
+          if (!queue.remove_min(tx, &v)) {
+            empty = true;
+            return;
+          }
+          ASSERT_TRUE(done.add(tx, v));
+          tx.write(processed, tx.read(processed) + 1);
+        });
+        if (empty) break;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(processed.load_direct(), 40);
+  EXPECT_EQ(done.size_unsafe(), 40u);
+  EXPECT_EQ(queue.size_unsafe(), 0u);
+}
+
+TEST_P(IntegrationTest, ReadOnlyMixedTransactionsAreConsistent) {
+  Runtime rt(GetParam());
+  tx::OtbListSet set;
+  stm::TVar<std::int64_t> count{0};  // invariant: count == |set|
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    auto ctx = rt.make_tx();
+    Xorshift rng{77};
+    for (int i = 0; i < 300; ++i) {
+      const std::int64_t key = std::int64_t(rng.next_bounded(32));
+      rt.atomically(*ctx, [&](OtbTx& tx) {
+        if (set.add(tx, key)) {
+          tx.write(count, tx.read(count) + 1);
+        } else if (set.remove(tx, key)) {
+          tx.write(count, tx.read(count) - 1);
+        }
+      });
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    auto ctx = rt.make_tx();
+    Xorshift rng{78};
+    while (!stop.load()) {
+      std::int64_t observed = -1;
+      std::int64_t probe_hits = 0;
+      rt.atomically(*ctx, [&](OtbTx& tx) {
+        observed = tx.read(count);
+        probe_hits = 0;
+        for (std::int64_t k = 0; k < 32; ++k) {
+          if (set.contains(tx, k)) ++probe_hits;
+        }
+      });
+      EXPECT_EQ(observed, probe_hits) << "count/set snapshot diverged";
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(std::size_t(count.load_direct()), set.size_unsafe());
+}
+
+}  // namespace
+}  // namespace otb::integration

@@ -1,0 +1,72 @@
+// Mini-STAMP correctness: every deterministic app must produce the same
+// checksum single-threaded and multi-threaded, across STM algorithms —
+// i.e., the transactional execution is equivalent to the sequential one.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "ministamp/ministamp.h"
+
+namespace otb::ministamp {
+namespace {
+
+using stm::AlgoKind;
+
+class MiniStampTest : public ::testing::TestWithParam<AlgoKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Algos, MiniStampTest,
+                         ::testing::Values(AlgoKind::kNOrec, AlgoKind::kTL2,
+                                           AlgoKind::kRTC, AlgoKind::kRInval),
+                         [](const auto& info) {
+                           return std::string(stm::to_string(info.param));
+                         });
+
+std::uint64_t reference_checksum(const App& app) {
+  // Sequential oracle: one thread under the simplest algorithm.
+  static std::map<std::string, std::uint64_t> cache;
+  const auto it = cache.find(app.name());
+  if (it != cache.end()) return it->second;
+  stm::Runtime rt(AlgoKind::kNOrec);
+  const AppResult r = app.run(rt, 1);
+  cache[app.name()] = r.checksum;
+  return r.checksum;
+}
+
+TEST_P(MiniStampTest, DeterministicAppsMatchSequentialOracle) {
+  stm::Config cfg;
+  cfg.max_threads = 8;
+  for (const auto& app : make_all_apps()) {
+    if (!app->deterministic()) continue;
+    const std::uint64_t expected = reference_checksum(*app);
+    stm::Runtime rt(GetParam(), cfg);
+    const AppResult got = app->run(rt, 4);
+    EXPECT_EQ(got.checksum, expected) << app->name();
+    EXPECT_GT(got.stats.commits, 0u) << app->name();
+  }
+}
+
+TEST_P(MiniStampTest, LabyrinthRoutesAccountedFor) {
+  stm::Config cfg;
+  cfg.max_threads = 8;
+  LabyrinthApp app;
+  stm::Runtime rt(GetParam(), cfg);
+  const AppResult r = app.run(rt, 4);
+  // checksum = routed * 1000 + failed; every route either lands or fails.
+  const std::uint64_t routed = r.checksum / 1000;
+  const std::uint64_t failed = r.checksum % 1000;
+  EXPECT_EQ(routed + failed, 96u * stamp_scale());
+  EXPECT_GT(routed, 0u);
+}
+
+TEST(MiniStamp, AllAppsReportStats) {
+  stm::Runtime rt(AlgoKind::kNOrec);
+  for (const auto& app : make_all_apps()) {
+    const AppResult r = app->run(rt, 2);
+    EXPECT_GT(r.stats.commits, 0u) << app->name();
+    EXPECT_GT(r.exec_ms, 0.0) << app->name();
+  }
+}
+
+}  // namespace
+}  // namespace otb::ministamp

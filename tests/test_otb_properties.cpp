@@ -1,0 +1,216 @@
+// Property-based and failure-injection tests for the OTB layer:
+//   * random multi-structure transactions with randomly injected user
+//     aborts must behave exactly like programs that skip aborted attempts;
+//   * cross-structure invariants hold under concurrency;
+//   * priority-queue elements are conserved through random abort storms.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "otb/otb_list_map.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_pq.h"
+#include "otb/otb_skiplist_set.h"
+#include "otb/runtime.h"
+
+namespace otb {
+namespace {
+
+TEST(OtbProperty, RandomAbortInjectionLeavesOracleState) {
+  tx::OtbListSet set;
+  tx::OtbListMap map;
+  std::set<std::int64_t> set_oracle;
+  std::map<std::int64_t, std::int64_t> map_oracle;
+  Xorshift rng{2222};
+  for (int round = 0; round < 500; ++round) {
+    // Build a random program touching both structures.
+    struct Step {
+      unsigned op;
+      std::int64_t key, val;
+    };
+    std::vector<Step> prog;
+    const unsigned len = 1 + rng.next_bounded(4);
+    for (unsigned i = 0; i < len; ++i) {
+      prog.push_back({unsigned(rng.next_bounded(4)),
+                      std::int64_t(rng.next_bounded(30)),
+                      std::int64_t(rng.next_bounded(100))});
+    }
+    const bool inject_abort = rng.chance_pct(30);
+    int attempts = 0;
+    tx::atomically([&](tx::Transaction& t) {
+      ++attempts;
+      for (const Step& s : prog) {
+        switch (s.op) {
+          case 0:
+            set.add(t, s.key);
+            break;
+          case 1:
+            set.remove(t, s.key);
+            break;
+          case 2:
+            map.put(t, s.key, s.val);
+            break;
+          default:
+            map.erase(t, s.key);
+            break;
+        }
+      }
+      if (inject_abort && attempts == 1) throw TxAbort{};
+    });
+    // The committed attempt is equivalent to applying the program once.
+    for (const Step& s : prog) {
+      switch (s.op) {
+        case 0:
+          set_oracle.insert(s.key);
+          break;
+        case 1:
+          set_oracle.erase(s.key);
+          break;
+        case 2:
+          map_oracle[s.key] = s.val;
+          break;
+        default:
+          map_oracle.erase(s.key);
+          break;
+      }
+    }
+    ASSERT_EQ(set.size_unsafe(), set_oracle.size()) << "round " << round;
+    ASSERT_EQ(map.size_unsafe(), map_oracle.size()) << "round " << round;
+  }
+  // Full content equality at the end.
+  auto set_snap = set.snapshot_unsafe();
+  EXPECT_TRUE(std::equal(set_snap.begin(), set_snap.end(), set_oracle.begin(),
+                         set_oracle.end()));
+  for (const auto& [k, v] : map.snapshot_unsafe()) {
+    ASSERT_TRUE(map_oracle.count(k));
+    EXPECT_EQ(map_oracle[k], v);
+  }
+}
+
+TEST(OtbProperty, CrossStructureInvariantUnderConcurrency) {
+  // Every key lives in exactly one of three skip-list sets; threads move
+  // keys between random pairs of sets.
+  tx::OtbSkipListSet sets[3];
+  constexpr std::int64_t kKeys = 32;
+  for (std::int64_t k = 0; k < kKeys; ++k) sets[k % 3].add_seq(k);
+  constexpr int kThreads = 4, kIters = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift rng{std::uint64_t(t) * 5 + 3};
+      for (int i = 0; i < kIters; ++i) {
+        const std::int64_t key = std::int64_t(rng.next_bounded(kKeys));
+        const unsigned from = unsigned(rng.next_bounded(3));
+        const unsigned to = unsigned(rng.next_bounded(3));
+        tx::atomically([&](tx::Transaction& tr) {
+          if (from != to && sets[from].remove(tr, key)) {
+            ASSERT_TRUE(sets[to].add(tr, key));
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(sets[0].size_unsafe() + sets[1].size_unsafe() + sets[2].size_unsafe(),
+            std::size_t(kKeys));
+  for (std::int64_t k = 0; k < kKeys; ++k) {
+    int homes = 0;
+    for (auto& s : sets) {
+      const auto snap = s.snapshot_unsafe();
+      homes += std::count(snap.begin(), snap.end(), k);
+    }
+    EXPECT_EQ(homes, 1) << "key " << k;
+  }
+}
+
+TEST(OtbProperty, PriorityQueueConservationUnderAbortStorm) {
+  tx::OtbSkipListPQ pq;
+  constexpr std::int64_t kKeys = 200;
+  for (std::int64_t k = 0; k < kKeys; ++k) pq.add_seq(k * 2);
+  std::atomic<int> popped{0};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift rng{std::uint64_t(t) + 400};
+      while (popped.load() < kKeys) {
+        bool got = false;
+        std::int64_t v = -1;
+        int attempts = 0;
+        tx::atomically([&](tx::Transaction& tr) {
+          got = pq.remove_min(tr, &v);
+          // Inject an abort on ~25% of first attempts.
+          if (++attempts == 1 && rng.chance_pct(25)) throw TxAbort{};
+        });
+        if (got) popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(popped.load(), kKeys);
+  EXPECT_EQ(pq.size_unsafe(), 0u);
+}
+
+TEST(OtbProperty, EliminationNeverLeaksSharedWrites) {
+  // Transactions that only add+remove the same key must never modify the
+  // shared list at all — verified via the structure's version churn proxy:
+  // the node count stays identical and the keys stay identical.
+  tx::OtbListSet set;
+  for (std::int64_t k = 0; k < 10; ++k) set.add_seq(k * 10);
+  const auto before = set.snapshot_unsafe();
+  for (int i = 0; i < 100; ++i) {
+    tx::atomically([&](tx::Transaction& t) {
+      EXPECT_TRUE(set.add(t, 5));
+      EXPECT_TRUE(set.remove(t, 5));
+      EXPECT_TRUE(set.add(t, 7));
+      EXPECT_TRUE(set.remove(t, 7));
+    });
+  }
+  EXPECT_EQ(set.snapshot_unsafe(), before);
+}
+
+TEST(OtbProperty, LongTransactionsAcrossManyKeysCommitAtomically) {
+  tx::OtbSkipListSet set;
+  constexpr int kBatch = 25;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int round = 0; round < 60; ++round) {
+      const std::int64_t base = round * kBatch;
+      tx::atomically([&](tx::Transaction& t) {
+        for (std::int64_t k = 0; k < kBatch; ++k) {
+          ASSERT_TRUE(set.add(t, base + k));
+        }
+      });
+      tx::atomically([&](tx::Transaction& t) {
+        for (std::int64_t k = 0; k < kBatch; ++k) {
+          ASSERT_TRUE(set.remove(t, base + k));
+        }
+      });
+    }
+    stop = true;
+  });
+  std::thread observer([&] {
+    while (!stop.load()) {
+      // Batches land and vanish wholesale: size is always a multiple of the
+      // batch size.
+      std::size_t n = 0;
+      tx::atomically([&](tx::Transaction& t) {
+        n = 0;
+        for (std::int64_t k = 0; k < 60 * kBatch; ++k) {
+          if (set.contains(t, k)) ++n;
+        }
+      });
+      EXPECT_EQ(n % kBatch, 0u) << "partial batch visible";
+    }
+  });
+  writer.join();
+  observer.join();
+  EXPECT_EQ(set.size_unsafe(), 0u);
+}
+
+}  // namespace
+}  // namespace otb

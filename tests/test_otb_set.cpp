@@ -1,0 +1,254 @@
+// Tests for the OTB sets (linked-list and skip-list): transactional
+// semantics, read-own-writes, elimination, multi-op commit ordering
+// (Fig 3.2 scenarios), abort/rollback, composition of two structures in one
+// transaction, and concurrent oracle-checked stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_set.h"
+#include "otb/runtime.h"
+
+namespace otb {
+namespace {
+
+template <typename SetT>
+class OtbSetTest : public ::testing::Test {};
+
+using SetTypes = ::testing::Types<tx::OtbListSet, tx::OtbSkipListSet>;
+TYPED_TEST_SUITE(OtbSetTest, SetTypes);
+
+TYPED_TEST(OtbSetTest, SingleOpTransactions) {
+  TypeParam set;
+  bool r = false;
+  tx::atomically([&](tx::Transaction& t) { r = set.add(t, 5); });
+  EXPECT_TRUE(r);
+  tx::atomically([&](tx::Transaction& t) { r = set.add(t, 5); });
+  EXPECT_FALSE(r);
+  tx::atomically([&](tx::Transaction& t) { r = set.contains(t, 5); });
+  EXPECT_TRUE(r);
+  tx::atomically([&](tx::Transaction& t) { r = set.remove(t, 5); });
+  EXPECT_TRUE(r);
+  tx::atomically([&](tx::Transaction& t) { r = set.contains(t, 5); });
+  EXPECT_FALSE(r);
+  EXPECT_EQ(set.size_unsafe(), 0u);
+}
+
+TYPED_TEST(OtbSetTest, ReadOwnWrites) {
+  // §3.1 Rule 2: the second add of x in one transaction must fail, a
+  // contains after a pending add must succeed, and a contains after a
+  // pending remove must fail — all before anything is published.
+  TypeParam set;
+  set.add_seq(50);
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.add(t, 10));
+    EXPECT_FALSE(set.add(t, 10));
+    EXPECT_TRUE(set.contains(t, 10));
+    EXPECT_TRUE(set.remove(t, 50));
+    EXPECT_FALSE(set.contains(t, 50));
+    EXPECT_FALSE(set.remove(t, 50));
+    // Nothing is published yet: the shared structure is unchanged.
+    EXPECT_EQ(set.size_unsafe(), 1u);
+  });
+  EXPECT_TRUE(set.snapshot_unsafe() == std::vector<std::int64_t>{10});
+}
+
+TYPED_TEST(OtbSetTest, AddThenRemoveEliminates) {
+  TypeParam set;
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.add(t, 7));
+    EXPECT_TRUE(set.remove(t, 7));  // eliminates the pending add
+    EXPECT_FALSE(set.contains(t, 7));
+  });
+  EXPECT_EQ(set.size_unsafe(), 0u);
+}
+
+TYPED_TEST(OtbSetTest, RemoveThenAddEliminates) {
+  TypeParam set;
+  set.add_seq(7);
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.remove(t, 7));
+    EXPECT_TRUE(set.add(t, 7));  // eliminates the pending remove
+    EXPECT_TRUE(set.contains(t, 7));
+  });
+  EXPECT_TRUE(set.snapshot_unsafe() == std::vector<std::int64_t>{7});
+}
+
+TYPED_TEST(OtbSetTest, MultipleAddsBetweenSameNodes) {
+  // Fig 3.2(a): several keys inserted between the same (pred, curr) pair in
+  // one transaction; descending commit order must chain them correctly.
+  TypeParam set;
+  set.add_seq(1);
+  set.add_seq(5);
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.add(t, 2));
+    EXPECT_TRUE(set.add(t, 3));
+    EXPECT_TRUE(set.add(t, 4));
+  });
+  EXPECT_TRUE((set.snapshot_unsafe() == std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+TYPED_TEST(OtbSetTest, AddAndRemoveAdjacentKeys) {
+  // Fig 3.2(b): add 4 and remove 5 in the same transaction — 4 must link to
+  // 5's successor, not to the removed node.
+  TypeParam set;
+  for (std::int64_t k : {1, 3, 5, 6}) set.add_seq(k);
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.add(t, 4));
+    EXPECT_TRUE(set.remove(t, 5));
+  });
+  EXPECT_TRUE((set.snapshot_unsafe() == std::vector<std::int64_t>{1, 3, 4, 6}));
+}
+
+TYPED_TEST(OtbSetTest, AdjacentRemovesInOneTransaction) {
+  TypeParam set;
+  for (std::int64_t k : {1, 2, 3, 4, 5}) set.add_seq(k);
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.remove(t, 3));
+    EXPECT_TRUE(set.remove(t, 4));
+    EXPECT_TRUE(set.remove(t, 2));
+  });
+  EXPECT_TRUE((set.snapshot_unsafe() == std::vector<std::int64_t>{1, 5}));
+}
+
+TYPED_TEST(OtbSetTest, UserAbortRollsBackEverything) {
+  TypeParam set;
+  set.add_seq(1);
+  int attempts = 0;
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.add(t, 2));
+    EXPECT_TRUE(set.remove(t, 1));
+    if (++attempts == 1) throw TxAbort{};  // force one retry
+  });
+  EXPECT_EQ(attempts, 2);
+  EXPECT_TRUE((set.snapshot_unsafe() == std::vector<std::int64_t>{2}));
+}
+
+TYPED_TEST(OtbSetTest, TwoSetsComposeAtomically) {
+  // Move a key between two sets; concurrent movers must never observe (or
+  // produce) a state where the key is in both or neither.
+  TypeParam a, b;
+  a.add_seq(99);
+  constexpr int kIters = 300;
+  std::thread mover1([&] {
+    for (int i = 0; i < kIters; ++i) {
+      tx::atomically([&](tx::Transaction& t) {
+        if (a.remove(t, 99)) {
+          ASSERT_TRUE(b.add(t, 99));
+        }
+      });
+    }
+  });
+  std::thread mover2([&] {
+    for (int i = 0; i < kIters; ++i) {
+      tx::atomically([&](tx::Transaction& t) {
+        if (b.remove(t, 99)) {
+          ASSERT_TRUE(a.add(t, 99));
+        }
+      });
+    }
+  });
+  std::atomic<bool> stop{false};
+  std::thread observer([&] {
+    while (!stop) {
+      bool in_a = false, in_b = false;
+      tx::atomically([&](tx::Transaction& t) {
+        in_a = a.contains(t, 99);
+        in_b = b.contains(t, 99);
+      });
+      EXPECT_TRUE(in_a != in_b) << "key must be in exactly one set";
+    }
+  });
+  mover1.join();
+  mover2.join();
+  stop = true;
+  observer.join();
+  EXPECT_EQ(a.size_unsafe() + b.size_unsafe(), 1u);
+}
+
+TYPED_TEST(OtbSetTest, ConcurrentStressMatchesNetCount) {
+  TypeParam set;
+  constexpr int kThreads = 4, kIters = 1500, kRange = 128;
+  std::atomic<long> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift rng{std::uint64_t(t) * 31 + 7};
+      long local = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const std::int64_t key = std::int64_t(rng.next_bounded(kRange));
+        bool ok = false;
+        if (rng.chance_pct(50)) {
+          tx::atomically([&](tx::Transaction& tr) { ok = set.add(tr, key); });
+          if (ok) ++local;
+        } else {
+          tx::atomically([&](tx::Transaction& tr) { ok = set.remove(tr, key); });
+          if (ok) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(set.size_unsafe(), std::size_t(net.load()));
+}
+
+TYPED_TEST(OtbSetTest, TransactionalOpsMatchSequentialOracle) {
+  // Single-threaded property test: a random program of transactions (1–5
+  // ops each) must behave exactly like the same program applied to std::set.
+  TypeParam set;
+  std::set<std::int64_t> oracle;
+  Xorshift rng{2024};
+  for (int round = 0; round < 400; ++round) {
+    const unsigned ops = 1 + rng.next_bounded(5);
+    std::vector<std::pair<unsigned, std::int64_t>> program;
+    for (unsigned i = 0; i < ops; ++i) {
+      program.emplace_back(rng.next_bounded(3),
+                           static_cast<std::int64_t>(rng.next_bounded(50)));
+    }
+    std::vector<bool> tx_results, oracle_results;
+    tx::atomically([&](tx::Transaction& t) {
+      tx_results.clear();
+      for (auto [op, key] : program) {
+        switch (op) {
+          case 0:
+            tx_results.push_back(set.add(t, key));
+            break;
+          case 1:
+            tx_results.push_back(set.remove(t, key));
+            break;
+          default:
+            tx_results.push_back(set.contains(t, key));
+            break;
+        }
+      }
+    });
+    for (auto [op, key] : program) {
+      switch (op) {
+        case 0:
+          oracle_results.push_back(oracle.insert(key).second);
+          break;
+        case 1:
+          oracle_results.push_back(oracle.erase(key) == 1);
+          break;
+        default:
+          oracle_results.push_back(oracle.count(key) == 1);
+          break;
+      }
+    }
+    ASSERT_EQ(tx_results, oracle_results) << "round " << round;
+    auto snap = set.snapshot_unsafe();
+    ASSERT_TRUE(std::equal(snap.begin(), snap.end(), oracle.begin(), oracle.end()))
+        << "round " << round;
+    ASSERT_EQ(snap.size(), oracle.size());
+  }
+}
+
+}  // namespace
+}  // namespace otb

@@ -1,0 +1,209 @@
+// Tests for the pure-STM data structures (list, skip list, red-black tree,
+// hash map, doubly linked list) across representative algorithms: oracle
+// equivalence single-threaded, invariants under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "stm/stm.h"
+#include "stmds/stm_dll.h"
+#include "stmds/stm_hashmap.h"
+#include "stmds/stm_list.h"
+#include "stmds/stm_rbtree.h"
+#include "stmds/stm_skiplist.h"
+
+namespace otb::stmds {
+namespace {
+
+using stm::AlgoKind;
+using stm::Runtime;
+using stm::Tx;
+using stm::TxThread;
+
+class StmDsTest : public ::testing::TestWithParam<AlgoKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Algos, StmDsTest,
+                         ::testing::Values(AlgoKind::kNOrec, AlgoKind::kTL2,
+                                           AlgoKind::kRTC, AlgoKind::kRInval),
+                         [](const auto& info) {
+                           return std::string(stm::to_string(info.param));
+                         });
+
+template <typename SetT>
+void set_oracle_check(Runtime& rt) {
+  SetT set;
+  std::set<std::int64_t> oracle;
+  TxThread th(rt);
+  Xorshift rng{31337};
+  for (int i = 0; i < 1200; ++i) {
+    const auto key = static_cast<std::int64_t>(rng.next_bounded(128));
+    bool got = false;
+    switch (rng.next_bounded(3)) {
+      case 0:
+        rt.atomically(th, [&](Tx& tx) { got = set.add(tx, key); });
+        EXPECT_EQ(got, oracle.insert(key).second);
+        break;
+      case 1:
+        rt.atomically(th, [&](Tx& tx) { got = set.remove(tx, key); });
+        EXPECT_EQ(got, oracle.erase(key) == 1);
+        break;
+      default:
+        rt.atomically(th, [&](Tx& tx) { got = set.contains(tx, key); });
+        EXPECT_EQ(got, oracle.count(key) == 1);
+        break;
+    }
+  }
+  EXPECT_EQ(set.size_unsafe(), oracle.size());
+}
+
+TEST_P(StmDsTest, ListMatchesOracle) {
+  Runtime rt(GetParam());
+  set_oracle_check<StmList>(rt);
+}
+
+TEST_P(StmDsTest, SkipListMatchesOracle) {
+  Runtime rt(GetParam());
+  set_oracle_check<StmSkipList>(rt);
+}
+
+TEST_P(StmDsTest, RbTreeMatchesOracleAndStaysBalanced) {
+  Runtime rt(GetParam());
+  StmRbTree tree;
+  std::set<std::int64_t> oracle;
+  TxThread th(rt);
+  Xorshift rng{999};
+  for (int i = 0; i < 1500; ++i) {
+    const auto key = static_cast<std::int64_t>(rng.next_bounded(256));
+    bool got = false;
+    switch (rng.next_bounded(3)) {
+      case 0:
+        rt.atomically(th, [&](Tx& tx) { got = tree.add(tx, key); });
+        ASSERT_EQ(got, oracle.insert(key).second) << "i=" << i;
+        break;
+      case 1:
+        rt.atomically(th, [&](Tx& tx) { got = tree.remove(tx, key); });
+        ASSERT_EQ(got, oracle.erase(key) == 1) << "i=" << i;
+        break;
+      default:
+        rt.atomically(th, [&](Tx& tx) { got = tree.contains(tx, key); });
+        ASSERT_EQ(got, oracle.count(key) == 1) << "i=" << i;
+        break;
+    }
+    if (i % 100 == 0) {
+      ASSERT_GT(tree.check_invariants(), 0) << "RB violation at i=" << i;
+    }
+  }
+  EXPECT_EQ(tree.size_unsafe(), oracle.size());
+  EXPECT_GT(tree.check_invariants(), 0);
+}
+
+TEST_P(StmDsTest, RbTreeConcurrentMixKeepsInvariants) {
+  Runtime rt(GetParam());
+  StmRbTree tree;
+  for (std::int64_t k = 0; k < 256; k += 2) ASSERT_TRUE(tree.add_seq(k));
+  constexpr int kThreads = 4, kIters = 300;
+  std::atomic<long> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxThread th(rt);
+      Xorshift rng{std::uint64_t(t) * 271 + 5};
+      long local = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const auto key = static_cast<std::int64_t>(rng.next_bounded(256));
+        bool got = false;
+        if (rng.chance_pct(50)) {
+          rt.atomically(th, [&](Tx& tx) { got = tree.add(tx, key); });
+          if (got) ++local;
+        } else {
+          rt.atomically(th, [&](Tx& tx) { got = tree.remove(tx, key); });
+          if (got) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.size_unsafe(), std::size_t(128 + net.load()));
+  EXPECT_GT(tree.check_invariants(), 0);
+}
+
+TEST_P(StmDsTest, HashMapMatchesOracle) {
+  Runtime rt(GetParam());
+  StmHashMap map(64);
+  std::map<std::int64_t, std::int64_t> oracle;
+  TxThread th(rt);
+  Xorshift rng{555};
+  for (int i = 0; i < 1200; ++i) {
+    const auto key = static_cast<std::int64_t>(rng.next_bounded(96));
+    const auto val = static_cast<std::int64_t>(rng.next());
+    bool got = false;
+    std::int64_t out = 0;
+    switch (rng.next_bounded(3)) {
+      case 0:
+        rt.atomically(th, [&](Tx& tx) { got = map.put(tx, key, val); });
+        EXPECT_EQ(got, oracle.insert_or_assign(key, val).second);
+        break;
+      case 1:
+        rt.atomically(th, [&](Tx& tx) { got = map.erase(tx, key); });
+        EXPECT_EQ(got, oracle.erase(key) == 1);
+        break;
+      default:
+        rt.atomically(th, [&](Tx& tx) { got = map.get(tx, key, &out); });
+        EXPECT_EQ(got, oracle.count(key) == 1);
+        if (got) {
+          EXPECT_EQ(out, oracle[key]);
+        }
+        break;
+    }
+  }
+  EXPECT_EQ(map.size_unsafe(), oracle.size());
+}
+
+TEST_P(StmDsTest, DllKeepsMirroredLinks) {
+  Runtime rt(GetParam());
+  StmDll dll;
+  constexpr int kThreads = 4, kIters = 300;
+  std::atomic<long> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxThread th(rt);
+      Xorshift rng{std::uint64_t(t) * 41 + 11};
+      long local = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const auto key = static_cast<std::int64_t>(rng.next_bounded(64));
+        bool got = false;
+        if (rng.chance_pct(50)) {
+          rt.atomically(th, [&](Tx& tx) { got = dll.add(tx, key); });
+          if (got) ++local;
+        } else {
+          rt.atomically(th, [&](Tx& tx) { got = dll.remove(tx, key); });
+          if (got) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(dll.size_unsafe(), std::size_t(net.load()));
+  EXPECT_TRUE(dll.links_consistent_unsafe());
+}
+
+TEST(StmDsSeq, RbTreeSequentialHelpersWork) {
+  StmRbTree tree;
+  for (std::int64_t k = 0; k < 1000; ++k) ASSERT_TRUE(tree.add_seq(k));
+  EXPECT_EQ(tree.size_unsafe(), 1000u);
+  EXPECT_GT(tree.check_invariants(), 0);
+  for (std::int64_t k = 0; k < 1000; k += 2) ASSERT_TRUE(tree.remove_seq(k));
+  EXPECT_EQ(tree.size_unsafe(), 500u);
+  EXPECT_GT(tree.check_invariants(), 0);
+}
+
+}  // namespace
+}  // namespace otb::stmds

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_htm_hybrid.dir/ext_htm_hybrid.cpp.o"
+  "CMakeFiles/ext_htm_hybrid.dir/ext_htm_hybrid.cpp.o.d"
+  "ext_htm_hybrid"
+  "ext_htm_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_htm_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

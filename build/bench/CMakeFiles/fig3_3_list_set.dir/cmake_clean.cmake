@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_3_list_set.dir/fig3_3_list_set.cpp.o"
+  "CMakeFiles/fig3_3_list_set.dir/fig3_3_list_set.cpp.o.d"
+  "fig3_3_list_set"
+  "fig3_3_list_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_3_list_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

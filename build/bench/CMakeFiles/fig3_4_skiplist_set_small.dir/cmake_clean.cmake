@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_skiplist_set_small.dir/fig3_4_skiplist_set_small.cpp.o"
+  "CMakeFiles/fig3_4_skiplist_set_small.dir/fig3_4_skiplist_set_small.cpp.o.d"
+  "fig3_4_skiplist_set_small"
+  "fig3_4_skiplist_set_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_skiplist_set_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

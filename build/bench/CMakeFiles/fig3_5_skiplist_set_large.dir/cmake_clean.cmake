@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_5_skiplist_set_large.dir/fig3_5_skiplist_set_large.cpp.o"
+  "CMakeFiles/fig3_5_skiplist_set_large.dir/fig3_5_skiplist_set_large.cpp.o.d"
+  "fig3_5_skiplist_set_large"
+  "fig3_5_skiplist_set_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_5_skiplist_set_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

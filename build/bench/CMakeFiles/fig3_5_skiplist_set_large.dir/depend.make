@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_5_skiplist_set_large.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_6_pq_heap.dir/fig3_6_pq_heap.cpp.o"
+  "CMakeFiles/fig3_6_pq_heap.dir/fig3_6_pq_heap.cpp.o.d"
+  "fig3_6_pq_heap"
+  "fig3_6_pq_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_6_pq_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

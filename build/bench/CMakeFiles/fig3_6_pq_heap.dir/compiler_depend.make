@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_6_pq_heap.
+# This may be replaced when dependencies are built.

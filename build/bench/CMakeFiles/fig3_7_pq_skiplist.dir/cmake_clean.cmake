@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_7_pq_skiplist.dir/fig3_7_pq_skiplist.cpp.o"
+  "CMakeFiles/fig3_7_pq_skiplist.dir/fig3_7_pq_skiplist.cpp.o.d"
+  "fig3_7_pq_skiplist"
+  "fig3_7_pq_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_7_pq_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_2_integration_list.dir/fig4_2_integration_list.cpp.o"
+  "CMakeFiles/fig4_2_integration_list.dir/fig4_2_integration_list.cpp.o.d"
+  "fig4_2_integration_list"
+  "fig4_2_integration_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_2_integration_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_3_integration_skiplist.dir/fig4_3_integration_skiplist.cpp.o"
+  "CMakeFiles/fig4_3_integration_skiplist.dir/fig4_3_integration_skiplist.cpp.o.d"
+  "fig4_3_integration_skiplist"
+  "fig4_3_integration_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_3_integration_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

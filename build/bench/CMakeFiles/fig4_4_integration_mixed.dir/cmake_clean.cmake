@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_4_integration_mixed.dir/fig4_4_integration_mixed.cpp.o"
+  "CMakeFiles/fig4_4_integration_mixed.dir/fig4_4_integration_mixed.cpp.o.d"
+  "fig4_4_integration_mixed"
+  "fig4_4_integration_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_4_integration_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

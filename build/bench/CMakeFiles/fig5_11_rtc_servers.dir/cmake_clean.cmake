@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_11_rtc_servers.dir/fig5_11_rtc_servers.cpp.o"
+  "CMakeFiles/fig5_11_rtc_servers.dir/fig5_11_rtc_servers.cpp.o.d"
+  "fig5_11_rtc_servers"
+  "fig5_11_rtc_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_11_rtc_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

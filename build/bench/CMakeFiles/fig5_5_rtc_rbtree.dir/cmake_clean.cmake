@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_5_rtc_rbtree.dir/fig5_5_rtc_rbtree.cpp.o"
+  "CMakeFiles/fig5_5_rtc_rbtree.dir/fig5_5_rtc_rbtree.cpp.o.d"
+  "fig5_5_rtc_rbtree"
+  "fig5_5_rtc_rbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_5_rtc_rbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

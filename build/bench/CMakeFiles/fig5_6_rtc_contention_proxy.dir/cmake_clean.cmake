@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_6_rtc_contention_proxy.dir/fig5_6_rtc_contention_proxy.cpp.o"
+  "CMakeFiles/fig5_6_rtc_contention_proxy.dir/fig5_6_rtc_contention_proxy.cpp.o.d"
+  "fig5_6_rtc_contention_proxy"
+  "fig5_6_rtc_contention_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_rtc_contention_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

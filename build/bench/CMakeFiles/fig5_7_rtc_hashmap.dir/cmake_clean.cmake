@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_7_rtc_hashmap.dir/fig5_7_rtc_hashmap.cpp.o"
+  "CMakeFiles/fig5_7_rtc_hashmap.dir/fig5_7_rtc_hashmap.cpp.o.d"
+  "fig5_7_rtc_hashmap"
+  "fig5_7_rtc_hashmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_7_rtc_hashmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_8_rtc_dll.dir/fig5_8_rtc_dll.cpp.o"
+  "CMakeFiles/fig5_8_rtc_dll.dir/fig5_8_rtc_dll.cpp.o.d"
+  "fig5_8_rtc_dll"
+  "fig5_8_rtc_dll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_8_rtc_dll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

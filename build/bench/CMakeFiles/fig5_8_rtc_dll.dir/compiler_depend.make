@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_8_rtc_dll.
+# This may be replaced when dependencies are built.

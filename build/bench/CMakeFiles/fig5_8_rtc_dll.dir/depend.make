@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_8_rtc_dll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_9_rtc_multiprog.dir/fig5_9_rtc_multiprog.cpp.o"
+  "CMakeFiles/fig5_9_rtc_multiprog.dir/fig5_9_rtc_multiprog.cpp.o.d"
+  "fig5_9_rtc_multiprog"
+  "fig5_9_rtc_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_9_rtc_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

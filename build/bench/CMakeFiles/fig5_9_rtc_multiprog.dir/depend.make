@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_9_rtc_multiprog.
+# This may be replaced when dependencies are built.

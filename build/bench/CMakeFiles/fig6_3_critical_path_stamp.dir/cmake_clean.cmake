@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_3_critical_path_stamp.dir/fig6_3_critical_path_stamp.cpp.o"
+  "CMakeFiles/fig6_3_critical_path_stamp.dir/fig6_3_critical_path_stamp.cpp.o.d"
+  "fig6_3_critical_path_stamp"
+  "fig6_3_critical_path_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_3_critical_path_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_rinval_rbtree.dir/fig6_7_rinval_rbtree.cpp.o"
+  "CMakeFiles/fig6_7_rinval_rbtree.dir/fig6_7_rinval_rbtree.cpp.o.d"
+  "fig6_7_rinval_rbtree"
+  "fig6_7_rinval_rbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_rinval_rbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

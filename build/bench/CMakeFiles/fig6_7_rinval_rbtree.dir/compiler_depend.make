@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_7_rinval_rbtree.
+# This may be replaced when dependencies are built.

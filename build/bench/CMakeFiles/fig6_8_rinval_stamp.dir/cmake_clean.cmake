@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_8_rinval_stamp.dir/fig6_8_rinval_stamp.cpp.o"
+  "CMakeFiles/fig6_8_rinval_stamp.dir/fig6_8_rinval_stamp.cpp.o.d"
+  "fig6_8_rinval_stamp"
+  "fig6_8_rinval_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_8_rinval_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_1_commit_ratio.dir/table5_1_commit_ratio.cpp.o"
+  "CMakeFiles/table5_1_commit_ratio.dir/table5_1_commit_ratio.cpp.o.d"
+  "table5_1_commit_ratio"
+  "table5_1_commit_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_1_commit_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

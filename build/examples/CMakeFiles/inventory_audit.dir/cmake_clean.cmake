@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_audit.dir/inventory_audit.cpp.o"
+  "CMakeFiles/inventory_audit.dir/inventory_audit.cpp.o.d"
+  "inventory_audit"
+  "inventory_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

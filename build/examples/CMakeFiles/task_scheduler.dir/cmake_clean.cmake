@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_scheduler.dir/task_scheduler.cpp.o"
+  "CMakeFiles/task_scheduler.dir/task_scheduler.cpp.o.d"
+  "task_scheduler"
+  "task_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boosted.dir/test_boosted.cpp.o"
+  "CMakeFiles/test_boosted.dir/test_boosted.cpp.o.d"
+  "test_boosted"
+  "test_boosted.pdb"
+  "test_boosted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boosted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

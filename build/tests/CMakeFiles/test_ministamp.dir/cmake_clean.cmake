@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ministamp.dir/test_ministamp.cpp.o"
+  "CMakeFiles/test_ministamp.dir/test_ministamp.cpp.o.d"
+  "test_ministamp"
+  "test_ministamp.pdb"
+  "test_ministamp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ministamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

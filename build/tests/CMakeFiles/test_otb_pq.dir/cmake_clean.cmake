@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otb_pq.dir/test_otb_pq.cpp.o"
+  "CMakeFiles/test_otb_pq.dir/test_otb_pq.cpp.o.d"
+  "test_otb_pq"
+  "test_otb_pq.pdb"
+  "test_otb_pq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otb_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

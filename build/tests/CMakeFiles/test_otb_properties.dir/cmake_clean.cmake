@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otb_properties.dir/test_otb_properties.cpp.o"
+  "CMakeFiles/test_otb_properties.dir/test_otb_properties.cpp.o.d"
+  "test_otb_properties"
+  "test_otb_properties.pdb"
+  "test_otb_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otb_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

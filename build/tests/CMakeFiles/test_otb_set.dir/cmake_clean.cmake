@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otb_set.dir/test_otb_set.cpp.o"
+  "CMakeFiles/test_otb_set.dir/test_otb_set.cpp.o.d"
+  "test_otb_set"
+  "test_otb_set.pdb"
+  "test_otb_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otb_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

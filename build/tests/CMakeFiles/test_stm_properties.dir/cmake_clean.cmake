@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm_properties.dir/test_stm_properties.cpp.o"
+  "CMakeFiles/test_stm_properties.dir/test_stm_properties.cpp.o.d"
+  "test_stm_properties"
+  "test_stm_properties.pdb"
+  "test_stm_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stmds.dir/test_stmds.cpp.o"
+  "CMakeFiles/test_stmds.dir/test_stmds.cpp.o.d"
+  "test_stmds"
+  "test_stmds.pdb"
+  "test_stmds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stmds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_cds[1]_include.cmake")
+include("/root/repo/build/tests/test_otb_set[1]_include.cmake")
+include("/root/repo/build/tests/test_otb_pq[1]_include.cmake")
+include("/root/repo/build/tests/test_boosted[1]_include.cmake")
+include("/root/repo/build/tests/test_stm[1]_include.cmake")
+include("/root/repo/build/tests/test_stmds[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_ministamp[1]_include.cmake")
+include("/root/repo/build/tests/test_otb_map[1]_include.cmake")
+include("/root/repo/build/tests/test_stm_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_otb_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_htm[1]_include.cmake")
+include("/root/repo/build/tests/test_contention[1]_include.cmake")
+include("/root/repo/build/tests/test_benchlib[1]_include.cmake")

@@ -152,7 +152,8 @@ void otb_htm_commit() {
 }  // namespace
 }  // namespace otb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   otb::bench::hybrid_vs_norec();
   otb::bench::otb_htm_commit();
   return 0;

@@ -4,7 +4,8 @@
 #include "cds/lazy_list_set.h"
 #include "otb/otb_list_set.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   // 512 resident elements -> key range 1024 with half populated.
   otb::bench::run_set_figure<otb::cds::LazyListSet, otb::tx::OtbListSet,
                              otb::cds::LazyListSet>("Fig 3.3 linked-list set",

@@ -3,7 +3,8 @@
 #include "cds/lazy_skiplist_set.h"
 #include "otb/otb_skiplist_set.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   otb::bench::run_set_figure<otb::cds::LazySkipListSet, otb::tx::OtbSkipListSet,
                              otb::cds::LazySkipListSet>(
       "Fig 3.4 skip-list set (small)", 1024);

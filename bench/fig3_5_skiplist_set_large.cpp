@@ -4,7 +4,8 @@
 #include "cds/lazy_skiplist_set.h"
 #include "otb/otb_skiplist_set.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   otb::bench::run_set_figure<otb::cds::LazySkipListSet, otb::tx::OtbSkipListSet,
                              otb::cds::LazySkipListSet>(
       "Fig 3.5 skip-list set (64K)", 131072);

@@ -3,7 +3,8 @@
 #include "otb/otb_heap_pq.h"
 #include "pq_bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   otb::bench::run_pq_figure<otb::tx::OtbHeapPQ>("Fig 3.6 heap priority queue");
   return 0;
 }

@@ -4,7 +4,8 @@
 #include "otb/otb_skiplist_pq.h"
 #include "pq_bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   otb::bench::run_pq_figure<otb::tx::OtbSkipListPQ>(
       "Fig 3.7 skip-list priority queue");
   return 0;

@@ -5,7 +5,8 @@
 #include "otb/otb_list_set.h"
 #include "stmds/stm_list.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   otb::bench::run_integration_figure<otb::stmds::StmList, otb::tx::OtbListSet>(
       "Fig 4.2 linked-list integration", 1024);
   return 0;

@@ -4,7 +4,8 @@
 #include "otb/otb_skiplist_set.h"
 #include "stmds/stm_skiplist.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   otb::bench::run_integration_figure<otb::stmds::StmSkipList,
                                      otb::tx::OtbSkipListSet>(
       "Fig 4.3 skip-list integration", 8192);

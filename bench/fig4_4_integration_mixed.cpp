@@ -72,7 +72,7 @@ void run_mixed(const std::string& title, std::int64_t range) {
                       ok = set.remove(tx, key);
                     }
                     bump(tx, counters, write, is_add, ok);
-                  });
+                  }).aborts;
                   if (phase() == Phase::kMeasure) ++out.ops;
                 }
               })
@@ -110,7 +110,7 @@ void run_mixed(const std::string& title, std::int64_t range) {
                       ok = set.remove(tx, key);
                     }
                     bump(tx, counters, write, is_add, ok);
-                  });
+                  }).aborts;
                   if (phase() == Phase::kMeasure) ++out.ops;
                 }
               })
@@ -125,7 +125,8 @@ void run_mixed(const std::string& title, std::int64_t range) {
 }  // namespace
 }  // namespace otb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   otb::bench::run_mixed<otb::stmds::StmList, otb::tx::OtbListSet>(
       "Fig 4.4a linked-list mixed test case", 1024);
   otb::bench::run_mixed<otb::stmds::StmSkipList, otb::tx::OtbSkipListSet>(

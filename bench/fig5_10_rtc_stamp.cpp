@@ -4,7 +4,8 @@
 #include "ministamp/ministamp.h"
 #include "stm_bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   const auto threads = otb::bench::thread_counts();
   const auto cols = otb::bench::thread_columns(threads);
 

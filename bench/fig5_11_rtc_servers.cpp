@@ -7,7 +7,8 @@
 
 using otb::stm::TArray;
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   const auto threads = otb::bench::thread_counts();
   const auto cols = otb::bench::thread_columns(threads);
   constexpr std::size_t kSlots = 64;       // disjoint regions, one per thread mod

@@ -7,7 +7,8 @@
 
 using otb::stmds::StmRbTree;
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   const auto threads = otb::bench::thread_counts();
   const auto cols = otb::bench::thread_columns(threads);
   const std::int64_t range = 131072;  // ~64K resident

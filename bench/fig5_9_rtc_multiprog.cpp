@@ -9,7 +9,8 @@
 
 using otb::stmds::StmRbTree;
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   std::vector<unsigned> threads = {2, 4, 8, 12, 16};
   const auto cols = otb::bench::thread_columns(threads);
   const std::int64_t range = 131072;

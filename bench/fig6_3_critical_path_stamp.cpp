@@ -5,7 +5,8 @@
 #include "ministamp/ministamp.h"
 #include "stm_bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   const auto threads = otb::bench::thread_counts();
   std::printf("\n== Fig 6.3 critical-path shares, mini-STAMP under NOrec ==\n");
   std::printf("%-12s", "benchmark");

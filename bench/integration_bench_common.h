@@ -60,7 +60,7 @@ void run_integration_figure(const std::string& figure, std::int64_t range) {
                       } else {
                         set.remove(tx, key);
                       }
-                    });
+                    }).aborts;
                     if (phase() == Phase::kMeasure) ++out.ops;
                   }
                 })
@@ -97,7 +97,7 @@ void run_integration_figure(const std::string& figure, std::int64_t range) {
                           } else {
                             set.remove(tx, key);
                           }
-                        });
+                        }).aborts;
                     if (phase() == Phase::kMeasure) ++out.ops;
                   }
                 })

@@ -1,0 +1,121 @@
+// metrics_smoke checker: runs micro_ops (path in argv[1]) with
+// --metrics-json and validates the dump against the strict otb.metrics/1
+// parser plus the acceptance invariants — every BM_StmReadWrite algorithm
+// and the standalone OTB runtime must report attempts and commits, the
+// timed domains must carry attempt-phase histograms, and every histogram's
+// bucket sum must equal its sample count.  Any algorithm that stops
+// reporting through otb::metrics fails this test.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "metrics/json.h"
+
+namespace {
+
+int g_failures = 0;
+
+void fail(const std::string& what) {
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  g_failures += 1;
+}
+
+void check_histograms(const std::string& domain,
+                      const otb::metrics::SinkSnapshot& s) {
+  using otb::metrics::Phase;
+  for (std::size_t i = 0; i < otb::metrics::kPhaseCount; ++i) {
+    const auto& p = s.phases[i];
+    std::uint64_t sum = 0;
+    for (const auto b : p.log2_buckets) sum += b;
+    if (sum != p.count) {
+      fail(domain + "." + std::string(to_string(static_cast<Phase>(i))) +
+           ": bucket sum " + std::to_string(sum) + " != count " +
+           std::to_string(p.count));
+    }
+  }
+}
+
+void check_domain(const otb::metrics::Snapshot& snap, const std::string& name,
+                  bool want_phase_timing) {
+  using otb::metrics::CounterId;
+  using otb::metrics::Phase;
+  const otb::metrics::SinkSnapshot* s = snap.find(name);
+  if (s == nullptr) {
+    fail("domain missing from dump: " + name);
+    return;
+  }
+  if (s->counter(CounterId::kAttempts) == 0) fail(name + ": attempts == 0");
+  if (s->counter(CounterId::kCommits) == 0) fail(name + ": commits == 0");
+  if (s->counter(CounterId::kAttempts) <
+      s->counter(CounterId::kCommits) + s->aborts_total()) {
+    fail(name + ": attempts < commits + aborts");
+  }
+  if (want_phase_timing && s->phase(Phase::kAttempt).count == 0) {
+    fail(name + ": attempt-phase histogram is empty");
+  }
+  check_histograms(name, *s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: metrics_check <path-to-micro_ops>\n");
+    return 2;
+  }
+  const std::string json_path = "metrics_smoke.json";
+  std::remove(json_path.c_str());
+
+  // Keep the run short: one repetition of the transactional benchmarks is
+  // enough to populate every domain the checker asserts on.
+  const std::string cmd =
+      std::string(argv[1]) +
+      " --benchmark_filter='BM_StmReadWrite|BM_OtbListSetTx|BM_OtbSkipListSetTx'"
+      " --benchmark_min_time=0.01 --metrics-json=" +
+      json_path + " > /dev/null";
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    std::fprintf(stderr, "FAIL: micro_ops exited with %d\n", rc);
+    return 1;
+  }
+
+  std::ifstream in(json_path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL: %s was not written\n", json_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string body = buf.str();
+
+  const auto snap = otb::metrics::from_json(body);
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "FAIL: dump does not parse as %s\n",
+                 std::string(otb::metrics::kJsonSchemaId).c_str());
+    return 1;
+  }
+
+  // BM_StmReadWrite runs these five with collect_timing on; NOrec and TL2
+  // are the two the acceptance bar names, so their histograms must be
+  // populated (TML/RingSW/InvalSTM time validation only on some paths, so
+  // only counters are required of them).
+  check_domain(*snap, "stm.NOrec", /*want_phase_timing=*/true);
+  check_domain(*snap, "stm.TL2", /*want_phase_timing=*/true);
+  check_domain(*snap, "stm.TML", /*want_phase_timing=*/false);
+  check_domain(*snap, "stm.RingSW", /*want_phase_timing=*/false);
+  check_domain(*snap, "stm.InvalSTM", /*want_phase_timing=*/false);
+  // The OTB linked-list/skip-list set benches drive the standalone runtime
+  // with set_collect_timing(true).
+  check_domain(*snap, "otb.tx", /*want_phase_timing=*/true);
+
+  if (g_failures != 0) {
+    std::fprintf(stderr, "%d check(s) failed; dump:\n%s\n", g_failures,
+                 snap->to_table().c_str());
+    return 1;
+  }
+  std::printf("metrics_smoke OK: %zu domains\n%s", snap->domains.size(),
+              snap->to_table().c_str());
+  return 0;
+}

@@ -3,6 +3,7 @@
 // blocks the figure benches are made of.
 #include <benchmark/benchmark.h>
 
+#include "benchlib/driver.h"
 #include "cds/lazy_list_set.h"
 #include "cds/lazy_skiplist_set.h"
 #include "common/bloom_filter.h"
@@ -75,7 +76,9 @@ BENCHMARK(BM_OtbSkipListSetTxContains);
 
 void BM_StmReadWrite(benchmark::State& state) {
   const auto kind = static_cast<otb::stm::AlgoKind>(state.range(0));
-  otb::stm::Runtime rt(kind);
+  otb::stm::Config cfg;
+  cfg.collect_timing = true;  // --metrics-json consumers want phase histograms
+  otb::stm::Runtime rt(kind, cfg);
   otb::stm::TxThread th(rt);
   otb::stm::TVar<std::int64_t> x{0};
   for (auto _ : state) {
@@ -103,3 +106,16 @@ void BM_StmRbTreeTxContains(benchmark::State& state) {
 BENCHMARK(BM_StmRbTreeTxContains);
 
 }  // namespace
+
+// Custom main: peel off --metrics-json before google-benchmark sees the
+// flag, and opt the standalone OTB runtime into phase timing so its
+// histograms show up in the dump.
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
+  otb::tx::set_collect_timing(true);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

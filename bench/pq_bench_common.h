@@ -57,7 +57,7 @@ void run_pq_figure(const std::string& figure) {
                                              pq.remove_min(tx, &v);
                                            }
                                          }
-                                       });
+                                       }).aborts;
                                    rng.next();
                                    if (phase() == Phase::kMeasure) ++out.ops;
                                  }
@@ -94,7 +94,7 @@ void run_pq_figure(const std::string& figure) {
                                              pq.remove_min(tx, &v);
                                            }
                                          }
-                                       });
+                                       }).aborts;
                                    rng.next();
                                    if (phase() == Phase::kMeasure) ++out.ops;
                                  }

@@ -120,7 +120,7 @@ void run_set_figure(const std::string& figure, std::int64_t range) {
                                                  set.contains(tx, k);
                                                });
                                          }
-                                       });
+                                       }).aborts;
                                    rng.next();  // advance base sequence
                                    if (phase() == Phase::kMeasure) ++out.ops;
                                  }
@@ -158,7 +158,7 @@ void run_set_figure(const std::string& figure, std::int64_t range) {
                                                  set.contains(tx, k);
                                                });
                                          }
-                                       });
+                                       }).aborts;
                                    rng.next();
                                    if (phase() == Phase::kMeasure) ++out.ops;
                                  }

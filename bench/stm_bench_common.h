@@ -59,7 +59,7 @@ std::vector<RunResult> run_stm_series(
             out.aborts += rt.atomically(th, [&](stm::Tx& tx) {
               Xorshift inner = rng;  // retries replay the same operation
               op(tx, *structure, key, read, inner);
-            });
+            }).aborts;
             rng.next();
             if (phase() == Phase::kMeasure) ++out.ops;
             if (opt.noops_between > 0) no_ops(opt.noops_between);

@@ -6,7 +6,8 @@
 #include "ministamp/ministamp.h"
 #include "stm_bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
   const auto threads = otb::bench::thread_counts();
   std::printf("\n== Table 5.1 NOrec commit-time ratio (mini-STAMP) ==\n");
   std::printf("%-12s", "benchmark");

@@ -48,9 +48,9 @@ int main() {
   std::printf("after tx:   contains(99) published? %d (eliminated)\n",
               int(checking.size_unsafe() > 10));
 
-  const auto& stats = otb::tx::runtime_stats();
+  const otb::metrics::SinkSnapshot stats = otb::tx::metrics_snapshot();
   std::printf("committed=%llu aborted=%llu\n",
-              (unsigned long long)stats.commits.load(),
-              (unsigned long long)stats.aborts.load());
+              (unsigned long long)stats.counter(otb::metrics::CounterId::kCommits),
+              (unsigned long long)stats.aborts_total());
   return total == 10 ? 0 : 1;
 }

@@ -12,17 +12,68 @@
 #pragma once
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/platform.h"
+#include "metrics/json.h"
+#include "metrics/registry.h"
 #include "stm/stats.h"
 
 namespace otb::bench {
+
+namespace detail {
+inline std::string& metrics_json_path() {
+  static std::string path;
+  return path;
+}
+}  // namespace detail
+
+/// Strip `--metrics-json=<path>` from argv (call before the benchmark
+/// library parses flags; the environment variable OTB_METRICS_JSON works
+/// too) and register an at-exit dump of the global metrics registry as
+/// JSON.  Every runtime constructed without an injected sink lands in the
+/// registry, so the dump covers all of them.
+inline void install_metrics_json_exporter(int& argc, char** argv) {
+  std::string& path = detail::metrics_json_path();
+  if (const char* env = std::getenv("OTB_METRICS_JSON")) path = env;
+  constexpr std::string_view kFlag = "--metrics-json=";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      path = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  for (int i = out; i < argc; ++i) argv[i] = nullptr;
+  argc = out;
+  if (path.empty()) return;
+  // Touch the registry singleton now so it outlives the handler: atexit
+  // handlers and static destructors run in reverse registration order, and
+  // the first sink is otherwise only created mid-run.
+  metrics::Registry::global();
+  std::atexit([] {
+    const std::string& p = detail::metrics_json_path();
+    std::FILE* f = std::fopen(p.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "metrics-json: cannot open %s\n", p.c_str());
+      return;
+    }
+    const std::string body =
+        metrics::to_json(metrics::Registry::global().snapshot());
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  });
+}
 
 enum class Phase : int { kWarmup = 0, kMeasure = 1, kDone = 2 };
 

@@ -161,7 +161,7 @@ class BoostedHeapPQ {
   void acquire_read(BoostedTx& tx) {
     TxLockState& s = state();
     if (s.write_held) return;  // write lock dominates
-    if (!rw_.acquire_read()) throw TxAbort{};
+    if (!rw_.acquire_read()) throw TxAbort{metrics::AbortReason::kLockFail};
     ++s.reads_held;
     tx.log_release([this] {
       TxLockState& st = state();
@@ -175,7 +175,7 @@ class BoostedHeapPQ {
   void acquire_write(BoostedTx& tx) {
     TxLockState& s = state();
     if (s.write_held) return;
-    if (!rw_.acquire_write(s.reads_held)) throw TxAbort{};
+    if (!rw_.acquire_write(s.reads_held)) throw TxAbort{metrics::AbortReason::kLockFail};
     s.write_held = true;
     tx.log_release([this] {
       TxLockState& st = state();

@@ -14,8 +14,29 @@
 
 #include "common/spinlock.h"
 #include "common/tx_abort.h"
+#include "metrics/registry.h"
+#include "metrics/sink.h"
 
 namespace otb::boosted {
+
+/// The sink pessimistic-boosting transactions report through (domain
+/// "boosted" in the global registry unless overridden).
+namespace detail {
+inline metrics::MetricsSink*& sink_slot() {
+  static metrics::MetricsSink* sink =
+      &metrics::Registry::global().sink("boosted");
+  return sink;
+}
+}  // namespace detail
+
+inline metrics::MetricsSink& metrics_sink() { return *detail::sink_slot(); }
+
+inline void set_metrics_sink(metrics::MetricsSink* sink) {
+  detail::sink_slot() =
+      sink != nullptr ? sink : &metrics::Registry::global().sink("boosted");
+}
+
+inline metrics::SinkSnapshot metrics_snapshot() { return metrics_sink().snapshot(); }
 
 /// One pessimistic-boosting transaction attempt: the undo log plus the
 /// release actions for every abstract lock acquired so far.
@@ -48,20 +69,27 @@ class BoostedTx {
 };
 
 /// Run `fn(tx)` under pessimistic boosting, retrying on abort.  Returns the
-/// number of aborted attempts.
+/// attempt report for this call; lifetime totals flow into the metrics sink.
 template <typename Fn>
-std::uint64_t atomically(Fn&& fn) {
+metrics::AttemptReport atomically(Fn&& fn) {
+  metrics::MetricsSink& sink = metrics_sink();
   Backoff backoff;
-  std::uint64_t aborts = 0;
+  metrics::AttemptReport report;
   for (;;) {
     BoostedTx tx;
     try {
       fn(tx);
       tx.commit();
-      return aborts;
-    } catch (const TxAbort&) {
+      sink.add(metrics::CounterId::kAttempts);
+      sink.add(metrics::CounterId::kCommits);
+      report.commits = 1;
+      return report;
+    } catch (const TxAbort& abort) {
       tx.abort_rollback();
-      ++aborts;
+      sink.add(metrics::CounterId::kAttempts);
+      sink.record_abort(abort.reason);
+      report.aborts += 1;
+      report.last_reason = abort.reason;
       backoff.pause();
     }
   }

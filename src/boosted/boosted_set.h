@@ -99,7 +99,7 @@ class BoostedSet {
   void lock_key(BoostedTx& tx, Key key) {
     AbstractLock& lock = stripes_[mix64(static_cast<std::uint64_t>(key)) % kStripes];
     const std::uint64_t me = self_id();
-    if (!lock.acquire(me)) throw TxAbort{};
+    if (!lock.acquire(me)) throw TxAbort{metrics::AbortReason::kLockFail};
     tx.log_release([&lock, me] { lock.release(me); });
   }
 

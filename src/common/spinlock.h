@@ -14,23 +14,46 @@
 
 namespace otb {
 
-/// Bounded exponential backoff for contended spin loops.
+/// Bounded exponential backoff for contended spin loops.  The window is
+/// hard-capped (doubling stops at `cap`, configurable per loop) and each
+/// pause spins a jittered count in [limit/2, limit) — identical retry loops
+/// otherwise re-collide in lockstep after every abort, turning one conflict
+/// into a convoy.
 class Backoff {
  public:
+  static constexpr unsigned kDefaultCap = 1024;
+
+  constexpr Backoff() noexcept = default;
+  constexpr explicit Backoff(unsigned cap) noexcept
+      : cap_(cap < 2 ? 2 : cap) {}
+
   void pause() noexcept {
-    if (limit_ >= kMax) {
+    if (limit_ >= cap_) {
       // Saturated: the thread we are waiting for may need our core
       // (oversubscribed hosts) — give it up instead of burning the slice.
       std::this_thread::yield();
       return;
     }
-    for (unsigned i = 0; i < limit_; ++i) cpu_relax();
+    const unsigned spins = limit_ / 2 + next_jitter() % (limit_ / 2 + 1);
+    for (unsigned i = 0; i < spins; ++i) cpu_relax();
     limit_ <<= 1;
   }
   void reset() noexcept { limit_ = 1; }
 
  private:
-  static constexpr unsigned kMax = 1024;
+  // Cheap thread-local xorshift; quality is irrelevant, decorrelation is
+  // the point.
+  static unsigned next_jitter() noexcept {
+    thread_local std::uint32_t state =
+        0x9e3779b9u ^ static_cast<std::uint32_t>(
+                          reinterpret_cast<std::uintptr_t>(&state));
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  }
+
+  unsigned cap_ = kDefaultCap;
   unsigned limit_ = 1;
 };
 

@@ -4,8 +4,19 @@
 // retry loop, never by user code.
 #pragma once
 
+#include "metrics/abort_reason.h"
+
 namespace otb {
 
-struct TxAbort {};
+/// Carries the abort's attribution so the retry loop can account it under
+/// the right `metrics::AbortReason`.  A bare `TxAbort{}` (user code
+/// requesting a retry) defaults to kExplicit; internal throw sites always
+/// name their reason.
+struct TxAbort {
+  metrics::AbortReason reason = metrics::AbortReason::kExplicit;
+
+  constexpr TxAbort() = default;
+  constexpr explicit TxAbort(metrics::AbortReason r) : reason(r) {}
+};
 
 }  // namespace otb

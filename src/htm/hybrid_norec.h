@@ -12,9 +12,27 @@
 
 #include "common/tx_abort.h"
 #include "htm/sim_htm.h"
+#include "metrics/registry.h"
+#include "metrics/sink.h"
 #include "stm/algs/norec.h"
 
 namespace otb::htm {
+
+/// Map the simulator's abort codes onto the shared metrics taxonomy.
+constexpr metrics::AbortReason to_metrics_reason(AbortReason r) {
+  switch (r) {
+    case AbortReason::kCapacity:
+      return metrics::AbortReason::kHtmCapacity;
+    case AbortReason::kSpurious:
+      return metrics::AbortReason::kHtmSpurious;
+    case AbortReason::kBusy:
+      return metrics::AbortReason::kHtmBusy;
+    case AbortReason::kConflict:
+    case AbortReason::kNone:
+      break;
+  }
+  return metrics::AbortReason::kHtmConflict;
+}
 
 /// Thrown inside the fast path to unwind the user lambda when the hardware
 /// transaction dies mid-body (the simulation's analogue of the implicit
@@ -57,12 +75,18 @@ class HtmFastPathTx final : public stm::Tx {
 class HybridNOrecRuntime {
  public:
   explicit HybridNOrecRuntime(stm::Config cfg = {}, unsigned htm_retries = 4)
-      : global_(cfg), htm_retries_(htm_retries) {}
+      : global_(cfg),
+        htm_retries_(htm_retries),
+        sink_(cfg.metrics != nullptr
+                  ? cfg.metrics
+                  : &metrics::Registry::global().sink("htm.HybridNOrec")) {}
 
   /// Per-thread context pair (hardware facade + software fallback).
   struct Thread {
     explicit Thread(HybridNOrecRuntime& rt)
-        : hw(rt.global_.clock), sw(rt.global_) {}
+        : hw(rt.global_.clock), sw(rt.global_) {
+      sw.bind_metrics(rt.sink_);
+    }
     HtmFastPathTx hw;
     stm::NOrecTx sw;
     HtmStats htm_stats;
@@ -70,18 +94,33 @@ class HybridNOrecRuntime {
 
   std::unique_ptr<Thread> make_thread() { return std::make_unique<Thread>(*this); }
 
-  /// Execute atomically: HTM attempts first, NOrec fallback after.
+  /// The sink both paths report through (fast-path attempts directly, the
+  /// software fallback via its NOrec context).
+  metrics::MetricsSink& metrics_sink() const { return *sink_; }
+  metrics::SinkSnapshot metrics() const { return sink_->snapshot(); }
+
+  /// Execute atomically: HTM attempts first, NOrec fallback after.  Returns
+  /// the attempt report (hardware and software attempts combined).
   template <typename Fn>
-  void atomically(Thread& th, Fn&& fn) {
+  metrics::AttemptReport atomically(Thread& th, Fn&& fn) {
+    metrics::AttemptReport report;
     for (unsigned attempt = 0; attempt < htm_retries_; ++attempt) {
       try {
         th.hw.begin();
         fn(static_cast<stm::Tx&>(th.hw));
         th.hw.commit();
         th.htm_stats.commits += 1;
-        return;
+        sink_->add(metrics::CounterId::kAttempts);
+        sink_->add(metrics::CounterId::kCommits);
+        report.commits = 1;
+        return report;
       } catch (const HtmAborted&) {
         th.htm_stats.count(th.hw.reason());
+        const metrics::AbortReason r = to_metrics_reason(th.hw.reason());
+        sink_->add(metrics::CounterId::kAttempts);
+        sink_->record_abort(r);
+        report.aborts += 1;
+        report.last_reason = r;
         if (th.hw.reason() == AbortReason::kCapacity) break;  // hopeless
       }
     }
@@ -93,11 +132,14 @@ class HybridNOrecRuntime {
       try {
         fn(static_cast<stm::Tx&>(th.sw));
         th.sw.commit();
-        th.sw.stats().commits += 1;
-        return;
-      } catch (const TxAbort&) {
+        th.sw.note_commit();
+        report.commits = 1;
+        return report;
+      } catch (const TxAbort& abort) {
         th.sw.rollback();
-        th.sw.stats().aborts += 1;
+        th.sw.note_abort(abort.reason);
+        report.aborts += 1;
+        report.last_reason = abort.reason;
         backoff.pause();
       }
     }
@@ -108,6 +150,7 @@ class HybridNOrecRuntime {
  private:
   stm::NOrecGlobal global_;
   unsigned htm_retries_;
+  metrics::MetricsSink* sink_;
 };
 
 }  // namespace otb::htm

@@ -19,9 +19,11 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "common/epoch.h"
+#include "metrics/registry.h"
 #include "otb/otb_ds.h"
 #include "stm/algs/norec.h"
 #include "stm/algs/tl2.h"
@@ -68,13 +70,14 @@ class OtbNOrecTx final : public stm::NOrecTxT<OtbTx> {
       this->stats_.lock_cas_failures += 1;
       snapshot_ = validate();
     }
+    this->stats_.lock_acquisitions += 1;
     // Semantic locks are pointless under the global lock (§4.2.2): commit
     // with use_locks = false.  pre_commit re-runs commit-time validation.
     if (!pre_commit_attached(/*use_locks=*/false)) {
       global_.clock.release();
       end_attempt();
       finish_attempt(t0);
-      throw TxAbort{};
+      throw TxAbort{metrics::AbortReason::kSemanticConflict};
     }
     writes_.publish();
     on_commit_attached();
@@ -103,8 +106,11 @@ class OtbNOrecTx final : public stm::NOrecTxT<OtbTx> {
         backoff.pause();
         continue;
       }
-      if (!reads_.values_match() || !validate_attached(/*check_locks=*/false)) {
-        throw TxAbort{};
+      if (!reads_.values_match()) {
+        throw TxAbort{metrics::AbortReason::kValidation};
+      }
+      if (!validate_attached(/*check_locks=*/false)) {
+        throw TxAbort{metrics::AbortReason::kSemanticConflict};
       }
       if (global_.clock.load() == t) return t;
     }
@@ -136,8 +142,11 @@ class OtbTl2Tx final : public stm::Tl2TxT<OtbTx> {
   /// "now") can observe a memory/semantic state from two different points in
   /// time — see DESIGN.md, "correctness strengthening".
   void on_operation_validate() override {
-    if (!validate_reads() || !validate_attached(/*check_locks=*/true)) {
-      throw TxAbort{};
+    if (!validate_reads()) {
+      throw TxAbort{metrics::AbortReason::kValidation};
+    }
+    if (!validate_attached(/*check_locks=*/true)) {
+      throw TxAbort{metrics::AbortReason::kSemanticConflict};
     }
   }
 
@@ -146,7 +155,7 @@ class OtbTl2Tx final : public stm::Tl2TxT<OtbTx> {
   stm::Word read_word(const stm::TWord* addr) override {
     const stm::Word value = stm::Tl2TxT<OtbTx>::read_word(addr);
     if (!attached().empty() && !validate_attached(/*check_locks=*/true)) {
-      throw TxAbort{};
+      throw TxAbort{metrics::AbortReason::kSemanticConflict};
     }
     return value;
   }
@@ -161,7 +170,7 @@ class OtbTl2Tx final : public stm::Tl2TxT<OtbTx> {
     if (!pre_commit_attached(/*use_locks=*/true)) {
       release_locked(/*stamp=*/false, 0);
       end_attempt();
-      throw TxAbort{};
+      throw TxAbort{metrics::AbortReason::kSemanticConflict};
     }
     const std::uint64_t wv =
         global_.clock.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -171,7 +180,7 @@ class OtbTl2Tx final : public stm::Tl2TxT<OtbTx> {
       release_locked(/*stamp=*/false, 0);
       on_abort_attached();
       end_attempt();
-      throw TxAbort{};
+      throw TxAbort{metrics::AbortReason::kValidation};
     }
     writes_.publish();
     on_commit_attached();
@@ -206,6 +215,10 @@ constexpr std::string_view to_string(HostAlgo a) {
 class Runtime {
  public:
   explicit Runtime(HostAlgo algo, stm::Config cfg = {}) : algo_(algo) {
+    sink_ = cfg.metrics != nullptr
+                ? cfg.metrics
+                : &metrics::Registry::global().sink(
+                      std::string("integration.") + std::string(to_string(algo)));
     if (algo == HostAlgo::kOtbNOrec) {
       norec_ = std::make_unique<stm::NOrecGlobal>(cfg);
     } else {
@@ -215,30 +228,43 @@ class Runtime {
 
   HostAlgo algo() const { return algo_; }
 
+  /// The sink every context of this runtime reports through.
+  metrics::MetricsSink& metrics_sink() const { return *sink_; }
+
+  /// Snapshot of this runtime's accumulated metrics.
+  metrics::SinkSnapshot metrics() const { return sink_->snapshot(); }
+
   /// One context per thread.
   std::unique_ptr<OtbTx> make_tx() {
+    std::unique_ptr<OtbTx> tx;
     if (algo_ == HostAlgo::kOtbNOrec) {
-      return std::make_unique<OtbNOrecTx>(*norec_);
+      tx = std::make_unique<OtbNOrecTx>(*norec_);
+    } else {
+      tx = std::make_unique<OtbTl2Tx>(*tl2_);
     }
-    return std::make_unique<OtbTl2Tx>(*tl2_);
+    tx->bind_metrics(sink_);
+    return tx;
   }
 
-  /// Run `fn(tx)` atomically; returns the number of aborted attempts.
+  /// Run `fn(tx)` atomically.  Returns the attempt report for this call;
+  /// lifetime totals flow into the metrics sink.
   template <typename Fn>
-  std::uint64_t atomically(OtbTx& tx, Fn&& fn) {
+  metrics::AttemptReport atomically(OtbTx& tx, Fn&& fn) {
     Backoff backoff;
-    std::uint64_t aborted = 0;
+    metrics::AttemptReport report;
     for (;;) {
       tx.begin();
       try {
         fn(tx);
         tx.commit();
-        tx.stats().commits += 1;
-        return aborted;
-      } catch (const TxAbort&) {
+        tx.note_commit();
+        report.commits = 1;
+        return report;
+      } catch (const TxAbort& abort) {
         tx.rollback();
-        tx.stats().aborts += 1;
-        ++aborted;
+        tx.note_abort(abort.reason);
+        report.aborts += 1;
+        report.last_reason = abort.reason;
         backoff.pause();
       }
     }
@@ -246,6 +272,7 @@ class Runtime {
 
  private:
   HostAlgo algo_;
+  metrics::MetricsSink* sink_ = nullptr;
   std::unique_ptr<stm::NOrecGlobal> norec_;
   std::unique_ptr<stm::Tl2Global> tl2_;
 };

@@ -1,0 +1,73 @@
+// Abort-reason taxonomy shared by every transactional runtime (the
+// replacement for the old single `aborts` counter).  Each retry-loop abort
+// is attributed to exactly one reason, so the per-reason counters in a
+// `MetricsSink` always sum to the total abort count — the accounting the
+// paper's evaluation (commit/abort ratios, Table 5.1; abort-source
+// comparisons, §3.4) is built on.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace otb::metrics {
+
+enum class AbortReason : unsigned {
+  kNone = 0,          // no abort (committed attempt)
+  kValidation,        // memory read-set validation failed
+  kLockFail,          // failed CAS / try-lock on shared state (orec, seqlock)
+  kSemanticConflict,  // OTB semantic read-set or pre_commit validation failed
+  kExplicit,          // user-thrown TxAbort
+  kInvalidated,       // doomed by a committer's invalidation scan
+  kContentionManager, // self-aborted by the contention-manager policy
+  kRingWrap,          // RingSTM reader fell behind a wrapped ring
+  kHtmConflict,       // simulated-HTM conflict abort
+  kHtmCapacity,       // simulated-HTM capacity abort
+  kHtmSpurious,       // simulated-HTM spurious (interrupt/fault) abort
+  kHtmBusy,           // simulated-HTM could not take the commit window
+};
+
+inline constexpr std::size_t kAbortReasonCount = 12;
+
+constexpr std::string_view to_string(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kValidation:
+      return "validation";
+    case AbortReason::kLockFail:
+      return "lock_fail";
+    case AbortReason::kSemanticConflict:
+      return "semantic_conflict";
+    case AbortReason::kExplicit:
+      return "explicit";
+    case AbortReason::kInvalidated:
+      return "invalidated";
+    case AbortReason::kContentionManager:
+      return "contention_manager";
+    case AbortReason::kRingWrap:
+      return "ring_wrap";
+    case AbortReason::kHtmConflict:
+      return "htm_conflict";
+    case AbortReason::kHtmCapacity:
+      return "htm_capacity";
+    case AbortReason::kHtmSpurious:
+      return "htm_spurious";
+    case AbortReason::kHtmBusy:
+      return "htm_busy";
+  }
+  return "?";
+}
+
+constexpr std::size_t index(AbortReason r) { return static_cast<std::size_t>(r); }
+
+/// What one `atomically(fn)` call did: the harmonised return type of every
+/// retry loop (standalone OTB, STM runtime, integration layer, HTM-commit).
+struct AttemptReport {
+  std::uint64_t commits = 0;  // 1 once the attempt that committed returns
+  std::uint64_t aborts = 0;   // failed attempts before the commit
+  AbortReason last_reason = AbortReason::kNone;
+
+  std::uint64_t attempts() const { return commits + aborts; }
+};
+
+}  // namespace otb::metrics

@@ -1,0 +1,79 @@
+// Per-thread sharded counters: the hot-path primitive of otb::metrics.
+//
+// A `Counter` is an array of cacheline-aligned cells; each thread hashes to
+// a fixed cell (round-robin slot assigned on first use) and bumps it with a
+// relaxed fetch_add.  With <= kShards threads there is no inter-thread
+// contention at all — the cell lives in the incrementing core's cache — and
+// above that only modest sharing.  Reads (`total()`) sum the cells and are
+// expected to be rare (snapshot time).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/platform.h"
+
+namespace otb::metrics {
+
+/// Number of cacheline-aligned cells per counter.  Power of two so the
+/// thread-slot hash is a mask.  32 cells * 64 B = 2 KiB per counter.
+inline constexpr std::size_t kShards = 32;
+
+/// Stable per-thread shard index in [0, kShards).  Round-robin assignment
+/// on first use keeps the first kShards threads perfectly contention-free.
+inline std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[this_thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Zero every cell.  Racy against concurrent writers by design — only
+  /// used between measurement phases / in tests.
+  void reset() noexcept {
+    for (auto& c : cells_) c.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLine) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Accumulated nanoseconds + sample count (mean = total/count).  Both halves
+/// are sharded `Counter`s, so recording stays contention-free.
+class NsTimer {
+ public:
+  void record(std::uint64_t ns) noexcept {
+    total_ns_.add(ns);
+    count_.add(1);
+  }
+
+  std::uint64_t total_ns() const noexcept { return total_ns_.total(); }
+  std::uint64_t count() const noexcept { return count_.total(); }
+
+  void reset() noexcept {
+    total_ns_.reset();
+    count_.reset();
+  }
+
+ private:
+  Counter total_ns_;
+  Counter count_;
+};
+
+}  // namespace otb::metrics

@@ -1,0 +1,69 @@
+// Log2-bucketed latency histogram.  Bucket b counts samples whose value v
+// satisfies bit_width(v) == b, i.e. bucket 0 holds v == 0 and bucket b >= 1
+// holds 2^(b-1) <= v < 2^b; the last bucket absorbs everything larger.
+// 40 buckets cover [0, 2^39 ns) — up to ~9 minutes per sample, far beyond
+// any transaction phase.  Buckets are sharded per thread like `Counter`
+// cells, but with the whole bucket row per shard so one sample touches one
+// cacheline owned by its thread.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "metrics/counter.h"
+
+namespace otb::metrics {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    const std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Inclusive lower bound of bucket `b` (0 for the zero bucket).
+  static constexpr std::uint64_t bucket_floor(std::size_t b) noexcept {
+    return b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+  }
+
+  void record(std::uint64_t v) noexcept {
+    shards_[this_thread_shard() % kHistShards]
+        .buckets[bucket_of(v)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets() const noexcept {
+    std::array<std::uint64_t, kBuckets> out{};
+    for (const auto& s : shards_)
+      for (std::size_t b = 0; b < kBuckets; ++b)
+        out[b] += s.buckets[b].load(std::memory_order_relaxed);
+    return out;
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto v : buckets()) sum += v;
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_)
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // Fewer shards than `Counter` (a full bucket row is 5 cachelines, not 1);
+  // histogram records happen once per attempt, not once per operation, so
+  // the residual sharing is invisible.
+  static constexpr std::size_t kHistShards = 8;
+  struct alignas(kCacheLine) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Shard, kHistShards> shards_{};
+};
+
+}  // namespace otb::metrics

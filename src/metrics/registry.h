@@ -1,0 +1,56 @@
+// Process-wide registry of named sinks ("domains").  Runtimes that are not
+// handed an explicit sink register themselves here under a stable name
+// ("stm.NOrec", "otb.tx", "boosted", ...); `snapshot()` copies every domain
+// into one `Snapshot` for export.  Sink addresses are stable for the life
+// of the process (unique_ptr storage), so hot paths cache the pointer.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "metrics/sink.h"
+#include "metrics/snapshot.h"
+
+namespace otb::metrics {
+
+class Registry {
+ public:
+  static Registry& global() {
+    static Registry r;
+    return r;
+  }
+
+  /// Find-or-create the sink for `name`.  The returned reference never
+  /// moves or dies.
+  MetricsSink& sink(std::string_view name) {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& [n, s] : sinks_)
+      if (n == name) return *s;
+    sinks_.emplace_back(std::string(name), std::make_unique<MetricsSink>());
+    return *sinks_.back().second;
+  }
+
+  Snapshot snapshot() const {
+    Snapshot out;
+    std::lock_guard<std::mutex> g(mu_);
+    out.domains.reserve(sinks_.size());
+    for (const auto& [n, s] : sinks_) out.domains.emplace_back(n, s->snapshot());
+    return out;
+  }
+
+  /// Zero every registered sink (measurement-phase boundaries; tests).
+  void reset() {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& [n, s] : sinks_) s->reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<MetricsSink>>> sinks_;
+};
+
+}  // namespace otb::metrics

@@ -1,0 +1,98 @@
+// MetricsSink: the instrument bundle one reporting domain writes into.
+//
+// A sink owns sharded counters (one per `CounterId`), per-reason abort
+// counters, and per-phase timers + log2 histograms.  Transaction contexts
+// never write it mid-attempt: they accumulate into a plain `TxTally` and
+// flush the delta here once per attempt (`record_attempt`), so the hot path
+// costs a handful of relaxed fetch_adds per *attempt*, not per operation.
+//
+// Injection: runtimes default to a named sink in `Registry::global()`;
+// tests pass their own instance through `Config::metrics` (the in-memory
+// fake — same type, just unregistered).
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/abort_reason.h"
+#include "metrics/counter.h"
+#include "metrics/histogram.h"
+#include "metrics/snapshot.h"
+#include "metrics/tally.h"
+
+namespace otb::metrics {
+
+class MetricsSink {
+ public:
+  void add(CounterId id, std::uint64_t n = 1) noexcept {
+    counters_[index(id)].add(n);
+  }
+
+  void record_abort(AbortReason r) noexcept { aborts_[index(r)].add(1); }
+
+  /// Feed one phase sample into both the timer and the histogram.
+  void record_phase(Phase p, std::uint64_t ns) noexcept {
+    timers_[index(p)].record(ns);
+    histograms_[index(p)].record(ns);
+  }
+
+  /// Flush one finished attempt.  `d` is the tally delta accumulated during
+  /// that attempt; `committed` selects commit vs abort accounting, and `r`
+  /// attributes the abort.  Zero fields are skipped, so algorithms that do
+  /// not time phases (or do not spin on locks) pay nothing for them.
+  void record_attempt(const TxTally& d, bool committed, AbortReason r) noexcept {
+    add(CounterId::kAttempts);
+    if (committed) {
+      add(CounterId::kCommits);
+    } else {
+      record_abort(r);
+    }
+    if (d.reads != 0) add(CounterId::kReads, d.reads);
+    if (d.writes != 0) add(CounterId::kWrites, d.writes);
+    if (d.validations != 0) add(CounterId::kValidations, d.validations);
+    if (d.lock_cas_failures != 0) add(CounterId::kLockCasFailures, d.lock_cas_failures);
+    if (d.lock_acquisitions != 0) add(CounterId::kLockAcquisitions, d.lock_acquisitions);
+    if (d.lock_spins != 0) add(CounterId::kLockSpins, d.lock_spins);
+    if (d.ns_total != 0) record_phase(Phase::kAttempt, d.ns_total);
+    if (d.ns_validation != 0) record_phase(Phase::kValidation, d.ns_validation);
+    if (d.ns_commit != 0) record_phase(Phase::kCommit, d.ns_commit);
+  }
+
+  std::uint64_t counter(CounterId id) const noexcept {
+    return counters_[index(id)].total();
+  }
+  std::uint64_t aborts(AbortReason r) const noexcept {
+    return aborts_[index(r)].total();
+  }
+  std::uint64_t aborts_total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& c : aborts_) sum += c.total();
+    return sum;
+  }
+
+  SinkSnapshot snapshot() const {
+    SinkSnapshot s;
+    for (std::size_t i = 0; i < kCounterCount; ++i) s.counters[i] = counters_[i].total();
+    for (std::size_t i = 0; i < kAbortReasonCount; ++i) s.aborts[i] = aborts_[i].total();
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      s.phases[i].count = timers_[i].count();
+      s.phases[i].total_ns = timers_[i].total_ns();
+      s.phases[i].log2_buckets = histograms_[i].buckets();
+    }
+    return s;
+  }
+
+  void reset() noexcept {
+    for (auto& c : counters_) c.reset();
+    for (auto& c : aborts_) c.reset();
+    for (auto& t : timers_) t.reset();
+    for (auto& h : histograms_) h.reset();
+  }
+
+ private:
+  std::array<Counter, kCounterCount> counters_{};
+  std::array<Counter, kAbortReasonCount> aborts_{};
+  std::array<NsTimer, kPhaseCount> timers_{};
+  std::array<Histogram, kPhaseCount> histograms_{};
+};
+
+}  // namespace otb::metrics

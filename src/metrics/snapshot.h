@@ -1,0 +1,155 @@
+// Stable snapshot types: what a `MetricsSink` / `Registry` read produces.
+// Snapshots are plain values — safe to copy, diff, serialise, and compare
+// long after the sinks that produced them are gone.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "metrics/abort_reason.h"
+#include "metrics/histogram.h"
+
+namespace otb::metrics {
+
+/// Operation counters a sink maintains.  Abort totals are *not* here: they
+/// are kept per `AbortReason` and summed on demand, so the taxonomy can
+/// never disagree with the total.
+enum class CounterId : unsigned {
+  kCommits = 0,
+  kAttempts,
+  kReads,
+  kWrites,
+  kValidations,
+  kLockCasFailures,
+  kLockAcquisitions,
+  kLockSpins,
+};
+
+inline constexpr std::size_t kCounterCount = 8;
+
+constexpr std::string_view to_string(CounterId id) {
+  switch (id) {
+    case CounterId::kCommits:
+      return "commits";
+    case CounterId::kAttempts:
+      return "attempts";
+    case CounterId::kReads:
+      return "reads";
+    case CounterId::kWrites:
+      return "writes";
+    case CounterId::kValidations:
+      return "validations";
+    case CounterId::kLockCasFailures:
+      return "lock_cas_failures";
+    case CounterId::kLockAcquisitions:
+      return "lock_acquisitions";
+    case CounterId::kLockSpins:
+      return "lock_spins";
+  }
+  return "?";
+}
+
+constexpr std::size_t index(CounterId id) { return static_cast<std::size_t>(id); }
+
+/// Timed phases of one transaction attempt.  `kAttempt` is the whole
+/// attempt (begin -> commit/abort); validation and commit are the phases
+/// the paper's critical-path analysis (Fig 6.2) decomposes.
+enum class Phase : unsigned {
+  kAttempt = 0,
+  kValidation,
+  kCommit,
+};
+
+inline constexpr std::size_t kPhaseCount = 3;
+
+constexpr std::string_view to_string(Phase p) {
+  switch (p) {
+    case Phase::kAttempt:
+      return "attempt";
+    case Phase::kValidation:
+      return "validation";
+    case Phase::kCommit:
+      return "commit";
+  }
+  return "?";
+}
+
+constexpr std::size_t index(Phase p) { return static_cast<std::size_t>(p); }
+
+struct PhaseSnapshot {
+  std::uint64_t count = 0;     // attempts that contributed a sample
+  std::uint64_t total_ns = 0;  // summed nanoseconds across samples
+  std::array<std::uint64_t, Histogram::kBuckets> log2_buckets{};
+
+  bool operator==(const PhaseSnapshot&) const = default;
+};
+
+/// Point-in-time copy of one sink (one reporting domain).
+struct SinkSnapshot {
+  std::array<std::uint64_t, kCounterCount> counters{};
+  std::array<std::uint64_t, kAbortReasonCount> aborts{};
+  std::array<PhaseSnapshot, kPhaseCount> phases{};
+
+  std::uint64_t counter(CounterId id) const { return counters[index(id)]; }
+  std::uint64_t aborts_for(AbortReason r) const { return aborts[index(r)]; }
+  std::uint64_t aborts_total() const {
+    std::uint64_t sum = 0;
+    for (const auto v : aborts) sum += v;
+    return sum;
+  }
+  const PhaseSnapshot& phase(Phase p) const { return phases[index(p)]; }
+
+  SinkSnapshot& operator+=(const SinkSnapshot& o) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) counters[i] += o.counters[i];
+    for (std::size_t i = 0; i < kAbortReasonCount; ++i) aborts[i] += o.aborts[i];
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      phases[i].count += o.phases[i].count;
+      phases[i].total_ns += o.phases[i].total_ns;
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+        phases[i].log2_buckets[b] += o.phases[i].log2_buckets[b];
+    }
+    return *this;
+  }
+
+  bool operator==(const SinkSnapshot&) const = default;
+};
+
+/// Multi-domain snapshot: what `Registry::snapshot()` returns.  Domains are
+/// named "stm.NOrec", "otb.tx", "boosted", ... and kept in registration
+/// order (stable across a run).
+struct Snapshot {
+  std::vector<std::pair<std::string, SinkSnapshot>> domains;
+
+  const SinkSnapshot* find(std::string_view name) const {
+    for (const auto& [n, s] : domains)
+      if (n == name) return &s;
+    return nullptr;
+  }
+
+  bool operator==(const Snapshot&) const = default;
+
+  /// Human-readable table (one row per domain) for quick printf debugging.
+  std::string to_table() const {
+    std::string out =
+        "domain                     commits    aborts  attempts     reads    writes\n";
+    char line[160];
+    for (const auto& [name, s] : domains) {
+      std::snprintf(line, sizeof(line), "%-24s %9llu %9llu %9llu %9llu %9llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(s.counter(CounterId::kCommits)),
+                    static_cast<unsigned long long>(s.aborts_total()),
+                    static_cast<unsigned long long>(s.counter(CounterId::kAttempts)),
+                    static_cast<unsigned long long>(s.counter(CounterId::kReads)),
+                    static_cast<unsigned long long>(s.counter(CounterId::kWrites)));
+      out += line;
+    }
+    return out;
+  }
+};
+
+}  // namespace otb::metrics

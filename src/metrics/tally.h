@@ -1,0 +1,78 @@
+// Per-transaction-context tally: plain (non-atomic) fields bumped on the
+// algorithm hot path, flushed to the shared `MetricsSink` only at attempt
+// boundaries.  Field names deliberately match the historical `TxStats`
+// struct so algorithm code (`this->stats_.reads += 1`) is unchanged; the
+// public `TxStats` is now a compatibility view generated from this tally.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "metrics/abort_reason.h"
+
+namespace otb::metrics {
+
+struct TxTally {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t attempts = 0;
+
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t validations = 0;
+
+  std::uint64_t lock_cas_failures = 0;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_spins = 0;
+
+  // Populated only when Config::collect_timing (or the OTB timing knob) is
+  // on; zero deltas are skipped at flush so untimed runs pay nothing.
+  std::uint64_t ns_validation = 0;
+  std::uint64_t ns_commit = 0;
+  std::uint64_t ns_total = 0;
+
+  std::array<std::uint64_t, kAbortReasonCount> aborts_by{};
+  AbortReason last_reason = AbortReason::kNone;
+
+  TxTally& operator+=(const TxTally& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    attempts += o.attempts;
+    reads += o.reads;
+    writes += o.writes;
+    validations += o.validations;
+    lock_cas_failures += o.lock_cas_failures;
+    lock_acquisitions += o.lock_acquisitions;
+    lock_spins += o.lock_spins;
+    ns_validation += o.ns_validation;
+    ns_commit += o.ns_commit;
+    ns_total += o.ns_total;
+    for (std::size_t i = 0; i < kAbortReasonCount; ++i) aborts_by[i] += o.aborts_by[i];
+    if (o.last_reason != AbortReason::kNone) last_reason = o.last_reason;
+    return *this;
+  }
+
+  /// Field-wise difference against an earlier copy of the same tally (all
+  /// fields are monotone, so plain subtraction is exact).
+  TxTally delta_since(const TxTally& prev) const {
+    TxTally d;
+    d.commits = commits - prev.commits;
+    d.aborts = aborts - prev.aborts;
+    d.attempts = attempts - prev.attempts;
+    d.reads = reads - prev.reads;
+    d.writes = writes - prev.writes;
+    d.validations = validations - prev.validations;
+    d.lock_cas_failures = lock_cas_failures - prev.lock_cas_failures;
+    d.lock_acquisitions = lock_acquisitions - prev.lock_acquisitions;
+    d.lock_spins = lock_spins - prev.lock_spins;
+    d.ns_validation = ns_validation - prev.ns_validation;
+    d.ns_commit = ns_commit - prev.ns_commit;
+    d.ns_total = ns_total - prev.ns_total;
+    for (std::size_t i = 0; i < kAbortReasonCount; ++i)
+      d.aborts_by[i] = aborts_by[i] - prev.aborts_by[i];
+    d.last_reason = last_reason;
+    return d;
+  }
+};
+
+}  // namespace otb::metrics

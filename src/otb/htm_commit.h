@@ -24,10 +24,15 @@
 #include "common/rng.h"
 #include "common/spinlock.h"
 #include "common/tx_abort.h"
+#include "metrics/registry.h"
+#include "metrics/sink.h"
 #include "otb/otb_ds.h"
 
 namespace otb::tx {
 
+/// Fine-grained fast-path/fallback accounting specific to the HTM-commit
+/// protocol (internal hardware retries are not attempt aborts, so they live
+/// here rather than in the sink's abort taxonomy).
 struct HtmCommitStats {
   std::atomic<std::uint64_t> htm_commits{0};
   std::atomic<std::uint64_t> fallback_commits{0};
@@ -51,7 +56,9 @@ class HtmCommitRuntime {
     void on_operation_validate() override {
       for (;;) {
         const std::uint64_t s = rt_.clock_.wait_even();
-        if (!validate_attached(/*check_locks=*/true)) throw TxAbort{};
+        if (!validate_attached(/*check_locks=*/true)) {
+          throw TxAbort{metrics::AbortReason::kSemanticConflict};
+        }
         if (rt_.clock_.load() == s) return;
       }
     }
@@ -77,7 +84,7 @@ class HtmCommitRuntime {
           // committed through the plain tx::atomically runtime.)
           if (!pre_commit_attached(/*use_locks=*/false)) {
             rt_.clock_.release();
-            throw TxAbort{};
+            throw TxAbort{metrics::AbortReason::kSemanticConflict};
           }
           on_commit_attached();
           post_commit_attached();
@@ -92,7 +99,7 @@ class HtmCommitRuntime {
       while (!rt_.clock_.try_acquire(even)) even = rt_.clock_.wait_even();
       if (!pre_commit_attached(/*use_locks=*/true)) {
         rt_.clock_.release();
-        throw TxAbort{};
+        throw TxAbort{metrics::AbortReason::kSemanticConflict};
       }
       on_commit_attached();
       post_commit_attached();
@@ -115,31 +122,45 @@ class HtmCommitRuntime {
     ebr::Guard epoch_guard_;
   };
 
-  /// Run `fn(tx)` atomically with the HTM-commit protocol.
+  explicit HtmCommitRuntime(metrics::MetricsSink* sink = nullptr)
+      : sink_(sink != nullptr
+                  ? sink
+                  : &metrics::Registry::global().sink("otb.htm_commit")) {}
+
+  /// Run `fn(tx)` atomically with the HTM-commit protocol.  Returns the
+  /// attempt report for this call; totals flow into the metrics sink.
   template <typename Fn>
-  std::uint64_t atomically(Fn&& fn) {
+  metrics::AttemptReport atomically(Fn&& fn) {
     Backoff backoff;
-    std::uint64_t aborts = 0;
+    metrics::AttemptReport report;
     for (;;) {
       Transaction tx(*this);
       try {
         fn(tx);
         tx.commit();
-        return aborts;
-      } catch (const TxAbort&) {
+        sink_->add(metrics::CounterId::kAttempts);
+        sink_->add(metrics::CounterId::kCommits);
+        report.commits = 1;
+        return report;
+      } catch (const TxAbort& abort) {
         tx.abandon();
-        ++aborts;
+        sink_->add(metrics::CounterId::kAttempts);
+        sink_->record_abort(abort.reason);
+        report.aborts += 1;
+        report.last_reason = abort.reason;
         backoff.pause();
       }
     }
   }
 
   const HtmCommitStats& stats() const { return stats_; }
+  metrics::SinkSnapshot metrics() const { return sink_->snapshot(); }
 
  private:
   friend class Transaction;
   SeqLock clock_;
   HtmCommitStats stats_;
+  metrics::MetricsSink* sink_;
 };
 
 }  // namespace otb::tx

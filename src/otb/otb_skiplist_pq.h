@@ -44,21 +44,21 @@ class OtbSkipListPQ final : public OtbDs {
       // Local minimum wins.  Pin the shared minimum in the semantic read-set
       // so a concurrent smaller insert/remove aborts us at commit.
       if (!shared_empty) {
-        if (!set_.contains_op(tx, *desc.set, shared_key)) throw TxAbort{};
-        if (set_.next_ref(desc.last_removed) != shared) throw TxAbort{};
+        if (!set_.contains_op(tx, *desc.set, shared_key)) throw TxAbort{metrics::AbortReason::kSemanticConflict};
+        if (set_.next_ref(desc.last_removed) != shared) throw TxAbort{metrics::AbortReason::kSemanticConflict};
       }
       // Algorithm 6 pops the local heap; routing through the set eliminates
       // the pending add so commit publishes nothing for this key.
       const Key local_min = desc.local.min();
-      if (!set_.remove_op(tx, *desc.set, local_min)) throw TxAbort{};
+      if (!set_.remove_op(tx, *desc.set, local_min)) throw TxAbort{metrics::AbortReason::kSemanticConflict};
       desc.local.remove_min();
       *out = local_min;
       return true;
     }
 
     if (shared_empty) return false;
-    if (!set_.remove_op(tx, *desc.set, shared_key)) throw TxAbort{};
-    if (set_.next_ref(desc.last_removed) != shared) throw TxAbort{};
+    if (!set_.remove_op(tx, *desc.set, shared_key)) throw TxAbort{metrics::AbortReason::kSemanticConflict};
+    if (set_.next_ref(desc.last_removed) != shared) throw TxAbort{metrics::AbortReason::kSemanticConflict};
     desc.last_removed = shared;
     *out = shared_key;
     return true;
@@ -74,15 +74,15 @@ class OtbSkipListPQ final : public OtbDs {
 
     if (!desc.local.empty() && (shared_empty || desc.local.min() < shared_key)) {
       if (!shared_empty) {
-        if (!set_.contains_op(tx, *desc.set, shared_key)) throw TxAbort{};
-        if (set_.next_ref(desc.last_removed) != shared) throw TxAbort{};
+        if (!set_.contains_op(tx, *desc.set, shared_key)) throw TxAbort{metrics::AbortReason::kSemanticConflict};
+        if (set_.next_ref(desc.last_removed) != shared) throw TxAbort{metrics::AbortReason::kSemanticConflict};
       }
       *out = desc.local.min();
       return true;
     }
     if (shared_empty) return false;
-    if (!set_.contains_op(tx, *desc.set, shared_key)) throw TxAbort{};
-    if (set_.next_ref(desc.last_removed) != shared) throw TxAbort{};
+    if (!set_.contains_op(tx, *desc.set, shared_key)) throw TxAbort{metrics::AbortReason::kSemanticConflict};
+    if (set_.next_ref(desc.last_removed) != shared) throw TxAbort{metrics::AbortReason::kSemanticConflict};
     *out = shared_key;
     return true;
   }

@@ -5,45 +5,107 @@
 //   pre_commit (semantic 2PL + commit-time validation)
 //   on_commit  (publish semantic write-sets)
 //   post_commit(release locks)
-// Aborts are signalled with TxAbort and retried with bounded backoff.
+// Aborts are signalled with TxAbort and retried with bounded, jittered
+// backoff.  Accounting flows through otb::metrics: every attempt is flushed
+// into the module's `MetricsSink` (domain "otb.tx" by default, injectable
+// for tests), with per-reason abort attribution and — when
+// `set_collect_timing(true)` — per-phase latency histograms.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "common/epoch.h"
+#include "common/platform.h"
 #include "common/spinlock.h"
 #include "common/tx_abort.h"
+#include "metrics/registry.h"
+#include "metrics/sink.h"
 #include "otb/otb_ds.h"
 
 namespace otb::tx {
 
-/// Commit/abort counters, aggregated across threads.
-struct RuntimeStats {
-  std::atomic<std::uint64_t> commits{0};
-  std::atomic<std::uint64_t> aborts{0};
+// ---- metrics wiring --------------------------------------------------------
+
+namespace detail {
+inline metrics::MetricsSink*& sink_slot() {
+  static metrics::MetricsSink* sink = &metrics::Registry::global().sink("otb.tx");
+  return sink;
+}
+inline std::atomic<bool>& timing_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace detail
+
+/// The sink standalone OTB transactions report through ("otb.tx" in the
+/// global registry unless overridden).
+inline metrics::MetricsSink& metrics_sink() { return *detail::sink_slot(); }
+
+/// Inject a sink (tests pass an in-memory instance); null restores the
+/// registry default.
+inline void set_metrics_sink(metrics::MetricsSink* sink) {
+  detail::sink_slot() =
+      sink != nullptr ? sink : &metrics::Registry::global().sink("otb.tx");
+}
+
+/// Snapshot of the standalone runtime's metrics — the redesigned stats
+/// accessor (mirrors `stm::Runtime::metrics()`).
+inline metrics::SinkSnapshot metrics_snapshot() { return metrics_sink().snapshot(); }
+
+/// Opt into per-phase wall-clock collection (attempt/validation/commit
+/// histograms).  Off by default: two clock reads per validation are not
+/// free.
+inline void set_collect_timing(bool on) {
+  detail::timing_flag().store(on, std::memory_order_relaxed);
+}
+inline bool collect_timing() {
+  return detail::timing_flag().load(std::memory_order_relaxed);
+}
+
+/// Deprecated commit/abort view kept for transition; reads the metrics
+/// sink.  New code should use `metrics_snapshot()`.
+struct RuntimeStatsView {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
 };
 
-inline RuntimeStats& runtime_stats() {
-  static RuntimeStats stats;
-  return stats;
+[[deprecated("use otb::tx::metrics_snapshot()")]]
+inline RuntimeStatsView runtime_stats() {
+  const metrics::MetricsSink& sink = metrics_sink();
+  return RuntimeStatsView{sink.counter(metrics::CounterId::kCommits),
+                          sink.aborts_total()};
 }
+
+// ---- transaction host ------------------------------------------------------
 
 /// One transaction attempt over boosted structures only.
 class Transaction final : public TxHost {
  public:
+  explicit Transaction(bool timed = collect_timing()) : timed_(timed) {}
+
   /// Post-validation after every boosted operation: every attached
   /// structure's semantic read-set must still hold, with lock checks
   /// (nothing is locked by us during execution).
   void on_operation_validate() override {
-    if (!validate_attached(/*check_locks=*/true)) throw TxAbort{};
+    tally_.validations += 1;
+    const std::uint64_t t0 = timed_ ? now_ns() : 0;
+    const bool ok = validate_attached(/*check_locks=*/true);
+    if (timed_) tally_.ns_validation += now_ns() - t0;
+    if (!ok) throw TxAbort{metrics::AbortReason::kSemanticConflict};
   }
 
   /// Two-phase commit across all attached structures.
   void commit() {
-    if (!pre_commit_attached(/*use_locks=*/true)) throw TxAbort{};
+    const std::uint64_t t0 = timed_ ? now_ns() : 0;
+    const bool ok = pre_commit_attached(/*use_locks=*/true);
+    if (!ok) {
+      if (timed_) tally_.ns_commit += now_ns() - t0;
+      throw TxAbort{metrics::AbortReason::kSemanticConflict};
+    }
     on_commit_attached();
     post_commit_attached();
+    if (timed_) tally_.ns_commit += now_ns() - t0;
   }
 
   /// Failed attempt: every attached structure rolls back whatever it still
@@ -55,29 +117,44 @@ class Transaction final : public TxHost {
     clear_attached();
   }
 
+  /// This attempt's accounting (a fresh Transaction per attempt, so the
+  /// tally *is* the attempt delta the retry loop flushes).
+  metrics::TxTally& tally() { return tally_; }
+
  private:
+  metrics::TxTally tally_;
+  bool timed_;
   // Pin the reclamation epoch for the attempt's lifetime: semantic read-set
   // entries hold raw node pointers that other transactions may retire.
   ebr::Guard epoch_guard_;
 };
 
-/// Run `fn(tx)` atomically, retrying on abort.  Returns the number of
-/// attempts that aborted before the commit succeeded.
+/// Run `fn(tx)` atomically, retrying on abort with capped, jittered
+/// exponential backoff.  Returns the attempt report for this call; lifetime
+/// totals (including the attempt count) flow into the metrics sink.
 template <typename Fn>
-std::uint64_t atomically(Fn&& fn) {
-  Backoff backoff;
-  std::uint64_t aborts = 0;
+metrics::AttemptReport atomically(Fn&& fn) {
+  metrics::MetricsSink& sink = metrics_sink();
+  const bool timed = collect_timing();
+  Backoff backoff(Backoff::kDefaultCap);
+  metrics::AttemptReport report;
   for (;;) {
-    Transaction tx;
+    Transaction tx(timed);
+    const std::uint64_t t0 = timed ? now_ns() : 0;
     try {
       fn(tx);
       tx.commit();
-      runtime_stats().commits.fetch_add(1, std::memory_order_relaxed);
-      return aborts;
-    } catch (const TxAbort&) {
+      if (timed) tx.tally().ns_total = now_ns() - t0;
+      sink.record_attempt(tx.tally(), /*committed=*/true,
+                          metrics::AbortReason::kNone);
+      report.commits = 1;
+      return report;
+    } catch (const TxAbort& abort) {
       tx.abandon();
-      runtime_stats().aborts.fetch_add(1, std::memory_order_relaxed);
-      ++aborts;
+      if (timed) tx.tally().ns_total = now_ns() - t0;
+      sink.record_attempt(tx.tally(), /*committed=*/false, abort.reason);
+      report.aborts += 1;
+      report.last_reason = abort.reason;
       backoff.pause();
     }
   }

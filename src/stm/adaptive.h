@@ -72,7 +72,7 @@ class AdaptiveRuntime {
   }
 
   template <typename Fn>
-  std::uint64_t atomically(AdaptiveThread& thread, Fn&& fn);
+  metrics::AttemptReport atomically(AdaptiveThread& thread, Fn&& fn);
 
  private:
   friend class AdaptiveThread;
@@ -109,7 +109,7 @@ class AdaptiveThread {
 
   void harvest() {
     // Fold the delta since the last harvest into the running total.
-    const TxStats& now = inner_->tx().stats();
+    const TxStats now = inner_->tx().stats();
     TxStats delta = now;
     delta.commits -= last_snapshot_.commits;
     delta.aborts -= last_snapshot_.aborts;
@@ -135,12 +135,13 @@ class AdaptiveThread {
 };
 
 template <typename Fn>
-std::uint64_t AdaptiveRuntime::atomically(AdaptiveThread& thread, Fn&& fn) {
+metrics::AttemptReport AdaptiveRuntime::atomically(AdaptiveThread& thread, Fn&& fn) {
   std::shared_lock lk(gate_);
   TxThread& th = thread.refresh();
-  const std::uint64_t aborted = runtime_->atomically(th, std::forward<Fn>(fn));
+  const metrics::AttemptReport report =
+      runtime_->atomically(th, std::forward<Fn>(fn));
   thread.harvest();
-  return aborted;
+  return report;
 }
 
 }  // namespace otb::stm

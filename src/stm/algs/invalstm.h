@@ -95,7 +95,9 @@ class InvalStmTx final : public Tx {
         stats_.lock_spins += 1;
         continue;  // a commit raced our read; take a fresh snapshot
       }
-      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      if (rec_.invalidated.load(std::memory_order_acquire)) {
+        throw TxAbort{metrics::AbortReason::kInvalidated};
+      }
       snapshot_ = s1;
       return value;
     }
@@ -110,27 +112,32 @@ class InvalStmTx final : public Tx {
   void commit() override {
     if (writes_.empty()) {
       // Reads were continuously guarded by the invalidation flag.
-      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      if (rec_.invalidated.load(std::memory_order_acquire)) {
+        throw TxAbort{metrics::AbortReason::kInvalidated};
+      }
       rec_.active.store(false, std::memory_order_release);
       return;
     }
     // Acquire the global commit lock.
     for (;;) {
       const std::uint64_t even = global_.clock.wait_even();
-      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      if (rec_.invalidated.load(std::memory_order_acquire)) {
+        throw TxAbort{metrics::AbortReason::kInvalidated};
+      }
       if (global_.clock.try_acquire(even)) break;
       stats_.lock_cas_failures += 1;
     }
+    stats_.lock_acquisitions += 1;
     if (rec_.invalidated.load(std::memory_order_acquire)) {
       global_.clock.release();
-      throw TxAbort{};
+      throw TxAbort{metrics::AbortReason::kInvalidated};
     }
     // Contention manager (§2.1.2's "more complex implementation"): a
     // committer about to doom a large crowd yields and retries instead.
     if (global_.cm_max_doomed > 0 &&
         global_.count_conflicting(write_filter_, &rec_) > global_.cm_max_doomed) {
       global_.clock.release();
-      throw TxAbort{};
+      throw TxAbort{metrics::AbortReason::kContentionManager};
     }
     writes_.publish();
     invalidate_conflicting();

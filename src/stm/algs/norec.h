@@ -109,7 +109,7 @@ class NOrecTxT : public Base {
       }
       if (!reads_.values_match()) {
         if (global_.collect_timing) this->stats_.ns_validation += now_ns() - t0;
-        throw TxAbort{};
+        throw TxAbort{metrics::AbortReason::kValidation};
       }
       if (global_.clock.load() == t) {
         if (global_.collect_timing) this->stats_.ns_validation += now_ns() - t0;

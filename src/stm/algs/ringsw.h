@@ -88,11 +88,18 @@ class RingSwTx final : public Tx {
     const std::uint64_t newest = global_.ring_index.load(std::memory_order_acquire);
     if (newest == start_) return;
     stats_.validations += 1;
-    if (newest - start_ >= RingSwGlobal::kRingSize) throw TxAbort{};  // wrapped
+    if (newest - start_ >= RingSwGlobal::kRingSize) {
+      throw TxAbort{metrics::AbortReason::kRingWrap};  // wrapped
+    }
     for (std::uint64_t i = start_ + 1; i <= newest; ++i) {
       const auto& entry = global_.ring[i % RingSwGlobal::kRingSize];
-      if (entry.timestamp.load(std::memory_order_acquire) != i) throw TxAbort{};
-      if (entry.filter.intersects(read_filter_)) throw TxAbort{};
+      if (entry.timestamp.load(std::memory_order_acquire) != i) {
+        // The entry was overwritten under us — equivalent to a wrap.
+        throw TxAbort{metrics::AbortReason::kRingWrap};
+      }
+      if (entry.filter.intersects(read_filter_)) {
+        throw TxAbort{metrics::AbortReason::kValidation};
+      }
     }
     start_ = newest;
   }

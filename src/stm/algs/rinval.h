@@ -181,7 +181,9 @@ class RInvalClientTx final : public Tx {
         stats_.lock_spins += 1;
         continue;
       }
-      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      if (rec_.invalidated.load(std::memory_order_acquire)) {
+        throw TxAbort{metrics::AbortReason::kInvalidated};
+      }
       return value;
     }
   }
@@ -195,7 +197,9 @@ class RInvalClientTx final : public Tx {
   void commit() override {
     const std::uint64_t t0 = global_.cfg.collect_timing ? now_ns() : 0;
     if (writes_.empty()) {
-      if (rec_.invalidated.load(std::memory_order_acquire)) throw TxAbort{};
+      if (rec_.invalidated.load(std::memory_order_acquire)) {
+        throw TxAbort{metrics::AbortReason::kInvalidated};
+      }
       rec_.active.store(false, std::memory_order_release);
       finish_attempt(t0);
       return;
@@ -206,7 +210,11 @@ class RInvalClientTx final : public Tx {
     req.state.store(RInvalGlobal::kReady, std::memory_order_release);
     rec_.active.store(false, std::memory_order_release);
     finish_attempt(t0);
-    if (state == RInvalGlobal::kAborted) throw TxAbort{};
+    if (state == RInvalGlobal::kAborted) {
+      // The server either saw us doomed or the CM refused the commit; both
+      // trace back to an invalidation-scan decision.
+      throw TxAbort{metrics::AbortReason::kInvalidated};
+    }
   }
 
   void rollback() override {

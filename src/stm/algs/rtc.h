@@ -125,7 +125,8 @@ class RtcClientTx final : public NOrecTx {
       if (state == RtcGlobal::kAborted) {
         req.state.store(RtcGlobal::kReady, std::memory_order_release);
         finish_attempt(t0);
-        throw TxAbort{};
+        // The server refused the request after value-based re-validation.
+        throw TxAbort{metrics::AbortReason::kValidation};
       }
       req.state.store(RtcGlobal::kReady, std::memory_order_release);
     }

@@ -52,11 +52,13 @@ class TinyStmTx final : public Tx {
       const std::uint64_t pre = orec.load();
       if (VersionedLock::is_locked(pre)) {
         if (holds(&orec)) return addr->load(std::memory_order_relaxed);
-        throw TxAbort{};  // owned by another writer
+        throw TxAbort{metrics::AbortReason::kLockFail};  // owned by another writer
       }
       const Word value = addr->load(std::memory_order_acquire);
       if (orec.load() != pre) continue;  // raced a writer; resample
-      if (VersionedLock::version_of(pre) > start_ && !extend()) throw TxAbort{};
+      if (VersionedLock::version_of(pre) > start_ && !extend()) {
+        throw TxAbort{metrics::AbortReason::kValidation};
+      }
       reads_.push_back(&orec);
       return value;
     }
@@ -70,8 +72,9 @@ class TinyStmTx final : public Tx {
       if (VersionedLock::is_locked(w) ||
           VersionedLock::version_of(w) > start_ || !orec.try_lock_from(w)) {
         stats_.lock_cas_failures += 1;
-        throw TxAbort{};
+        throw TxAbort{metrics::AbortReason::kLockFail};
       }
+      stats_.lock_acquisitions += 1;
       locked_.push_back(&orec);
     }
     // Eager write-through with undo logging.
@@ -86,7 +89,7 @@ class TinyStmTx final : public Tx {
     if (wv != start_ + 1 && !validate_reads()) {
       undo_writes();
       release_locked(/*stamp=*/false, 0);
-      throw TxAbort{};
+      throw TxAbort{metrics::AbortReason::kValidation};
     }
     undo_.clear();
     release_locked(/*stamp=*/true, wv);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/platform.h"
 #include "common/spinlock.h"
 #include "stm/read_write_sets.h"
 #include "stm/runtime.h"
@@ -24,8 +25,9 @@ struct Tl2Global final : AlgoGlobal {
   std::atomic<std::uint64_t> clock{0};
   std::unique_ptr<VersionedLock[]> orecs =
       std::make_unique<VersionedLock[]>(kOrecCount);
+  bool collect_timing = false;
 
-  explicit Tl2Global(const Config&) {}
+  explicit Tl2Global(const Config& cfg) : collect_timing(cfg.collect_timing) {}
 
   VersionedLock& orec_for(const TWord* addr) {
     return orecs[hash_addr(addr) & (kOrecCount - 1)];
@@ -43,6 +45,7 @@ class Tl2TxT : public Base {
     reads_.clear();
     writes_.clear();
     rv_ = global_.clock.load(std::memory_order_acquire);
+    if (global_.collect_timing) begin_ns_ = now_ns();
   }
 
   Word read_word(const TWord* addr) override {
@@ -55,7 +58,7 @@ class Tl2TxT : public Base {
     const std::uint64_t post = orec.load();
     if (VersionedLock::is_locked(pre) || pre != post ||
         VersionedLock::version_of(pre) > rv_) {
-      throw TxAbort{};
+      throw TxAbort{metrics::AbortReason::kValidation};
     }
     reads_.push_back(&orec);
     return value;
@@ -67,18 +70,30 @@ class Tl2TxT : public Base {
   }
 
   void commit() override {
-    if (writes_.empty()) return;  // read-only: per-read validation suffices
+    const std::uint64_t t0 = global_.collect_timing ? now_ns() : 0;
+    if (writes_.empty()) {  // read-only: per-read validation suffices
+      finish_attempt(t0);
+      return;
+    }
     lock_write_orecs();
+    this->stats_.lock_acquisitions += locked_.size();
     const std::uint64_t wv = global_.clock.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (wv != rv_ + 1 && !validate_reads()) {
       release_locked(/*stamp=*/false, 0);
-      throw TxAbort{};
+      throw TxAbort{metrics::AbortReason::kValidation};
     }
     writes_.publish();
     release_locked(/*stamp=*/true, wv);
+    finish_attempt(t0);
   }
 
-  void rollback() override { release_locked(/*stamp=*/false, 0); }
+  void rollback() override {
+    release_locked(/*stamp=*/false, 0);
+    if (global_.collect_timing && begin_ns_ != 0) {
+      this->stats_.ns_total += now_ns() - begin_ns_;
+      begin_ns_ = 0;
+    }
+  }
 
  protected:
   void lock_write_orecs() {
@@ -90,7 +105,7 @@ class Tl2TxT : public Base {
           !orec.try_lock_from(w)) {
         this->stats_.lock_cas_failures += 1;
         release_locked(/*stamp=*/false, 0);
-        throw TxAbort{};
+        throw TxAbort{metrics::AbortReason::kLockFail};
       }
       locked_.push_back(&orec);
     }
@@ -98,12 +113,29 @@ class Tl2TxT : public Base {
 
   bool validate_reads() {
     this->stats_.validations += 1;
+    const std::uint64_t t0 = global_.collect_timing ? now_ns() : 0;
+    bool ok = true;
     for (VersionedLock* orec : reads_) {
       const std::uint64_t w = orec->load();
-      if (VersionedLock::version_of(w) > rv_) return false;
-      if (VersionedLock::is_locked(w) && !holds(orec)) return false;
+      if (VersionedLock::version_of(w) > rv_ ||
+          (VersionedLock::is_locked(w) && !holds(orec))) {
+        ok = false;
+        break;
+      }
     }
-    return true;
+    if (global_.collect_timing) this->stats_.ns_validation += now_ns() - t0;
+    return ok;
+  }
+
+  void finish_attempt(std::uint64_t commit_t0) {
+    if (global_.collect_timing) {
+      const std::uint64_t now = now_ns();
+      this->stats_.ns_commit += now - commit_t0;
+      if (begin_ns_ != 0) {
+        this->stats_.ns_total += now - begin_ns_;
+        begin_ns_ = 0;
+      }
+    }
   }
 
   bool holds(const VersionedLock* orec) const {
@@ -126,6 +158,7 @@ class Tl2TxT : public Base {
   RedoWriteSet writes_;
   std::vector<VersionedLock*> locked_;
   std::uint64_t rv_ = 0;
+  std::uint64_t begin_ns_ = 0;
 };
 
 using Tl2Tx = Tl2TxT<Tx>;

@@ -30,7 +30,9 @@ class TmlTx final : public Tx {
   Word read_word(const TWord* addr) override {
     stats_.reads += 1;
     const Word value = addr->load(std::memory_order_acquire);
-    if (!writer_ && global_.clock.load() != snapshot_) throw TxAbort{};
+    if (!writer_ && global_.clock.load() != snapshot_) {
+      throw TxAbort{metrics::AbortReason::kValidation};
+    }
     return value;
   }
 
@@ -39,8 +41,9 @@ class TmlTx final : public Tx {
     if (!writer_) {
       if (!global_.clock.try_acquire(snapshot_)) {
         stats_.lock_cas_failures += 1;
-        throw TxAbort{};
+        throw TxAbort{metrics::AbortReason::kLockFail};
       }
+      stats_.lock_acquisitions += 1;
       writer_ = true;  // irrevocable from here on
     }
     addr->store(value, std::memory_order_release);

@@ -5,6 +5,10 @@
 #include <cstddef>
 #include <string_view>
 
+namespace otb::metrics {
+class MetricsSink;
+}
+
 namespace otb::stm {
 
 enum class AlgoKind {
@@ -70,6 +74,11 @@ struct Config {
 
   /// Best-effort pinning of server threads to dedicated CPUs.
   bool pin_servers = true;
+
+  /// Metrics sink every context of this runtime reports through.  Null
+  /// (the default) registers a domain named "stm.<algo>" in
+  /// `metrics::Registry::global()`; tests inject an in-memory instance.
+  metrics::MetricsSink* metrics = nullptr;
 };
 
 }  // namespace otb::stm

@@ -10,6 +10,7 @@
 
 #include "common/spinlock.h"
 #include "common/tx_abort.h"
+#include "metrics/sink.h"
 #include "stm/config.h"
 #include "stm/tx.h"
 
@@ -51,24 +52,34 @@ class Runtime {
   AlgoKind kind() const { return kind_; }
   const Config& config() const { return config_; }
 
-  /// Execute `fn(tx)` atomically with retry-on-abort.  Returns the number of
-  /// aborted attempts.
+  /// The sink every context of this runtime reports through (injected via
+  /// `Config::metrics`, else the registry domain "stm.<algo>").
+  metrics::MetricsSink& metrics_sink() const { return *sink_; }
+
+  /// Snapshot of this runtime's accumulated metrics — the redesigned stats
+  /// accessor (replaces summing raw `TxStats` fields by hand).
+  metrics::SinkSnapshot metrics() const { return sink_->snapshot(); }
+
+  /// Execute `fn(tx)` atomically with retry-on-abort.  Returns the attempt
+  /// report for this call; lifetime totals flow into the metrics sink.
   template <typename Fn>
-  std::uint64_t atomically(TxThread& thread, Fn&& fn) {
+  metrics::AttemptReport atomically(TxThread& thread, Fn&& fn) {
     Tx& tx = thread.tx();
     Backoff backoff;
-    std::uint64_t aborted = 0;
+    metrics::AttemptReport report;
     for (;;) {
       tx.begin();
       try {
         fn(tx);
         tx.commit();
-        tx.stats().commits += 1;
-        return aborted;
-      } catch (const TxAbort&) {
+        tx.note_commit();
+        report.commits = 1;
+        return report;
+      } catch (const TxAbort& abort) {
         tx.rollback();
-        tx.stats().aborts += 1;
-        ++aborted;
+        tx.note_abort(abort.reason);
+        report.aborts += 1;
+        report.last_reason = abort.reason;
         backoff.pause();
       }
     }
@@ -96,6 +107,7 @@ class Runtime {
 
   AlgoKind kind_;
   Config config_;
+  metrics::MetricsSink* sink_ = nullptr;  // resolved in the constructor
   std::unique_ptr<AlgoGlobal> global_;
   std::mutex slots_mu_;
   std::vector<bool> slot_used_;
@@ -103,6 +115,7 @@ class Runtime {
 
 inline TxThread::TxThread(Runtime& rt) : rt_(rt), slot_(rt.acquire_slot()) {
   tx_ = rt.global_->make_tx(slot_);
+  tx_->bind_metrics(rt.sink_);
 }
 
 inline TxThread::~TxThread() {

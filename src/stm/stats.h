@@ -1,13 +1,24 @@
-// Per-transaction-context statistics.
+// Compatibility view over the otb::metrics tally.
 //
-// Besides throughput bookkeeping these provide the *software proxies* for
-// the paper's hardware counters (DESIGN.md substitutions): shared-lock CAS
-// failures and spin iterations stand in for coherence-miss measurements
-// (Fig 5.6), and the validation/commit nanosecond accumulators drive the
-// critical-path breakdowns (Figs 6.2–6.3, Table 5.1).
+// `TxStats` used to be the primary accounting struct that contexts mutated
+// directly; the source of truth is now `metrics::TxTally` (per context)
+// flushed into a `metrics::MetricsSink` (per domain).  This struct remains
+// as a *read-only value view* for code that summarises per-thread results
+// (benches, ministamp) — it is generated on demand and mutating a returned
+// copy affects nothing.  New code should use `Runtime::metrics()` /
+// `metrics::Snapshot` instead; see docs/METRICS.md for the field -> counter
+// mapping.
+//
+// The fields remain the paper's *software proxies* for hardware counters
+// (DESIGN.md substitutions): shared-lock CAS failures and spin iterations
+// stand in for coherence-miss measurements (Fig 5.6), and the validation /
+// commit nanosecond accumulators drive the critical-path breakdowns
+// (Figs 6.2–6.3, Table 5.1).
 #pragma once
 
 #include <cstdint>
+
+#include "metrics/tally.h"
 
 namespace otb::stm {
 
@@ -23,6 +34,22 @@ struct TxStats {
   std::uint64_t ns_validation = 0;      // time inside validation
   std::uint64_t ns_commit = 0;          // time inside the commit routine
   std::uint64_t ns_total = 0;           // time inside transactions overall
+
+  static TxStats from(const metrics::TxTally& t) {
+    TxStats s;
+    s.commits = t.commits;
+    s.aborts = t.aborts;
+    s.reads = t.reads;
+    s.writes = t.writes;
+    s.validations = t.validations;
+    s.lock_cas_failures = t.lock_cas_failures;
+    s.lock_acquisitions = t.lock_acquisitions;
+    s.lock_spins = t.lock_spins;
+    s.ns_validation = t.ns_validation;
+    s.ns_commit = t.ns_commit;
+    s.ns_total = t.ns_total;
+    return s;
+  }
 
   TxStats& operator+=(const TxStats& o) {
     commits += o.commits;

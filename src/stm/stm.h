@@ -12,12 +12,19 @@
 #include "stm/algs/tinystm.h"
 #include "stm/algs/tl2.h"
 #include "stm/algs/tml.h"
+#include "metrics/registry.h"
 #include "stm/runtime.h"
+
+#include <string>
 
 namespace otb::stm {
 
 inline Runtime::Runtime(AlgoKind kind, Config config)
     : kind_(kind), config_(config), slot_used_(config.max_threads, false) {
+  sink_ = config.metrics != nullptr
+              ? config.metrics
+              : &metrics::Registry::global().sink(std::string("stm.") +
+                                                  std::string(to_string(kind)));
   switch (kind) {
     case AlgoKind::kNOrec:
       global_ = std::make_unique<NOrecGlobal>(config);

@@ -1,9 +1,18 @@
 // Abstract per-thread transaction context — the C++ analogue of the DEUCE
 // "STM context" layer (§4.1.2): each algorithm implements begin / read /
 // write / commit / rollback, and the runtime drives the retry loop.
+//
+// Accounting: algorithms bump the plain per-context `stats_` tally on the
+// hot path (no atomics); the retry loop calls `note_commit` /
+// `note_abort(reason)` at each attempt boundary, which flushes the
+// attempt's tally *delta* into the bound `metrics::MetricsSink` — commit
+// and abort-by-reason counters, operation counters, and per-phase latency
+// histograms when timing is collected.
 #pragma once
 
 #include "common/tx_abort.h"
+#include "metrics/sink.h"
+#include "metrics/tally.h"
 #include "stm/stats.h"
 #include "stm/tvar.h"
 
@@ -46,11 +55,49 @@ class Tx {
     write(var, fn(read(var)));
   }
 
-  TxStats& stats() { return stats_; }
-  const TxStats& stats() const { return stats_; }
+  // ---- accounting ---------------------------------------------------------
+
+  /// Lifetime totals as the legacy value view.  Deliberately const and
+  /// by-value: the old `tx.stats().field += n` mutation pattern no longer
+  /// compiles — contexts report through `note_commit`/`note_abort` instead.
+  const TxStats stats() const { return TxStats::from(stats_); }
+
+  /// Lifetime totals including per-reason abort attribution.
+  const metrics::TxTally& tally() const { return stats_; }
+
+  /// Bind the sink this context flushes into (null = keep tallying only).
+  /// Called once at construction by the owning runtime.
+  void bind_metrics(metrics::MetricsSink* sink) { sink_ = sink; }
+  metrics::MetricsSink* metrics_sink() const { return sink_; }
+
+  /// Attempt boundary: the retry loop reports the committed attempt.
+  void note_commit() {
+    stats_.commits += 1;
+    stats_.attempts += 1;
+    flush_attempt(true, metrics::AbortReason::kNone);
+  }
+
+  /// Attempt boundary: the retry loop reports an aborted attempt.
+  void note_abort(metrics::AbortReason r) {
+    stats_.aborts += 1;
+    stats_.attempts += 1;
+    stats_.aborts_by[metrics::index(r)] += 1;
+    stats_.last_reason = r;
+    flush_attempt(false, r);
+  }
 
  protected:
-  TxStats stats_;
+  metrics::TxTally stats_;
+
+ private:
+  void flush_attempt(bool committed, metrics::AbortReason r) {
+    if (sink_ == nullptr) return;
+    sink_->record_attempt(stats_.delta_since(flushed_), committed, r);
+    flushed_ = stats_;
+  }
+
+  metrics::MetricsSink* sink_ = nullptr;
+  metrics::TxTally flushed_;
 };
 
 }  // namespace otb::stm

@@ -77,7 +77,8 @@ TEST_P(CmTest, PoliteCommitterAbortsMoreThanAggressiveOne) {
       TxThread th(rt);
       for (int i = 0; i < 100; ++i) {
         writer_aborts +=
-            rt.atomically(th, [&](Tx& tx) { tx.write(hot, tx.read(hot) + 1); });
+            rt.atomically(th, [&](Tx& tx) { tx.write(hot, tx.read(hot) + 1); })
+                .aborts;
       }
     }
     stop = true;

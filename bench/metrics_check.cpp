@@ -58,11 +58,54 @@ void check_domain(const otb::metrics::Snapshot& snap, const std::string& name,
   check_histograms(name, *s);
 }
 
+/// `metrics_check --validate <dump.json> [domain...]`: validate an existing
+/// --metrics-json dump instead of spawning micro_ops.  Used by the CI
+/// bench-smoke job on the figure harnesses' output.  Named domains must be
+/// present and self-consistent; every domain in the dump gets the histogram
+/// bucket-sum check regardless.
+int validate_dump(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: metrics_check --validate <dump.json> [domain...]\n");
+    return 2;
+  }
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "FAIL: cannot read %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto snap = otb::metrics::from_json(buf.str());
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "FAIL: %s does not parse as %s\n", argv[2],
+                 std::string(otb::metrics::kJsonSchemaId).c_str());
+    return 1;
+  }
+  for (int i = 3; i < argc; ++i) {
+    check_domain(*snap, argv[i], /*want_phase_timing=*/false);
+  }
+  for (const auto& [name, s] : snap->domains) check_histograms(name, s);
+  if (g_failures != 0) {
+    std::fprintf(stderr, "%d check(s) failed; dump:\n%s\n", g_failures,
+                 snap->to_table().c_str());
+    return 1;
+  }
+  std::printf("metrics_check OK: %zu domains\n%s", snap->domains.size(),
+              snap->to_table().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--validate") {
+    return validate_dump(argc, argv);
+  }
   if (argc < 2) {
-    std::fprintf(stderr, "usage: metrics_check <path-to-micro_ops>\n");
+    std::fprintf(stderr,
+                 "usage: metrics_check <path-to-micro_ops>\n"
+                 "       metrics_check --validate <dump.json> [domain...]\n");
     return 2;
   }
   const std::string json_path = "metrics_smoke.json";

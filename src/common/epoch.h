@@ -39,6 +39,14 @@ struct Global {
   std::mutex orphan_mu;
   std::vector<Retired> orphans;  // limbo of exited threads
 
+  // Static destruction runs after every ThreadState has drained its limbo
+  // here (thread_local dtors precede static dtors), so whatever is left is
+  // unreachable and safe to free — without this, retirements that never
+  // became collectable leak at process exit.
+  ~Global() {
+    for (const Retired& r : orphans) r.deleter(r.ptr);
+  }
+
   static Global& instance() {
     static Global g;
     return g;
@@ -86,10 +94,11 @@ class ThreadState {
     if (++depth_ > 1) return;
     Global& g = Global::instance();
     if (index_ < kMaxThreads) {
-      g.slots[index_].local.store(g.epoch.load(std::memory_order_acquire),
-                                  std::memory_order_release);
-      // Make the announcement visible before any shared read.
-      std::atomic_thread_fence(std::memory_order_seq_cst);
+      // Announce via a seq_cst RMW: the announcement must be ordered before
+      // every subsequent shared read (StoreLoad), and an RMW — unlike
+      // atomic_thread_fence — is a barrier ThreadSanitizer models.
+      g.slots[index_].local.exchange(
+          g.epoch.load(std::memory_order_seq_cst), std::memory_order_seq_cst);
     }
   }
 

@@ -1,0 +1,149 @@
+// Concurrent-history recording for the linearizability harness.
+//
+// Each worker thread records one `Event` per completed ADT operation:
+// invocation and response timestamps from the shared monotonic clock
+// (`otb::now_ns`), the operation kind/arguments, and the observed result.
+// Recording is contention-free — every thread appends to its own
+// pre-reserved lane — so the act of observing perturbs the schedule as
+// little as possible.  After the run the lanes are merged into a single
+// invocation-ordered history that the checkers in lin_check.h and
+// invariants.h consume.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/platform.h"
+
+namespace otb::verify {
+
+/// Operation vocabulary shared by every ADT the harness drives.  Set-like
+/// structures use kAdd/kRemove/kContains; maps use kPut/kErase/kGet; the
+/// priority queues use kPqAdd/kPqRemoveMin/kPqMin.
+enum class OpKind : std::uint8_t {
+  kAdd,
+  kRemove,
+  kContains,
+  kPut,
+  kErase,
+  kGet,
+  kPqAdd,
+  kPqRemoveMin,
+  kPqMin,
+};
+
+inline const char* to_string(OpKind op) {
+  switch (op) {
+    case OpKind::kAdd: return "add";
+    case OpKind::kRemove: return "remove";
+    case OpKind::kContains: return "contains";
+    case OpKind::kPut: return "put";
+    case OpKind::kErase: return "erase";
+    case OpKind::kGet: return "get";
+    case OpKind::kPqAdd: return "pq_add";
+    case OpKind::kPqRemoveMin: return "pq_remove_min";
+    case OpKind::kPqMin: return "pq_min";
+  }
+  return "?";
+}
+
+/// One completed operation.  `key` is the argument key (unused by
+/// kPqRemoveMin/kPqMin); `value` is the put value, the value a get
+/// observed, or the key a PQ removeMin/min returned; `ok` is the boolean
+/// outcome.  The linearization point lies somewhere in
+/// [invoke_ns, response_ns].
+struct Event {
+  std::uint32_t tid = 0;
+  OpKind op = OpKind::kContains;
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+  bool ok = false;
+  std::uint64_t invoke_ns = 0;
+  std::uint64_t response_ns = 0;
+};
+
+inline std::string to_string(const Event& e) {
+  std::string s = "t";
+  s += std::to_string(e.tid);
+  s += " ";
+  s += to_string(e.op);
+  s += "(";
+  s += std::to_string(e.key);
+  if (e.op == OpKind::kPut) {
+    s += ",";
+    s += std::to_string(e.value);
+  }
+  s += ")=";
+  s += e.ok ? "T" : "F";
+  if (e.op == OpKind::kGet || e.op == OpKind::kPqRemoveMin ||
+      e.op == OpKind::kPqMin) {
+    s += "/";
+    s += std::to_string(e.value);
+  }
+  s += " [";
+  s += std::to_string(e.invoke_ns);
+  s += ",";
+  s += std::to_string(e.response_ns);
+  s += "]";
+  return s;
+}
+
+/// A merged history, ordered by invocation time.
+using History = std::vector<Event>;
+
+/// Per-thread event lanes; merge() produces the invocation-ordered history.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(unsigned threads, std::size_t reserve_per_thread = 0)
+      : lanes_(threads) {
+    if (reserve_per_thread != 0) {
+      for (auto& lane : lanes_) lane.reserve(reserve_per_thread);
+    }
+  }
+
+  /// Record one completed operation on thread `tid`'s private lane.
+  void record(unsigned tid, Event e) {
+    e.tid = tid;
+    lanes_[tid].push_back(e);
+  }
+
+  /// Convenience: timestamp and run `fn` (returning the op's bool result),
+  /// then record the completed event.
+  template <typename Fn>
+  bool timed_op(unsigned tid, OpKind op, std::int64_t key, Fn&& fn) {
+    Event e;
+    e.op = op;
+    e.key = key;
+    e.invoke_ns = now_ns();
+    e.ok = fn(e.value);
+    e.response_ns = now_ns();
+    record(tid, e);
+    return e.ok;
+  }
+
+  unsigned threads() const { return static_cast<unsigned>(lanes_.size()); }
+
+  /// Merge every lane into one history sorted by invocation time (stable on
+  /// ties so same-thread program order is preserved — responses on a thread
+  /// always precede its next invocation).
+  History merge() const {
+    History all;
+    std::size_t n = 0;
+    for (const auto& lane : lanes_) n += lane.size();
+    all.reserve(n);
+    for (const auto& lane : lanes_) {
+      all.insert(all.end(), lane.begin(), lane.end());
+    }
+    std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+      return a.invoke_ns < b.invoke_ns;
+    });
+    return all;
+  }
+
+ private:
+  std::vector<std::vector<Event>> lanes_;
+};
+
+}  // namespace otb::verify

@@ -1,0 +1,146 @@
+// Cheap always-on structural invariants, complementary to the
+// linearizability checker: these run in O(history + structure) and catch
+// gross atomicity failures (lost updates, duplicated elements, broken
+// ordering) even at history sizes where full linearizability checking
+// would be intractable.
+//
+//   * sets/maps: final snapshot sorted strictly ascending (no duplicates),
+//     and per-key conservation — successful adds minus successful removes
+//     over the whole history must land exactly on the key's final presence;
+//   * priority queues: the drained final contents must be sorted (heap
+//     property) and the multiset equation
+//         seeded + successful adds == removed minima + final contents
+//     must balance (no lost or duplicated elements).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "verify/history.h"
+
+namespace otb::verify {
+
+struct AuditResult {
+  bool ok = true;
+  std::string detail;
+};
+
+inline AuditResult audit_fail(std::string what) { return {false, std::move(what)}; }
+
+/// Set/map audit.  `final_snapshot` is the structure's post-run key
+/// snapshot in traversal order; `initially_present` the seeded keys.
+/// Successful kPut events count as add when the key was newly inserted
+/// (ok), successful kErase as remove — so the same audit serves OtbListMap.
+inline AuditResult audit_set(const History& history,
+                             const std::vector<std::int64_t>& final_snapshot,
+                             const std::vector<std::int64_t>& initially_present = {}) {
+  // Structural: traversal order must be strictly ascending (sorted, no dups).
+  for (std::size_t i = 1; i < final_snapshot.size(); ++i) {
+    if (final_snapshot[i - 1] >= final_snapshot[i]) {
+      return audit_fail("snapshot not strictly sorted at index " +
+                        std::to_string(i) + ": " +
+                        std::to_string(final_snapshot[i - 1]) + " >= " +
+                        std::to_string(final_snapshot[i]));
+    }
+  }
+
+  // Conservation: per key, net successful mutations == final presence.
+  std::map<std::int64_t, std::int64_t> net;
+  for (const std::int64_t k : initially_present) net[k] += 1;
+  for (const Event& e : history) {
+    if (!e.ok) continue;
+    switch (e.op) {
+      case OpKind::kAdd:
+      case OpKind::kPut:
+        net[e.key] += 1;
+        break;
+      case OpKind::kRemove:
+      case OpKind::kErase:
+        net[e.key] -= 1;
+        break;
+      default:
+        break;
+    }
+  }
+  std::map<std::int64_t, std::int64_t> present;
+  for (const std::int64_t k : final_snapshot) present[k] += 1;
+  for (const auto& [key, n] : net) {
+    if (n < 0 || n > 1) {
+      return audit_fail("key " + std::to_string(key) + ": net change " +
+                        std::to_string(n) +
+                        " outside {0,1} (lost or duplicated update)");
+    }
+    if (present[key] != n) {
+      return audit_fail("key " + std::to_string(key) + ": final presence " +
+                        std::to_string(present[key]) + " != net " +
+                        std::to_string(n));
+    }
+  }
+  for (const auto& [key, n] : present) {
+    if (n != 0 && net.find(key) == net.end()) {
+      return audit_fail("key " + std::to_string(key) +
+                        " present in snapshot but never successfully added");
+    }
+  }
+  return {};
+}
+
+/// Priority-queue audit.  `drained` is the final contents in removal order
+/// (the harness drains the queue after the run — for heaps this checks the
+/// heap property, for the skip-list PQ bottom-level order).
+inline AuditResult audit_pq(const History& history,
+                            const std::vector<std::int64_t>& drained,
+                            const std::vector<std::int64_t>& seeded = {}) {
+  for (std::size_t i = 1; i < drained.size(); ++i) {
+    if (drained[i - 1] > drained[i]) {
+      return audit_fail("drain order violates heap property at index " +
+                        std::to_string(i) + ": " +
+                        std::to_string(drained[i - 1]) + " > " +
+                        std::to_string(drained[i]));
+    }
+  }
+
+  std::map<std::int64_t, std::int64_t> balance;  // added - removed - final
+  for (const std::int64_t k : seeded) balance[k] += 1;
+  for (const Event& e : history) {
+    if (!e.ok) continue;
+    if (e.op == OpKind::kPqAdd) balance[e.key] += 1;
+    if (e.op == OpKind::kPqRemoveMin) balance[e.value] -= 1;
+  }
+  for (const std::int64_t k : drained) balance[k] -= 1;
+  for (const auto& [key, n] : balance) {
+    if (n != 0) {
+      return audit_fail("key " + std::to_string(key) + ": " +
+                        (n > 0 ? std::to_string(n) + " lost element(s)"
+                               : std::to_string(-n) + " duplicated element(s)"));
+    }
+  }
+  return {};
+}
+
+/// Conservation across multiple structures (transfer workloads): the union
+/// multiset of all final snapshots must equal the seeded multiset — a
+/// transactional move may never lose or duplicate a key.
+inline AuditResult audit_conservation(
+    const std::vector<std::vector<std::int64_t>>& final_snapshots,
+    const std::vector<std::int64_t>& seeded) {
+  std::map<std::int64_t, std::int64_t> balance;
+  for (const std::int64_t k : seeded) balance[k] += 1;
+  for (const auto& snap : final_snapshots) {
+    for (const std::int64_t k : snap) balance[k] -= 1;
+  }
+  for (const auto& [key, n] : balance) {
+    if (n != 0) {
+      return audit_fail("transfer conservation broken for key " +
+                        std::to_string(key) + ": " +
+                        (n > 0 ? std::to_string(n) + " lost"
+                               : std::to_string(-n) + " duplicated"));
+    }
+  }
+  return {};
+}
+
+}  // namespace otb::verify

@@ -1,0 +1,153 @@
+// Sequential specifications the linearizability checker replays histories
+// against.
+//
+// A Spec models one ADT instance as a copyable `State` plus a `step`
+// function that applies an observed Event to the state and reports whether
+// the event's recorded result is the one the sequential object would have
+// produced.  `encode` serialises a state for the checker's memoisation
+// table (states that encode equally are interchangeable).
+//
+// Sets and maps additionally satisfy *per-key decomposability*: every
+// operation touches exactly one key and its result depends only on that
+// key's sub-state, so a history is linearizable iff each per-key projection
+// is (the checker exploits this in `check_keyed_history`).  Priority queues
+// are not decomposable and are replayed against the whole-queue state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/history.h"
+
+namespace otb::verify {
+
+/// Per-key projection of a set: the sub-state is a single presence bit.
+/// Covers kAdd (ok == was absent), kRemove (ok == was present) and
+/// kContains (ok == present).
+struct SetKeySpec {
+  struct State {
+    bool present = false;
+  };
+
+  State initial() const { return {}; }
+
+  bool step(State& s, const Event& e) const {
+    switch (e.op) {
+      case OpKind::kAdd:
+        if (e.ok == s.present) return false;  // ok iff it was absent
+        if (e.ok) s.present = true;
+        return true;
+      case OpKind::kRemove:
+        if (e.ok != s.present) return false;  // ok iff it was present
+        if (e.ok) s.present = false;
+        return true;
+      case OpKind::kContains:
+        return e.ok == s.present;
+      default:
+        return false;  // foreign op in a set history
+    }
+  }
+
+  std::string encode(const State& s) const { return s.present ? "1" : "0"; }
+};
+
+/// Per-key projection of a map: presence plus the current value.
+/// kPut is insert-or-assign (ok == key was absent), kErase ok == was
+/// present, kGet ok == present and the observed value must match.
+struct MapKeySpec {
+  struct State {
+    bool present = false;
+    std::int64_t value = 0;
+  };
+
+  State initial() const { return {}; }
+
+  bool step(State& s, const Event& e) const {
+    switch (e.op) {
+      case OpKind::kPut:
+        if (e.ok == s.present) return false;
+        s.present = true;
+        s.value = e.value;
+        return true;
+      case OpKind::kErase:
+        if (e.ok != s.present) return false;
+        if (e.ok) s.present = false;
+        return true;
+      case OpKind::kGet:
+        if (e.ok != s.present) return false;
+        return !e.ok || e.value == s.value;
+      default:
+        return false;
+    }
+  }
+
+  std::string encode(const State& s) const {
+    return s.present ? "1:" + std::to_string(s.value) : "0";
+  }
+};
+
+/// Whole-queue priority-queue spec over a sorted multiset of keys (kept as
+/// a sorted vector: states are tiny and copied on every branch).
+///
+/// `unique_keys` models the OTB skip-list PQ, whose add() refuses
+/// duplicates; with it false, add always succeeds (binary-heap PQs).
+/// kPqRemoveMin/kPqMin with ok must have observed the current minimum
+/// (`e.value`); with !ok the queue must have been empty.
+struct PqSpec {
+  bool unique_keys = true;
+
+  struct State {
+    std::vector<std::int64_t> keys;  // sorted ascending
+  };
+
+  State initial() const { return {}; }
+
+  /// Spec state seeded with the structure's pre-stress contents.
+  State initial_with(std::vector<std::int64_t> seeded) const {
+    State s;
+    s.keys = std::move(seeded);
+    std::sort(s.keys.begin(), s.keys.end());
+    return s;
+  }
+
+  bool step(State& s, const Event& e) const {
+    switch (e.op) {
+      case OpKind::kPqAdd: {
+        const auto it = std::lower_bound(s.keys.begin(), s.keys.end(), e.key);
+        const bool present = it != s.keys.end() && *it == e.key;
+        if (unique_keys) {
+          if (e.ok == present) return false;
+          if (e.ok) s.keys.insert(it, e.key);
+        } else {
+          if (!e.ok) return false;  // unbounded heap add cannot fail
+          s.keys.insert(it, e.key);
+        }
+        return true;
+      }
+      case OpKind::kPqRemoveMin:
+        if (!e.ok) return s.keys.empty();
+        if (s.keys.empty() || s.keys.front() != e.value) return false;
+        s.keys.erase(s.keys.begin());
+        return true;
+      case OpKind::kPqMin:
+        if (!e.ok) return s.keys.empty();
+        return !s.keys.empty() && s.keys.front() == e.value;
+      default:
+        return false;
+    }
+  }
+
+  std::string encode(const State& s) const {
+    std::string out;
+    out.reserve(s.keys.size() * 4);
+    for (const std::int64_t k : s.keys) {
+      out += std::to_string(k);
+      out += ',';
+    }
+    return out;
+  }
+};
+
+}  // namespace otb::verify

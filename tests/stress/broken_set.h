@@ -1,0 +1,73 @@
+// A deliberately broken concurrent "set" used to prove the linearizability
+// checker rejects real atomicity bugs (not just hand-written histories).
+//
+// The container itself is mutex-protected — there is no data race for TSan
+// to trip on — but add() is check-then-act: it decides on a snapshot taken
+// under the lock, releases the lock, and publishes the decision later.
+// Two concurrent add(k) calls can therefore both observe "absent" and both
+// report a successful insert: the classic lost update.  The
+// `between_check_and_insert` hook lets a test force that interleaving
+// deterministically (e.g. with a std::latch both threads must reach).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace otb::stress {
+
+class BrokenSet {
+ public:
+  using Key = std::int64_t;
+
+  /// Test hook run by add() between its membership check and its insert —
+  /// the race window.  Must be set before threads start.
+  std::function<void()> between_check_and_insert;
+
+  bool add(Key key) {
+    bool present;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      present = contains_locked(key);
+    }
+    if (between_check_and_insert) between_check_and_insert();
+    if (present) return false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      keys_.push_back(key);  // blind insert: duplicates possible
+    }
+    return true;
+  }
+
+  bool remove(Key key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = std::find(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end()) return false;
+    keys_.erase(it);
+    return true;
+  }
+
+  bool contains(Key key) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return contains_locked(key);
+  }
+
+  std::vector<Key> snapshot_sorted() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<Key> out = keys_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  bool contains_locked(Key key) const {
+    return std::find(keys_.begin(), keys_.end(), key) != keys_.end();
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Key> keys_;
+};
+
+}  // namespace otb::stress

@@ -1,0 +1,290 @@
+// Unit tests for the linearizability checker itself: hand-written
+// known-linearizable and known-non-linearizable histories for every spec,
+// plus a live reproduction of a lost update on a deliberately broken set
+// (broken_set.h) that the checker must reject.
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include "broken_set.h"
+#include "verify/invariants.h"
+#include "verify/lin_check.h"
+#include "verify/spec.h"
+
+namespace otb::verify {
+namespace {
+
+Event ev(std::uint32_t tid, OpKind op, std::int64_t key, bool ok,
+         std::uint64_t inv, std::uint64_t res, std::int64_t value = 0) {
+  Event e;
+  e.tid = tid;
+  e.op = op;
+  e.key = key;
+  e.value = value;
+  e.ok = ok;
+  e.invoke_ns = inv;
+  e.response_ns = res;
+  return e;
+}
+
+// ---- set histories ---------------------------------------------------------
+
+TEST(LinChecker, AcceptsSequentialSetHistory) {
+  History h = {
+      ev(0, OpKind::kAdd, 5, true, 0, 10),
+      ev(0, OpKind::kContains, 5, true, 20, 30),
+      ev(0, OpKind::kRemove, 5, true, 40, 50),
+      ev(0, OpKind::kContains, 5, false, 60, 70),
+      ev(0, OpKind::kAdd, 5, true, 80, 90),
+  };
+  const LinResult r = check_keyed_history(h, SetKeySpec{});
+  EXPECT_TRUE(r.ok()) << r.detail;
+}
+
+TEST(LinChecker, AcceptsConcurrentHistoryNeedingReordering) {
+  // contains(5)=F overlaps add(5)=T and must linearize first even though
+  // the add was invoked earlier — the checker has to search, not replay
+  // invocation order.
+  History h = {
+      ev(0, OpKind::kAdd, 5, true, 0, 100),
+      ev(1, OpKind::kContains, 5, false, 10, 20),
+      ev(1, OpKind::kContains, 5, true, 110, 120),
+  };
+  const LinResult r = check_keyed_history(h, SetKeySpec{});
+  EXPECT_TRUE(r.ok()) << r.detail;
+}
+
+TEST(LinChecker, AcceptsIndependentKeysInterleaved) {
+  History h = {
+      ev(0, OpKind::kAdd, 1, true, 0, 50),
+      ev(1, OpKind::kAdd, 2, true, 10, 40),
+      ev(0, OpKind::kRemove, 2, true, 60, 70),
+      ev(1, OpKind::kContains, 1, true, 60, 80),
+  };
+  const LinResult r = check_keyed_history(h, SetKeySpec{});
+  EXPECT_TRUE(r.ok()) << r.detail;
+}
+
+TEST(LinChecker, RespectsSeededInitialState) {
+  History h = {
+      ev(0, OpKind::kContains, 7, true, 0, 10),
+      ev(0, OpKind::kRemove, 7, true, 20, 30),
+      ev(0, OpKind::kAdd, 7, true, 40, 50),
+  };
+  EXPECT_TRUE(check_keyed_history(h, SetKeySpec{}, {7}).ok());
+  // Without the seed the leading contains(7)=T is impossible.
+  EXPECT_EQ(check_keyed_history(h, SetKeySpec{}).status,
+            LinStatus::kNonLinearizable);
+}
+
+TEST(LinChecker, RejectsDoubleSuccessfulAdd) {
+  // Two overlapping add(5) both reporting success: the lost update.
+  History h = {
+      ev(0, OpKind::kAdd, 5, true, 0, 100),
+      ev(1, OpKind::kAdd, 5, true, 10, 90),
+  };
+  const LinResult r = check_keyed_history(h, SetKeySpec{});
+  EXPECT_EQ(r.status, LinStatus::kNonLinearizable);
+  EXPECT_NE(r.detail.find("key 5"), std::string::npos) << r.detail;
+}
+
+TEST(LinChecker, RejectsStaleReadAfterCompletedAdd) {
+  // add(5)=T finished before contains(5)=F began: real-time order forbids
+  // reordering, so the F read is stale.
+  History h = {
+      ev(0, OpKind::kAdd, 5, true, 0, 10),
+      ev(1, OpKind::kContains, 5, false, 20, 30),
+  };
+  EXPECT_EQ(check_keyed_history(h, SetKeySpec{}).status,
+            LinStatus::kNonLinearizable);
+}
+
+TEST(LinChecker, RejectsContainsOfNeverInsertedKey) {
+  History h = {
+      ev(0, OpKind::kContains, 9, true, 0, 10),
+  };
+  EXPECT_EQ(check_keyed_history(h, SetKeySpec{}).status,
+            LinStatus::kNonLinearizable);
+}
+
+TEST(LinChecker, RejectsSuccessfulRemoveWithoutAdd) {
+  History h = {
+      ev(0, OpKind::kAdd, 3, true, 0, 10),
+      ev(0, OpKind::kRemove, 3, true, 20, 30),
+      ev(1, OpKind::kRemove, 3, true, 25, 40),
+  };
+  EXPECT_EQ(check_keyed_history(h, SetKeySpec{}).status,
+            LinStatus::kNonLinearizable);
+}
+
+// ---- map histories ---------------------------------------------------------
+
+TEST(LinChecker, AcceptsMapPutGetErase) {
+  History h = {
+      ev(0, OpKind::kPut, 1, true, 0, 10, 42),
+      ev(1, OpKind::kGet, 1, true, 20, 30, 42),
+      ev(1, OpKind::kPut, 1, false, 40, 50, 43),  // overwrite: not new
+      ev(0, OpKind::kGet, 1, true, 60, 70, 43),
+      ev(0, OpKind::kErase, 1, true, 80, 90),
+      ev(1, OpKind::kGet, 1, false, 100, 110),
+  };
+  const LinResult r = check_keyed_history(h, MapKeySpec{});
+  EXPECT_TRUE(r.ok()) << r.detail;
+}
+
+TEST(LinChecker, RejectsMapGetOfStaleValue) {
+  // get must observe 43 (the overwrite completed before it began).
+  History h = {
+      ev(0, OpKind::kPut, 1, true, 0, 10, 42),
+      ev(0, OpKind::kPut, 1, false, 20, 30, 43),
+      ev(1, OpKind::kGet, 1, true, 40, 50, 42),
+  };
+  EXPECT_EQ(check_keyed_history(h, MapKeySpec{}).status,
+            LinStatus::kNonLinearizable);
+}
+
+TEST(LinChecker, AcceptsConcurrentPutsWithDistinguishingGet) {
+  // Two overlapping puts; the later get pins which one linearized second.
+  History h = {
+      ev(0, OpKind::kPut, 1, true, 0, 100, 7),
+      ev(1, OpKind::kPut, 1, false, 10, 90, 8),
+      ev(0, OpKind::kGet, 1, true, 110, 120, 8),
+  };
+  const LinResult r = check_keyed_history(h, MapKeySpec{});
+  EXPECT_TRUE(r.ok()) << r.detail;
+}
+
+// ---- priority-queue histories ----------------------------------------------
+
+TEST(LinChecker, AcceptsPqHistory) {
+  History h = {
+      ev(0, OpKind::kPqAdd, 5, true, 0, 10),
+      ev(1, OpKind::kPqAdd, 3, true, 5, 20),
+      ev(0, OpKind::kPqMin, 0, true, 30, 40, 3),
+      ev(1, OpKind::kPqRemoveMin, 0, true, 50, 60, 3),
+      ev(0, OpKind::kPqRemoveMin, 0, true, 70, 80, 5),
+      ev(1, OpKind::kPqRemoveMin, 0, false, 90, 100),
+  };
+  const LinResult r = check_history(h, PqSpec{/*unique_keys=*/true});
+  EXPECT_TRUE(r.ok()) << r.detail;
+}
+
+TEST(LinChecker, AcceptsPqRemoveOverlappingAdds) {
+  // removeMin overlapping both adds may return either key — 5 is legal
+  // only if it linearizes between add(5) and add(3).
+  History h = {
+      ev(0, OpKind::kPqAdd, 5, true, 0, 10),
+      ev(1, OpKind::kPqAdd, 3, true, 15, 60),
+      ev(2, OpKind::kPqRemoveMin, 0, true, 20, 50, 5),
+      ev(2, OpKind::kPqRemoveMin, 0, true, 70, 80, 3),
+  };
+  const LinResult r = check_history(h, PqSpec{true});
+  EXPECT_TRUE(r.ok()) << r.detail;
+}
+
+TEST(LinChecker, RejectsPqRemoveMinReturningNonMinimum) {
+  History h = {
+      ev(0, OpKind::kPqAdd, 3, true, 0, 10),
+      ev(0, OpKind::kPqAdd, 5, true, 20, 30),
+      ev(1, OpKind::kPqRemoveMin, 0, true, 40, 50, 5),  // 3 is the min
+  };
+  EXPECT_EQ(check_history(h, PqSpec{true}).status,
+            LinStatus::kNonLinearizable);
+}
+
+TEST(LinChecker, RejectsPqLostElement) {
+  // Empty-queue removeMin while an unremoved element must still be there.
+  History h = {
+      ev(0, OpKind::kPqAdd, 3, true, 0, 10),
+      ev(1, OpKind::kPqRemoveMin, 0, false, 20, 30),
+  };
+  EXPECT_EQ(check_history(h, PqSpec{true}).status,
+            LinStatus::kNonLinearizable);
+}
+
+TEST(LinChecker, PqSeededInitialState) {
+  PqSpec spec{true};
+  History h = {
+      ev(0, OpKind::kPqRemoveMin, 0, true, 0, 10, 1),
+      ev(0, OpKind::kPqRemoveMin, 0, true, 20, 30, 4),
+      ev(0, OpKind::kPqRemoveMin, 0, false, 40, 50),
+  };
+  EXPECT_TRUE(check_history(h, spec, spec.initial_with({4, 1})).ok());
+  EXPECT_EQ(check_history(h, spec).status, LinStatus::kNonLinearizable);
+}
+
+// ---- invariant audits ------------------------------------------------------
+
+TEST(InvariantAudit, SetConservationCatchesLostUpdate) {
+  History h = {
+      ev(0, OpKind::kAdd, 5, true, 0, 100),
+      ev(1, OpKind::kAdd, 5, true, 10, 90),  // duplicated success
+  };
+  const AuditResult r = audit_set(h, /*final_snapshot=*/{5});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("key 5"), std::string::npos) << r.detail;
+}
+
+TEST(InvariantAudit, SetSnapshotMustBeSorted) {
+  EXPECT_FALSE(audit_set({}, {3, 2}).ok);
+  EXPECT_FALSE(audit_set({}, {2, 2}).ok);  // duplicate
+  EXPECT_TRUE(audit_set({ev(0, OpKind::kAdd, 2, true, 0, 1),
+                         ev(0, OpKind::kAdd, 3, true, 2, 3)},
+                        {2, 3})
+                  .ok);
+}
+
+TEST(InvariantAudit, PqBalanceCatchesDuplicates) {
+  History h = {
+      ev(0, OpKind::kPqAdd, 7, true, 0, 10),
+      ev(0, OpKind::kPqRemoveMin, 0, true, 20, 30, 7),
+  };
+  EXPECT_TRUE(audit_pq(h, {}).ok);
+  EXPECT_FALSE(audit_pq(h, {7}).ok);              // removed yet still present
+  EXPECT_FALSE(audit_pq(h, {}, {9}).ok);          // seeded 9 vanished
+  EXPECT_FALSE(audit_pq({}, {3, 1}).ok);          // drain order broken
+}
+
+TEST(InvariantAudit, ConservationAcrossStructures) {
+  EXPECT_TRUE(audit_conservation({{1, 3}, {2}}, {1, 2, 3}).ok);
+  EXPECT_FALSE(audit_conservation({{1}, {2}}, {1, 2, 3}).ok);     // lost 3
+  EXPECT_FALSE(audit_conservation({{1, 3}, {2, 3}}, {1, 2, 3}).ok);  // dup 3
+}
+
+// ---- live lost-update reproduction on the broken set -----------------------
+
+TEST(LinChecker, RejectsLostUpdateFromDeliberatelyBrokenSet) {
+  stress::BrokenSet set;
+  std::latch window(2);
+  // Both threads must pass add()'s membership check before either inserts —
+  // the lost update is forced, not left to scheduling luck.
+  set.between_check_and_insert = [&window] { window.arrive_and_wait(); };
+
+  HistoryRecorder recorder(2);
+  std::thread t0([&] {
+    recorder.timed_op(0, OpKind::kAdd, 42,
+                      [&](std::int64_t&) { return set.add(42); });
+  });
+  std::thread t1([&] {
+    recorder.timed_op(1, OpKind::kAdd, 42,
+                      [&](std::int64_t&) { return set.add(42); });
+  });
+  t0.join();
+  t1.join();
+
+  const History h = recorder.merge();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h[0].ok);
+  EXPECT_TRUE(h[1].ok);  // the bug: both adds claimed success
+
+  const LinResult lin = check_keyed_history(h, SetKeySpec{});
+  EXPECT_EQ(lin.status, LinStatus::kNonLinearizable) << "checker missed the "
+                                                        "lost update";
+  const AuditResult audit = audit_set(h, set.snapshot_sorted());
+  EXPECT_FALSE(audit.ok) << "invariant audit missed the duplicated element";
+}
+
+}  // namespace
+}  // namespace otb::verify

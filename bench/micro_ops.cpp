@@ -74,6 +74,57 @@ void BM_OtbSkipListSetTxContains(benchmark::State& state) {
 }
 BENCHMARK(BM_OtbSkipListSetTxContains);
 
+// Validation-scaling sweep: without the commit-sequence gate, a transaction
+// executing k operations post-validates O(k^2) read-set entries; with the
+// gate only the first validation per quiescent window scans.  Reports the
+// fast-path hit rate alongside throughput (reads the registry sink, so the
+// numbers also land in the --metrics-json dump).
+void validation_sweep(benchmark::State& state, unsigned write_pct) {
+  const std::int64_t ops_per_tx = state.range(0);
+  otb::tx::OtbListSet set;
+  for (std::int64_t k = 0; k < 512; k += 2) set.add_seq(k);
+  otb::Xorshift rng{11};
+  const auto counter = [](const otb::metrics::SinkSnapshot& s,
+                          otb::metrics::CounterId id) {
+    return s.counters[static_cast<std::size_t>(id)];
+  };
+  const otb::metrics::SinkSnapshot before = otb::tx::metrics_sink().snapshot();
+  for (auto _ : state) {
+    otb::tx::atomically([&](otb::tx::Transaction& tx) {
+      for (std::int64_t i = 0; i < ops_per_tx; ++i) {
+        const auto key = std::int64_t(rng.next_bounded(512));
+        if (write_pct != 0 && rng.chance_pct(write_pct)) {
+          if (!set.add(tx, key)) set.remove(tx, key);
+        } else {
+          set.contains(tx, key);
+        }
+      }
+    });
+  }
+  const otb::metrics::SinkSnapshot after = otb::tx::metrics_sink().snapshot();
+  const double fast =
+      double(counter(after, otb::metrics::CounterId::kValidationsFast) -
+             counter(before, otb::metrics::CounterId::kValidationsFast));
+  const double full =
+      double(counter(after, otb::metrics::CounterId::kValidationsFull) -
+             counter(before, otb::metrics::CounterId::kValidationsFull));
+  state.counters["fast_hit_pct"] =
+      fast + full > 0 ? 100.0 * fast / (fast + full) : 0.0;
+  state.SetItemsProcessed(state.iterations() * ops_per_tx);
+}
+
+void BM_OtbListSetValidationSweepReadOnly(benchmark::State& state) {
+  validation_sweep(state, /*write_pct=*/0);
+}
+BENCHMARK(BM_OtbListSetValidationSweepReadOnly)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_OtbListSetValidationSweepMixed20(benchmark::State& state) {
+  validation_sweep(state, /*write_pct=*/20);
+}
+BENCHMARK(BM_OtbListSetValidationSweepMixed20)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
 void BM_StmReadWrite(benchmark::State& state) {
   const auto kind = static_cast<otb::stm::AlgoKind>(state.range(0));
   otb::stm::Config cfg;

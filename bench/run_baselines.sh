@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Record-only performance baseline runner: executes the Chapter-3 figure
+# harnesses (fig3.3-3.7) and the micro_ops suite at fixed thread counts and
+# durations, validates every --metrics-json dump with the strict
+# otb.metrics/1 checker, and merges the dumps into one baseline file
+# (BENCH_otb_baseline.json at the repo root by default).
+#
+# The output is a record, not a gate: absolute numbers are machine-bound,
+# so CI uploads the file as an artifact instead of comparing it.  Refresh
+# the checked-in baseline when the substrate changes materially:
+#
+#   bench/run_baselines.sh <build-dir> [out.json]
+#
+# Environment (defaults chosen so a laptop run stays under ~1 minute):
+#   OTB_BASELINE_MS       measured ms per data point     (default 400)
+#   OTB_BASELINE_THREADS  thread counts, space-separated (default "1 2 4")
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+OUT=${2:-"$REPO_ROOT/BENCH_otb_baseline.json"}
+
+export OTB_BENCH_MS=${OTB_BASELINE_MS:-400}
+export OTB_BENCH_WARM_MS=${OTB_BENCH_WARM_MS:-50}
+export OTB_BENCH_THREADS=${OTB_BASELINE_THREADS:-"1 2 4"}
+
+BENCH_DIR="$BUILD_DIR/bench"
+CHECK="$BENCH_DIR/metrics_check"
+for exe in "$CHECK" "$BENCH_DIR/micro_ops"; do
+  if [[ ! -x "$exe" ]]; then
+    echo "error: $exe not built (build the bench targets first)" >&2
+    exit 2
+  fi
+done
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Figure harness -> metrics domains the validator must find in its dump.
+FIGURES=(
+  "fig3_3_list_set:otb.tx boosted"
+  "fig3_4_skiplist_set_small:otb.tx boosted"
+  "fig3_5_skiplist_set_large:otb.tx boosted"
+  "fig3_6_pq_heap:otb.tx boosted"
+  "fig3_7_pq_skiplist:otb.tx boosted"
+)
+
+run_names=()
+for entry in "${FIGURES[@]}"; do
+  name=${entry%%:*}
+  domains=${entry#*:}
+  exe="$BENCH_DIR/$name"
+  if [[ ! -x "$exe" ]]; then
+    echo "error: $exe not built" >&2
+    exit 2
+  fi
+  echo "== $name (ms=$OTB_BENCH_MS threads='$OTB_BENCH_THREADS')"
+  "$exe" --metrics-json="$TMP/$name.json" > "$TMP/$name.out"
+  # shellcheck disable=SC2086
+  "$CHECK" --validate "$TMP/$name.json" $domains > /dev/null
+  run_names+=("$name")
+done
+
+# micro_ops: transactional micro-latencies plus the validation-scaling
+# sweep (the sweep's fast/full counters land in the otb.tx domain).
+echo "== micro_ops (validation-scaling sweep + tx micro-ops)"
+"$BENCH_DIR/micro_ops" \
+  --benchmark_filter='BM_Otb|BM_StmReadWrite|ValidationSweep' \
+  --benchmark_min_time=0.05 \
+  --metrics-json="$TMP/micro_ops.json" > "$TMP/micro_ops.out"
+"$CHECK" --validate "$TMP/micro_ops.json" otb.tx > /dev/null
+run_names+=("micro_ops")
+
+# Merge the per-run dumps into one self-describing baseline document.
+{
+  printf '{\n'
+  printf '  "schema": "otb.bench_baseline/1",\n'
+  printf '  "generated_by": "bench/run_baselines.sh",\n'
+  printf '  "bench_ms": %s,\n' "$OTB_BENCH_MS"
+  printf '  "threads": "%s",\n' "$OTB_BENCH_THREADS"
+  printf '  "runs": {\n'
+  for i in "${!run_names[@]}"; do
+    name=${run_names[$i]}
+    printf '    "%s": ' "$name"
+    # Each dump is a complete otb.metrics/1 object; inline it verbatim.
+    tr -d '\n' < "$TMP/$name.json"
+    if (( i + 1 < ${#run_names[@]} )); then printf ',\n'; else printf '\n'; fi
+  done
+  printf '  }\n'
+  printf '}\n'
+} > "$OUT"
+
+echo "baseline written to $OUT ($(wc -c < "$OUT") bytes, ${#run_names[@]} runs)"

@@ -1,0 +1,100 @@
+// SmallVec: a minimal inline-storage vector for the transaction hot path.
+//
+// Semantic read/write/locked sets of a typical OTB transaction hold a
+// handful of entries (the paper's workloads run 1–5 operations per
+// transaction), so per-attempt std::vector heap churn is pure overhead.
+// SmallVec keeps the first N elements in the object itself and only spills
+// to the heap past that; `clear()` keeps whatever capacity was reached, so
+// a pooled descriptor's sets stay allocation-free across retries.
+//
+// Restricted to trivially copyable element types (node pointers, plain
+// entry structs, lock-word snapshots) — growth and erase are memcpy/memmove
+// and destruction is a no-op, which is exactly what the hot path wants.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace otb {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is restricted to trivially copyable types");
+  static_assert(N > 0);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  ~SmallVec() {
+    if (heap_ != nullptr) ::operator delete(heap_, std::align_val_t{alignof(T)});
+  }
+
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+  T& back() noexcept { return data()[size_ - 1]; }
+  const T& back() const noexcept { return data()[size_ - 1]; }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return cap_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = v;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  /// Remove the element at `pos` (an iterator into this vector), shifting
+  /// the tail left — the only erase shape descriptor code needs.
+  void erase(T* pos) {
+    std::memmove(pos, pos + 1,
+                 static_cast<std::size_t>(end() - pos - 1) * sizeof(T));
+    --size_;
+  }
+
+  /// Drops the elements but keeps the reached capacity: a recycled
+  /// descriptor's next attempt re-fills storage that is already sized.
+  void clear() noexcept { size_ = 0; }
+
+ private:
+  T* data() noexcept {
+    return heap_ != nullptr ? heap_ : reinterpret_cast<T*>(inline_);
+  }
+  const T* data() const noexcept {
+    return heap_ != nullptr ? heap_ : reinterpret_cast<const T*>(inline_);
+  }
+
+  void grow(std::size_t new_cap) {
+    if (new_cap < size_ + 1) new_cap = size_ + 1;
+    T* fresh = static_cast<T*>(
+        ::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    if (heap_ != nullptr) ::operator delete(heap_, std::align_val_t{alignof(T)});
+    heap_ = fresh;
+    cap_ = new_cap;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace otb

@@ -32,6 +32,13 @@ namespace otb::integration {
 
 /// Joint base: an STM context that can also host boosted structures.
 class OtbTx : public stm::Tx, public tx::TxHost {
+ public:
+  /// The descriptor retry pool must not escape an atomic block: contexts
+  /// are long-lived (one per thread), and a structure destroyed between
+  /// blocks could leave a pooled descriptor keyed to a reused address.
+  /// The runtime calls this when an exception propagates out of the block.
+  void abandon_descriptor_pool() { drop_descriptor_pool(); }
+
  protected:
   /// Pins the reclamation epoch for the attempt (semantic read-set entries
   /// hold raw node pointers other transactions may retire).
@@ -54,6 +61,14 @@ class OtbNOrecTx final : public stm::NOrecTxT<OtbTx> {
   /// global timestamp has not moved since our snapshot the whole snapshot
   /// is trivially still valid (NOrec's fast path, §2.1.1); otherwise run
   /// the extended value-based validation.
+  ///
+  /// Interaction with the per-DS commit sequence: NOrec's global seqlock
+  /// *subsumes* it — every writer (memory or semantic) commits under the
+  /// global lock, so an unchanged global clock already proves no structure
+  /// was published into and this check never reaches the per-DS gate.  The
+  /// gate still pays off on the slow path below: when the clock moved
+  /// because of unrelated *memory* commits, `validate()`'s semantic half
+  /// fast-paths per structure instead of rescanning the read-sets.
   void on_operation_validate() override {
     if (global_.clock.load() == snapshot_) return;
     snapshot_ = validate();
@@ -62,7 +77,7 @@ class OtbNOrecTx final : public stm::NOrecTxT<OtbTx> {
   void commit() override {
     const std::uint64_t t0 = global_.collect_timing ? now_ns() : 0;
     if (writes_.empty() && !any_attached_writes()) {
-      end_attempt();
+      end_attempt(/*committed=*/true);
       finish_attempt(t0);
       return;  // fully read-only: lock-free commit
     }
@@ -73,9 +88,12 @@ class OtbNOrecTx final : public stm::NOrecTxT<OtbTx> {
     this->stats_.lock_acquisitions += 1;
     // Semantic locks are pointless under the global lock (§4.2.2): commit
     // with use_locks = false.  pre_commit re-runs commit-time validation.
+    // The per-DS commit sequence is still bumped by on_commit/post_commit
+    // below (under the global lock), keeping the gate coherent for readers
+    // that consult it concurrently.
     if (!pre_commit_attached(/*use_locks=*/false)) {
       global_.clock.release();
-      end_attempt();
+      end_attempt(/*committed=*/false);
       finish_attempt(t0);
       throw TxAbort{metrics::AbortReason::kSemanticConflict};
     }
@@ -83,13 +101,13 @@ class OtbNOrecTx final : public stm::NOrecTxT<OtbTx> {
     on_commit_attached();
     post_commit_attached();  // releases the locks on freshly inserted nodes
     global_.clock.release();
-    end_attempt();
+    end_attempt(/*committed=*/true);
     finish_attempt(t0);
   }
 
   void rollback() override {
     on_abort_attached();
-    end_attempt();
+    end_attempt(/*committed=*/false);
     stm::NOrecTxT<OtbTx>::rollback();
   }
 
@@ -109,7 +127,8 @@ class OtbNOrecTx final : public stm::NOrecTxT<OtbTx> {
       if (!reads_.values_match()) {
         throw TxAbort{metrics::AbortReason::kValidation};
       }
-      if (!validate_attached(/*check_locks=*/false)) {
+      if (!validate_attached(/*check_locks=*/false, &this->stats_.validations_fast,
+                             &this->stats_.validations_full)) {
         throw TxAbort{metrics::AbortReason::kSemanticConflict};
       }
       if (global_.clock.load() == t) return t;
@@ -117,8 +136,16 @@ class OtbNOrecTx final : public stm::NOrecTxT<OtbTx> {
   }
 
  private:
-  void end_attempt() {
-    clear_attached();
+  /// Commits drop the descriptors (and the retry pool — structure addresses
+  /// must not be trusted across atomic blocks); aborts recycle them for the
+  /// next attempt's zero-allocation re-attach.
+  void end_attempt(bool committed) {
+    if (committed) {
+      clear_attached();
+      drop_descriptor_pool();
+    } else {
+      recycle_attached();
+    }
     epoch_guard_.reset();
   }
 };
@@ -145,7 +172,12 @@ class OtbTl2Tx final : public stm::Tl2TxT<OtbTx> {
     if (!validate_reads()) {
       throw TxAbort{metrics::AbortReason::kValidation};
     }
-    if (!validate_attached(/*check_locks=*/true)) {
+    // Unlike OTB-NOrec there is no global clock subsuming the per-DS commit
+    // sequences here — TL2's orecs cover only memory — so the gate is what
+    // turns these per-operation (and per-memory-read, below) semantic
+    // re-scans into O(1) checks on the quiescent path.
+    if (!validate_attached(/*check_locks=*/true, &this->stats_.validations_fast,
+                           &this->stats_.validations_full)) {
       throw TxAbort{metrics::AbortReason::kSemanticConflict};
     }
   }
@@ -154,7 +186,9 @@ class OtbTl2Tx final : public stm::Tl2TxT<OtbTx> {
   /// the attached structures.
   stm::Word read_word(const stm::TWord* addr) override {
     const stm::Word value = stm::Tl2TxT<OtbTx>::read_word(addr);
-    if (!attached().empty() && !validate_attached(/*check_locks=*/true)) {
+    if (!attached().empty() &&
+        !validate_attached(/*check_locks=*/true, &this->stats_.validations_fast,
+                           &this->stats_.validations_full)) {
       throw TxAbort{metrics::AbortReason::kSemanticConflict};
     }
     return value;
@@ -162,14 +196,14 @@ class OtbTl2Tx final : public stm::Tl2TxT<OtbTx> {
 
   void commit() override {
     if (writes_.empty() && !any_attached_writes()) {
-      end_attempt();
+      end_attempt(/*committed=*/true);
       return;
     }
     lock_write_orecs();  // throws (after self-cleanup) on CAS failure
     // Acquire the semantic locks right after the memory locks (§4.2.3).
     if (!pre_commit_attached(/*use_locks=*/true)) {
       release_locked(/*stamp=*/false, 0);
-      end_attempt();
+      end_attempt(/*committed=*/false);
       throw TxAbort{metrics::AbortReason::kSemanticConflict};
     }
     const std::uint64_t wv =
@@ -179,25 +213,32 @@ class OtbTl2Tx final : public stm::Tl2TxT<OtbTx> {
     if (wv != rv_ + 1 && !validate_reads()) {
       release_locked(/*stamp=*/false, 0);
       on_abort_attached();
-      end_attempt();
+      end_attempt(/*committed=*/false);
       throw TxAbort{metrics::AbortReason::kValidation};
     }
     writes_.publish();
     on_commit_attached();
     release_locked(/*stamp=*/true, wv);
     post_commit_attached();
-    end_attempt();
+    end_attempt(/*committed=*/true);
   }
 
   void rollback() override {
     on_abort_attached();
-    end_attempt();
+    end_attempt(/*committed=*/false);
     stm::Tl2TxT<OtbTx>::rollback();
   }
 
  private:
-  void end_attempt() {
-    clear_attached();
+  /// Same policy as OTB-NOrec: commits drop descriptors + pool, aborts
+  /// recycle for the next attempt.
+  void end_attempt(bool committed) {
+    if (committed) {
+      clear_attached();
+      drop_descriptor_pool();
+    } else {
+      recycle_attached();
+    }
     epoch_guard_.reset();
   }
 };
@@ -266,6 +307,14 @@ class Runtime {
         report.aborts += 1;
         report.last_reason = abort.reason;
         backoff.pause();
+      } catch (...) {
+        // User exception: roll back (releases orecs, semantic locks, and
+        // the epoch pin) before letting it escape the atomic block.  The
+        // pool goes too — the next block may see different structures.
+        tx.rollback();
+        tx.abandon_descriptor_pool();
+        tx.note_abort(metrics::AbortReason::kExplicit);
+        throw;
       }
     }
   }

@@ -49,6 +49,8 @@ class MetricsSink {
     if (d.reads != 0) add(CounterId::kReads, d.reads);
     if (d.writes != 0) add(CounterId::kWrites, d.writes);
     if (d.validations != 0) add(CounterId::kValidations, d.validations);
+    if (d.validations_fast != 0) add(CounterId::kValidationsFast, d.validations_fast);
+    if (d.validations_full != 0) add(CounterId::kValidationsFull, d.validations_full);
     if (d.lock_cas_failures != 0) add(CounterId::kLockCasFailures, d.lock_cas_failures);
     if (d.lock_acquisitions != 0) add(CounterId::kLockAcquisitions, d.lock_acquisitions);
     if (d.lock_spins != 0) add(CounterId::kLockSpins, d.lock_spins);

@@ -28,9 +28,11 @@ enum class CounterId : unsigned {
   kLockCasFailures,
   kLockAcquisitions,
   kLockSpins,
+  kValidationsFast,
+  kValidationsFull,
 };
 
-inline constexpr std::size_t kCounterCount = 8;
+inline constexpr std::size_t kCounterCount = 10;
 
 constexpr std::string_view to_string(CounterId id) {
   switch (id) {
@@ -50,6 +52,10 @@ constexpr std::string_view to_string(CounterId id) {
       return "lock_acquisitions";
     case CounterId::kLockSpins:
       return "lock_spins";
+    case CounterId::kValidationsFast:
+      return "validations_fast";
+    case CounterId::kValidationsFull:
+      return "validations_full";
   }
   return "?";
 }

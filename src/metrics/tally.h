@@ -20,6 +20,11 @@ struct TxTally {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t validations = 0;
+  // Per-structure outcomes of commit-sequence-gated validation: a
+  // `validations` pass fans out into one fast/full tick per attached
+  // structure (see OtbDs::validate_gated).
+  std::uint64_t validations_fast = 0;
+  std::uint64_t validations_full = 0;
 
   std::uint64_t lock_cas_failures = 0;
   std::uint64_t lock_acquisitions = 0;
@@ -41,6 +46,8 @@ struct TxTally {
     reads += o.reads;
     writes += o.writes;
     validations += o.validations;
+    validations_fast += o.validations_fast;
+    validations_full += o.validations_full;
     lock_cas_failures += o.lock_cas_failures;
     lock_acquisitions += o.lock_acquisitions;
     lock_spins += o.lock_spins;
@@ -62,6 +69,8 @@ struct TxTally {
     d.reads = reads - prev.reads;
     d.writes = writes - prev.writes;
     d.validations = validations - prev.validations;
+    d.validations_fast = validations_fast - prev.validations_fast;
+    d.validations_full = validations_full - prev.validations_full;
     d.lock_cas_failures = lock_cas_failures - prev.lock_cas_failures;
     d.lock_acquisitions = lock_acquisitions - prev.lock_acquisitions;
     d.lock_spins = lock_spins - prev.lock_spins;

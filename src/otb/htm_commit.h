@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 
 #include "common/epoch.h"
 #include "common/rng.h"
@@ -48,15 +49,24 @@ class HtmCommitRuntime {
 
   class Transaction final : public TxHost {
    public:
-    explicit Transaction(HtmCommitRuntime& rt) : rt_(rt) {}
+    explicit Transaction(HtmCommitRuntime& rt) : rt_(rt) { epoch_guard_.emplace(); }
+
+    /// Re-arm for the next attempt (the retry loop reuses one instance and
+    /// recycles its descriptors across attempts).
+    void begin_attempt() {
+      if (!epoch_guard_.has_value()) epoch_guard_.emplace();
+    }
 
     /// Post-validation subscribes to the commit clock: a fast-path commit
     /// takes no semantic locks, so the clock is the only way a reader can
-    /// notice it (the cache-invalidation analogue).
+    /// notice it (the cache-invalidation analogue).  The per-DS commit
+    /// sequence gates the semantic scan the same way it does in the
+    /// standalone runtime.
     void on_operation_validate() override {
       for (;;) {
         const std::uint64_t s = rt_.clock_.wait_even();
-        if (!validate_attached(/*check_locks=*/true)) {
+        if (!validate_attached(/*check_locks=*/true, &validations_fast_,
+                               &validations_full_)) {
           throw TxAbort{metrics::AbortReason::kSemanticConflict};
         }
         if (rt_.clock_.load() == s) return;
@@ -109,7 +119,21 @@ class HtmCommitRuntime {
 
     void abandon() {
       on_abort_attached();
-      clear_attached();
+      recycle_attached();
+      epoch_guard_.reset();
+    }
+
+    /// Flush the per-attempt gated-validation counters into `sink` (this
+    /// host has no TxTally — it accounts directly on the sink).
+    void flush_validation_counters(metrics::MetricsSink& sink) {
+      if (validations_fast_ != 0) {
+        sink.add(metrics::CounterId::kValidationsFast, validations_fast_);
+      }
+      if (validations_full_ != 0) {
+        sink.add(metrics::CounterId::kValidationsFull, validations_full_);
+      }
+      validations_fast_ = 0;
+      validations_full_ = 0;
     }
 
    private:
@@ -119,7 +143,9 @@ class HtmCommitRuntime {
     }
 
     HtmCommitRuntime& rt_;
-    ebr::Guard epoch_guard_;
+    std::uint64_t validations_fast_ = 0;
+    std::uint64_t validations_full_ = 0;
+    std::optional<ebr::Guard> epoch_guard_;
   };
 
   explicit HtmCommitRuntime(metrics::MetricsSink* sink = nullptr)
@@ -133,22 +159,32 @@ class HtmCommitRuntime {
   metrics::AttemptReport atomically(Fn&& fn) {
     Backoff backoff;
     metrics::AttemptReport report;
+    Transaction tx(*this);
     for (;;) {
-      Transaction tx(*this);
+      tx.begin_attempt();
       try {
         fn(tx);
         tx.commit();
         sink_->add(metrics::CounterId::kAttempts);
         sink_->add(metrics::CounterId::kCommits);
+        tx.flush_validation_counters(*sink_);
         report.commits = 1;
         return report;
       } catch (const TxAbort& abort) {
         tx.abandon();
         sink_->add(metrics::CounterId::kAttempts);
         sink_->record_abort(abort.reason);
+        tx.flush_validation_counters(*sink_);
         report.aborts += 1;
         report.last_reason = abort.reason;
         backoff.pause();
+      } catch (...) {
+        // User exception: release held state before it escapes the block.
+        tx.abandon();
+        sink_->add(metrics::CounterId::kAttempts);
+        sink_->record_abort(metrics::AbortReason::kExplicit);
+        tx.flush_validation_counters(*sink_);
+        throw;
       }
     }
   }

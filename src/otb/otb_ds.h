@@ -7,21 +7,84 @@
 // of its own; all semantic read/write sets live in a per-transaction
 // descriptor owned by the hosting transaction (`TxHost`), which may be the
 // standalone OTB runtime (§3) or an OTB-aware STM context (§4).
+//
+// Two hot-path mechanisms live at this layer (DESIGN.md "Commit-sequence
+// fast path"):
+//   * every structure carries a cache-line-aligned `CommitSeq`; the
+//     non-virtual on_commit/post_commit wrappers bracket publication with
+//     it, and `validate_gated()` lets hosts skip the O(read-set) semantic
+//     re-scan entirely when no publication happened since the descriptor's
+//     last successful full validation (snapshot extension preserves
+//     opacity);
+//   * descriptors are poolable: `OtbDsDesc::reset()` returns one to its
+//     freshly-made state so `TxHost` can recycle it across retry attempts
+//     instead of re-running `make_desc()` (zero-allocation retries).
 #pragma once
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/commit_seq.h"
 #include "common/tx_abort.h"
 
 namespace otb::tx {
+
+// ---- validation fast-path knob ---------------------------------------------
+
+namespace detail {
+inline std::atomic<bool>& fast_path_flag() {
+  static std::atomic<bool> flag{[] {
+    // Env knob for whole-binary forcing (stress/CI); the programmatic
+    // setter below covers in-process toggling.
+    const char* env = std::getenv("OTB_VALIDATION_FAST_PATH");
+    return !(env != nullptr && (env[0] == '0' || env[0] == 'n' || env[0] == 'N' ||
+                                env[0] == 'f' || env[0] == 'F'));
+  }()};
+  return flag;
+}
+}  // namespace detail
+
+/// Whether `validate_gated` may skip the semantic re-scan when the commit
+/// sequence is unchanged.  On by default; `OTB_VALIDATION_FAST_PATH=0`
+/// disables it for a whole run.
+inline bool validation_fast_path_enabled() {
+  return detail::fast_path_flag().load(std::memory_order_relaxed);
+}
+
+/// Programmatic override (tests exercise both settings in one process).
+inline void set_validation_fast_path(bool on) {
+  detail::fast_path_flag().store(on, std::memory_order_relaxed);
+}
+
+// ---- descriptors ------------------------------------------------------------
 
 /// Base class of per-transaction, per-structure descriptors (semantic
 /// read-set + semantic write-set/redo-log).
 struct OtbDsDesc {
   virtual ~OtbDsDesc() = default;
+
+  /// Return the descriptor to its freshly-`make_desc()`'d state so the host
+  /// can reuse it for the next attempt.  Overrides must call the base.
+  virtual void reset() {
+    seq_snapshot = CommitSeq::kNoSnapshot;
+    publishing = false;
+  }
+
+  /// Commit-sequence begin-count at this descriptor's last successful full
+  /// validation of the owning structure (while quiescent and stable).
+  std::uint64_t seq_snapshot = CommitSeq::kNoSnapshot;
+
+  /// Set between the owning structure's on_commit/post_commit wrappers while
+  /// this transaction's publication window is open.
+  bool publishing = false;
 };
+
+/// Result of a gated validation — hosts count kFast/kFull separately
+/// (metrics `kValidationsFast` / `kValidationsFull`).
+enum class ValidateOutcome : std::uint8_t { kFailed, kFast, kFull };
 
 /// Interface every boosted data structure implements so a transaction host
 /// can drive its validation/commit protocol generically.
@@ -39,19 +102,68 @@ class OtbDs {
   /// whose global lock subsumes semantic locks — OTB-NOrec, §4.2.2).
   virtual bool validate(const OtbDsDesc& desc, bool check_locks) const = 0;
 
+  /// Commit-sequence-gated validation: when no publication started since
+  /// this descriptor's last successful full validation, the read-set is
+  /// untouched and the scan is skipped (kFast — a single acquire load).
+  /// Otherwise the full scan runs, and on success the snapshot is extended
+  /// iff the structure was quiescent and stable across the scan — the
+  /// TL2/NOrec revalidate-and-extend argument: a successful full validation
+  /// over state frozen at begin-count B proves the whole transaction could
+  /// have run against that state, so B is a sound new snapshot.
+  ValidateOutcome validate_gated(OtbDsDesc& desc, bool check_locks) const {
+    // end_ before begin_: begin == end then proves every publication that
+    // had begun by the (later) begin_ load had already ended by the end_
+    // load — i.e. the structure was quiescent at some point before the scan.
+    const std::uint64_t end = seq_.end_count();
+    const std::uint64_t begin = seq_.begin_count();
+    if (begin == desc.seq_snapshot && validation_fast_path_enabled()) {
+      return ValidateOutcome::kFast;
+    }
+    if (!validate(desc, check_locks)) return ValidateOutcome::kFailed;
+    // Extend only if no publication was in flight before the scan and none
+    // began during it; an unstable window just means "no extension", never
+    // a spin — the next operation revalidates again.
+    if (begin == end && seq_.begin_count() == begin) desc.seq_snapshot = begin;
+    return ValidateOutcome::kFull;
+  }
+
   /// Acquire semantic locks (when `use_locks`) and run commit-time
   /// validation.  Returns false on failure; the caller must then invoke
   /// on_abort() on every attached structure.
   virtual bool pre_commit(OtbDsDesc& desc, bool use_locks) = 0;
 
-  /// Publish the semantic write-set to the shared structure.
-  virtual void on_commit(OtbDsDesc& desc) = 0;
+  /// Publish the semantic write-set to the shared structure.  Non-virtual:
+  /// opens the commit-sequence publication window around the structure's
+  /// `do_on_commit` when there is anything to publish.
+  void on_commit(OtbDsDesc& desc) {
+    if (has_writes(desc)) {
+      seq_.publish_begin();
+      desc.publishing = true;
+    }
+    do_on_commit(desc);
+  }
 
-  /// Release semantic locks acquired by pre_commit.
-  virtual void post_commit(OtbDsDesc& desc) = 0;
+  /// Release semantic locks acquired by pre_commit and close the
+  /// publication window.
+  void post_commit(OtbDsDesc& desc) {
+    do_post_commit(desc);
+    if (desc.publishing) {
+      desc.publishing = false;
+      seq_.publish_end();
+    }
+  }
 
   /// Release any locks still held after a failed pre_commit / host abort.
-  virtual void on_abort(OtbDsDesc& desc) = 0;
+  /// Also closes the publication window defensively — no host currently
+  /// aborts between on_commit and post_commit, but a leaked open window
+  /// would wedge the fast path's quiescence test forever.
+  void on_abort(OtbDsDesc& desc) {
+    do_on_abort(desc);
+    if (desc.publishing) {
+      desc.publishing = false;
+      seq_.publish_end();
+    }
+  }
 
   /// Whether the descriptor carries deferred writes — hosts use this to keep
   /// read-only transactions on their lock-free commit path.
@@ -62,7 +174,20 @@ class OtbDs {
   virtual std::size_t write_count(const OtbDsDesc& desc) const {
     return has_writes(desc) ? 1 : 0;
   }
+
+  /// This structure's commit sequence (tests assert on its movement).
+  const CommitSeq& commit_seq() const { return seq_; }
+
+ protected:
+  virtual void do_on_commit(OtbDsDesc& desc) = 0;
+  virtual void do_post_commit(OtbDsDesc& desc) = 0;
+  virtual void do_on_abort(OtbDsDesc& desc) = 0;
+
+ private:
+  CommitSeq seq_;
 };
+
+// ---- transaction host -------------------------------------------------------
 
 /// A transaction host: owns the per-structure descriptors and decides how
 /// operation post-validation composes with its own state (memory read-sets
@@ -72,10 +197,25 @@ class TxHost {
   virtual ~TxHost() = default;
 
   /// Descriptor for `ds`, attaching the structure on first use (§4.1.2
-  /// "attachSet").
+  /// "attachSet").  Aborted attempts park their descriptors in `pool_`
+  /// (see recycle_attached), so a retry re-attaches without allocating.
+  ///
+  /// Both lookups are deliberate linear scans: transactions attach a
+  /// handful of structures (the paper's workloads use one or two), and at
+  /// those sizes a flat scan beats any map by a wide margin.  If a workload
+  /// ever attaches tens of structures per transaction, the crossover is
+  /// roughly at 16+ entries — switch `attached_` to a small open-addressed
+  /// table keyed by the `OtbDs*` then, not before.
   OtbDsDesc& descriptor(OtbDs& ds) {
     for (auto& [attached, desc] : attached_) {
       if (attached == &ds) return *desc;
+    }
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+      if (it->first == &ds) {
+        attached_.emplace_back(it->first, std::move(it->second));
+        pool_.erase(it);
+        return *attached_.back().second;
+      }
     }
     attached_.emplace_back(&ds, ds.make_desc());
     return *attached_.back().second;
@@ -90,10 +230,22 @@ class TxHost {
   }
 
  protected:
-  /// Validate every attached structure (helper for hosts).
-  bool validate_attached(bool check_locks) const {
-    for (const auto& [ds, desc] : attached_) {
-      if (!ds->validate(*desc, check_locks)) return false;
+  /// Validate every attached structure through the commit-sequence gate
+  /// (helper for hosts).  `fast`/`full`, when given, accumulate per-
+  /// structure fast-path hits and full scans for the host's tally.
+  bool validate_attached(bool check_locks, std::uint64_t* fast = nullptr,
+                         std::uint64_t* full = nullptr) {
+    for (auto& [ds, desc] : attached_) {
+      switch (ds->validate_gated(*desc, check_locks)) {
+        case ValidateOutcome::kFailed:
+          return false;
+        case ValidateOutcome::kFast:
+          if (fast != nullptr) ++*fast;
+          break;
+        case ValidateOutcome::kFull:
+          if (full != nullptr) ++*full;
+          break;
+      }
     }
     return true;
   }
@@ -124,7 +276,22 @@ class TxHost {
     for (auto& [ds, desc] : attached_) ds->on_abort(*desc);
   }
 
+  /// Drop the attached descriptors (commit path / defensive re-begin).
   void clear_attached() { attached_.clear(); }
+
+  /// Reset the attached descriptors and park them for reuse by the next
+  /// attempt of the *same* logical transaction — the zero-allocation retry
+  /// path.  The pool must not outlive the retry loop (structure addresses
+  /// could be reused across calls): commits end with drop_descriptor_pool().
+  void recycle_attached() {
+    for (auto& [ds, desc] : attached_) {
+      desc->reset();
+      pool_.emplace_back(ds, std::move(desc));
+    }
+    attached_.clear();
+  }
+
+  void drop_descriptor_pool() { pool_.clear(); }
 
   bool any_attached_writes() const {
     for (const auto& [ds, desc] : attached_) {
@@ -140,6 +307,7 @@ class TxHost {
   }
 
   std::vector<std::pair<OtbDs*, std::unique_ptr<OtbDsDesc>>> attached_;
+  std::vector<std::pair<OtbDs*, std::unique_ptr<OtbDsDesc>>> pool_;
 };
 
 }  // namespace otb::tx

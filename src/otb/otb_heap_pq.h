@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cds/binary_heap.h"
+#include "common/small_vec.h"
 #include "common/spinlock.h"
 #include "otb/otb_ds.h"
 
@@ -92,9 +93,9 @@ class OtbHeapPQ final : public OtbDs {
     return true;
   }
 
-  void on_commit(OtbDsDesc&) override {}  // everything already applied
+  void do_on_commit(OtbDsDesc&) override {}  // everything already applied
 
-  void post_commit(OtbDsDesc& base) override {
+  void do_post_commit(OtbDsDesc& base) override {
     Desc& desc = static_cast<Desc&>(base);
     if (desc.holds_lock) {
       lock_.unlock();
@@ -105,7 +106,7 @@ class OtbHeapPQ final : public OtbDs {
     desc.redo_log.clear();
   }
 
-  void on_abort(OtbDsDesc& base) override {
+  void do_on_abort(OtbDsDesc& base) override {
     Desc& desc = static_cast<Desc&>(base);
     if (desc.holds_lock) {
       // Roll back eager effects (only possible when another structure in the
@@ -129,10 +130,19 @@ class OtbHeapPQ final : public OtbDs {
   static constexpr int kCommitLockAttempts = 1 << 16;
 
   struct Desc final : OtbDsDesc {
-    std::vector<Key> redo_log;       // deferred adds (lock not yet held)
-    std::vector<Key> eager_adds;     // applied under the lock (for undo)
-    std::vector<Key> eager_removes;  // removed mins under the lock (for undo)
+    static constexpr std::size_t kInline = 8;
+    SmallVec<Key, kInline> redo_log;       // deferred adds (lock not yet held)
+    SmallVec<Key, kInline> eager_adds;     // applied under the lock (for undo)
+    SmallVec<Key, kInline> eager_removes;  // removed mins under the lock (undo)
     bool holds_lock = false;
+
+    void reset() override {
+      redo_log.clear();
+      eager_adds.clear();
+      eager_removes.clear();
+      holds_lock = false;
+      OtbDsDesc::reset();
+    }
   };
 
   /// First removeMin/min: take the global lock and publish deferred adds.

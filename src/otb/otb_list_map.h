@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/small_vec.h"
 #include "common/spinlock.h"
 #include "otb/otb_ds.h"
 
@@ -178,7 +179,8 @@ class OtbListMap final : public OtbDs {
 
   bool validate(const OtbDsDesc& base, bool check_locks) const override {
     const Desc& desc = static_cast<const Desc&>(base);
-    std::vector<std::uint64_t> snaps;
+    auto& snaps = desc.snaps;  // descriptor-resident scratch, reused per call
+    snaps.clear();
     if (check_locks) {
       snaps.reserve(desc.reads.size() * 2);
       for (const ReadEntry& e : desc.reads) {
@@ -224,7 +226,7 @@ class OtbListMap final : public OtbDs {
     return validate(desc, /*check_locks=*/false);
   }
 
-  void on_commit(OtbDsDesc& base) override {
+  void do_on_commit(OtbDsDesc& base) override {
     Desc& desc = static_cast<Desc&>(base);
     ebr::Guard guard;
     for (const WriteEntry& e : desc.writes) {
@@ -265,13 +267,13 @@ class OtbListMap final : public OtbDs {
     }
   }
 
-  void post_commit(OtbDsDesc& base) override {
+  void do_post_commit(OtbDsDesc& base) override {
     Desc& desc = static_cast<Desc&>(base);
     for (Node* n : desc.locked) n->lock.unlock_new_version();
     desc.locked.clear();
   }
 
-  void on_abort(OtbDsDesc& base) override {
+  void do_on_abort(OtbDsDesc& base) override {
     Desc& desc = static_cast<Desc&>(base);
     for (Node* n : desc.locked) n->lock.unlock_same_version();
     desc.locked.clear();
@@ -316,9 +318,19 @@ class OtbListMap final : public OtbDs {
   };
 
   struct Desc final : OtbDsDesc {
-    std::vector<ReadEntry> reads;
-    std::vector<WriteEntry> writes;
-    std::vector<Node*> locked;
+    static constexpr std::size_t kInline = 8;
+    SmallVec<ReadEntry, kInline> reads;
+    SmallVec<WriteEntry, kInline> writes;
+    SmallVec<Node*, 2 * kInline> locked;
+    mutable SmallVec<std::uint64_t, 2 * kInline> snaps;
+
+    void reset() override {
+      reads.clear();
+      writes.clear();
+      locked.clear();
+      snaps.clear();
+      OtbDsDesc::reset();
+    }
   };
 
   Desc& desc(TxHost& tx) { return static_cast<Desc&>(tx.descriptor(*this)); }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/small_vec.h"
 #include "common/spinlock.h"
 #include "otb/otb_ds.h"
 
@@ -101,8 +102,11 @@ class OtbListSet final : public OtbDs {
 
   bool validate(const OtbDsDesc& base, bool check_locks) const override {
     const Desc& desc = static_cast<const Desc&>(base);
-    // Phase 1: snapshot the involved locks and require them free.
-    std::vector<std::uint64_t> snaps;
+    // Phase 1: snapshot the involved locks and require them free.  The
+    // scratch lives in the descriptor so repeated validations of one
+    // transaction reuse the same storage (zero-allocation hot path).
+    SmallVec<std::uint64_t, 2 * Desc::kInline>& snaps = desc.snaps;
+    snaps.clear();
     if (check_locks) {
       snaps.reserve(desc.reads.size() * 2);
       for (const ReadEntry& e : desc.reads) {
@@ -140,7 +144,7 @@ class OtbListSet final : public OtbDs {
     return validate(desc, /*check_locks=*/false);
   }
 
-  void on_commit(OtbDsDesc& base) override {
+  void do_on_commit(OtbDsDesc& base) override {
     Desc& desc = static_cast<Desc&>(base);
     ebr::Guard guard;
     for (const WriteEntry& e : desc.writes) {
@@ -168,13 +172,13 @@ class OtbListSet final : public OtbDs {
     }
   }
 
-  void post_commit(OtbDsDesc& base) override {
+  void do_post_commit(OtbDsDesc& base) override {
     Desc& desc = static_cast<Desc&>(base);
     for (Node* n : desc.locked) n->lock.unlock_new_version();
     desc.locked.clear();
   }
 
-  void on_abort(OtbDsDesc& base) override {
+  void do_on_abort(OtbDsDesc& base) override {
     Desc& desc = static_cast<Desc&>(base);
     // Nothing was published (on_commit never fails); release what we locked
     // without disturbing versions.
@@ -216,9 +220,23 @@ class OtbListSet final : public OtbDs {
   };
 
   struct Desc final : OtbDsDesc {
-    std::vector<ReadEntry> reads;
-    std::vector<WriteEntry> writes;
-    std::vector<Node*> locked;  // semantic locks held (commit phase only)
+    /// Inline capacity: typical transactions run 1–5 operations (the
+    /// paper's workloads); 8 keeps them heap-free with headroom.
+    static constexpr std::size_t kInline = 8;
+    SmallVec<ReadEntry, kInline> reads;
+    SmallVec<WriteEntry, kInline> writes;
+    // Up to two locks (pred + victim) per write, plus one per inserted node.
+    SmallVec<Node*, 2 * kInline> locked;  // semantic locks held (commit phase only)
+    /// Scratch for validate()'s lock snapshots (two words per read entry).
+    mutable SmallVec<std::uint64_t, 2 * kInline> snaps;
+
+    void reset() override {
+      reads.clear();
+      writes.clear();
+      locked.clear();
+      snaps.clear();
+      OtbDsDesc::reset();
+    }
   };
 
   /// Algorithm 1 (all three operations share its skeleton).
@@ -276,6 +294,14 @@ class OtbListSet final : public OtbDs {
     }
     desc.reads.push_back({pred, curr, op, success});
     if (success && op != Op::kContains) {
+      if (desc.writes.empty()) {
+        // First write: pre-size the commit-path set so pre_commit/on_commit
+        // (which run while semantic locks are held) never grow storage.
+        // Both reserves are no-ops until a transaction exceeds the inline
+        // capacity, i.e. for every typical workload.
+        desc.writes.reserve(Desc::kInline);
+        desc.locked.reserve(2 * Desc::kInline);
+      }
       desc.writes.push_back({pred, curr, op, key});
     }
 
@@ -313,6 +339,11 @@ class OtbListSet final : public OtbDs {
     return true;
   }
 
+  /// Linear write-set lookup — deliberate: write-sets hold a handful of
+  /// entries (≤ Desc::kInline in every paper workload), where a flat scan
+  /// beats hashing.  Crossover guard: if transactions ever carry ~32+
+  /// writes, replace with a small key-indexed table; do not "fix" this for
+  /// typical sizes.
   const WriteEntry* find_local(const Desc& desc, Key key) const {
     for (const WriteEntry& w : desc.writes) {
       if (w.key == key) return &w;

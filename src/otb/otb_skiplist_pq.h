@@ -95,7 +95,8 @@ class OtbSkipListPQ final : public OtbDs {
   std::unique_ptr<OtbDsDesc> make_desc() const override {
     auto d = std::make_unique<Desc>();
     d->set = std::make_unique<OtbSkipListSet::Desc>();
-    d->last_removed = set_.head_ref();
+    d->head = set_.head_ref();
+    d->last_removed = d->head;
     return d;
   }
 
@@ -105,13 +106,16 @@ class OtbSkipListPQ final : public OtbDs {
   bool pre_commit(OtbDsDesc& base, bool use_locks) override {
     return set_.pre_commit_desc(*static_cast<Desc&>(base).set, use_locks);
   }
-  void on_commit(OtbDsDesc& base) override {
+  // The nested set is bracketed by *this* structure's commit sequence (the
+  // PQ is the OtbDs hosts see), so delegation targets the set's unwrapped
+  // `*_desc` protocol.
+  void do_on_commit(OtbDsDesc& base) override {
     set_.on_commit_desc(*static_cast<Desc&>(base).set);
   }
-  void post_commit(OtbDsDesc& base) override {
+  void do_post_commit(OtbDsDesc& base) override {
     set_.post_commit_desc(*static_cast<Desc&>(base).set);
   }
-  void on_abort(OtbDsDesc& base) override {
+  void do_on_abort(OtbDsDesc& base) override {
     set_.on_abort_desc(*static_cast<Desc&>(base).set);
   }
   bool has_writes(const OtbDsDesc& base) const override {
@@ -123,6 +127,14 @@ class OtbSkipListPQ final : public OtbDs {
     std::unique_ptr<OtbSkipListSet::Desc> set;
     cds::BinaryHeap local;  // read-after-write: minima this tx added
     OtbSkipListSet::NodeRef last_removed;
+    OtbSkipListSet::NodeRef head;  // saved so reset() can rewind the cursor
+
+    void reset() override {
+      set->reset();
+      local.clear();
+      last_removed = head;
+      OtbDsDesc::reset();
+    }
   };
 
   Desc& desc(TxHost& tx) { return static_cast<Desc&>(tx.descriptor(*this)); }

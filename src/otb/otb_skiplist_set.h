@@ -26,6 +26,7 @@
 
 #include "common/epoch.h"
 #include "common/rng.h"
+#include "common/small_vec.h"
 #include "common/spinlock.h"
 #include "otb/otb_ds.h"
 
@@ -154,20 +155,16 @@ class OtbSkipListSet final : public OtbDs {
     return pre_commit_desc(static_cast<Desc&>(base), use_locks);
   }
 
-  void on_commit(OtbDsDesc& base) override {
+  void do_on_commit(OtbDsDesc& base) override {
     on_commit_desc(static_cast<Desc&>(base));
   }
 
-  void post_commit(OtbDsDesc& base) override {
-    Desc& desc = static_cast<Desc&>(base);
-    for (Node* n : desc.locked) n->lock.unlock_new_version();
-    desc.locked.clear();
+  void do_post_commit(OtbDsDesc& base) override {
+    post_commit_desc(static_cast<Desc&>(base));
   }
 
-  void on_abort(OtbDsDesc& base) override {
-    Desc& desc = static_cast<Desc&>(base);
-    for (Node* n : desc.locked) n->lock.unlock_same_version();
-    desc.locked.clear();
+  void do_on_abort(OtbDsDesc& base) override {
+    on_abort_desc(static_cast<Desc&>(base));
   }
 
   bool has_writes(const OtbDsDesc& base) const override {
@@ -178,12 +175,19 @@ class OtbSkipListSet final : public OtbDs {
     return static_cast<const Desc&>(base).writes.size();
   }
 
-  // Descriptor-explicit protocol (for the nesting priority queue).
+  // Descriptor-explicit protocol (for the nesting priority queue — the
+  // PQ's own commit sequence brackets these, so they bypass the wrappers).
   bool validate_desc(const Desc& desc, bool check_locks) const;
   bool pre_commit_desc(Desc& desc, bool use_locks);
   void on_commit_desc(Desc& desc);
-  void post_commit_desc(Desc& desc) { post_commit(desc); }
-  void on_abort_desc(Desc& desc) { on_abort(desc); }
+  void post_commit_desc(Desc& desc) {
+    for (Node* n : desc.locked) n->lock.unlock_new_version();
+    desc.locked.clear();
+  }
+  void on_abort_desc(Desc& desc) {
+    for (Node* n : desc.locked) n->lock.unlock_same_version();
+    desc.locked.clear();
+  }
 
  private:
   enum class Op : std::uint8_t { kAdd, kRemove, kContains };
@@ -216,9 +220,24 @@ class OtbSkipListSet final : public OtbDs {
 
  public:
   struct Desc final : OtbDsDesc {
-    std::vector<ReadEntry> reads;
-    std::vector<WriteEntry> writes;
-    std::vector<Node*> locked;
+    /// Entries are big (whole pred/succ arrays), but descriptors are
+    /// heap-allocated and pooled, so inline storage is still the right
+    /// trade: 8 covers every typical transaction.
+    static constexpr std::size_t kInline = 8;
+    SmallVec<ReadEntry, kInline> reads;
+    SmallVec<WriteEntry, kInline> writes;
+    SmallVec<Node*, 2 * kInline> locked;
+    /// Scratch for validate_desc's lock snapshots (up to 2*(top+1) words
+    /// per entry; levels are geometric, so 64 rarely spills).
+    mutable SmallVec<std::uint64_t, 64> snaps;
+
+    void reset() override {
+      reads.clear();
+      writes.clear();
+      locked.clear();
+      snaps.clear();
+      OtbDsDesc::reset();
+    }
   };
 
  private:
@@ -390,7 +409,8 @@ class OtbSkipListSet final : public OtbDs {
 // ---- out-of-line protocol bodies ------------------------------------------
 
 inline bool OtbSkipListSet::validate_desc(const Desc& desc, bool check_locks) const {
-  std::vector<std::uint64_t> snaps;
+  auto& snaps = desc.snaps;  // descriptor-resident scratch, reused per call
+  snaps.clear();
   if (check_locks) {
     for (const ReadEntry& e : desc.reads) {
       bool locked = false;

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 
 #include "common/epoch.h"
 #include "common/platform.h"
@@ -79,18 +80,34 @@ inline RuntimeStatsView runtime_stats() {
 
 // ---- transaction host ------------------------------------------------------
 
-/// One transaction attempt over boosted structures only.
+/// One logical transaction over boosted structures only.  The retry loop
+/// reuses a single instance across attempts: `abandon()` recycles the
+/// descriptors (zero-allocation retries) and `begin_attempt()` re-arms the
+/// per-attempt state.
 class Transaction final : public TxHost {
  public:
-  explicit Transaction(bool timed = collect_timing()) : timed_(timed) {}
+  explicit Transaction(bool timed = collect_timing()) : timed_(timed) {
+    epoch_guard_.emplace();
+  }
+
+  /// Arm the next attempt: fresh per-attempt tally, re-pinned reclamation
+  /// epoch (abandon() unpins so other threads can advance during backoff).
+  void begin_attempt() {
+    tally_ = metrics::TxTally{};
+    if (!epoch_guard_.has_value()) epoch_guard_.emplace();
+  }
 
   /// Post-validation after every boosted operation: every attached
   /// structure's semantic read-set must still hold, with lock checks
-  /// (nothing is locked by us during execution).
+  /// (nothing is locked by us during execution).  The commit-sequence gate
+  /// skips the scan for structures no one published into since our last
+  /// full validation.
   void on_operation_validate() override {
     tally_.validations += 1;
     const std::uint64_t t0 = timed_ ? now_ns() : 0;
-    const bool ok = validate_attached(/*check_locks=*/true);
+    const bool ok = validate_attached(/*check_locks=*/true,
+                                      &tally_.validations_fast,
+                                      &tally_.validations_full);
     if (timed_) tally_.ns_validation += now_ns() - t0;
     if (!ok) throw TxAbort{metrics::AbortReason::kSemanticConflict};
   }
@@ -111,14 +128,16 @@ class Transaction final : public TxHost {
   /// Failed attempt: every attached structure rolls back whatever it still
   /// holds (semantic locks, the heap PQ's global lock and eager effects);
   /// on_abort is idempotent, so double-notification after a failed
-  /// pre_commit is harmless.
+  /// pre_commit is harmless.  Descriptors are reset and parked for the next
+  /// attempt instead of destroyed.
   void abandon() {
     on_abort_attached();
-    clear_attached();
+    recycle_attached();
+    epoch_guard_.reset();
   }
 
-  /// This attempt's accounting (a fresh Transaction per attempt, so the
-  /// tally *is* the attempt delta the retry loop flushes).
+  /// This attempt's accounting (begin_attempt() clears it, so the tally
+  /// *is* the attempt delta the retry loop flushes).
   metrics::TxTally& tally() { return tally_; }
 
  private:
@@ -126,20 +145,28 @@ class Transaction final : public TxHost {
   bool timed_;
   // Pin the reclamation epoch for the attempt's lifetime: semantic read-set
   // entries hold raw node pointers that other transactions may retire.
-  ebr::Guard epoch_guard_;
+  std::optional<ebr::Guard> epoch_guard_;
 };
 
 /// Run `fn(tx)` atomically, retrying on abort with capped, jittered
 /// exponential backoff.  Returns the attempt report for this call; lifetime
 /// totals (including the attempt count) flow into the metrics sink.
+///
+/// One Transaction serves every attempt: retries reuse the reset
+/// descriptors instead of re-allocating them (the zero-allocation retry
+/// path).  Exceptions other than TxAbort still abandon the attempt before
+/// propagating — without that, a throwing `fn` (or an exception escaping a
+/// structure operation) would leak semantic locks and the heap PQ's eager
+/// effects.
 template <typename Fn>
 metrics::AttemptReport atomically(Fn&& fn) {
   metrics::MetricsSink& sink = metrics_sink();
   const bool timed = collect_timing();
   Backoff backoff(Backoff::kDefaultCap);
   metrics::AttemptReport report;
+  Transaction tx(timed);
   for (;;) {
-    Transaction tx(timed);
+    tx.begin_attempt();
     const std::uint64_t t0 = timed ? now_ns() : 0;
     try {
       fn(tx);
@@ -156,6 +183,14 @@ metrics::AttemptReport atomically(Fn&& fn) {
       report.aborts += 1;
       report.last_reason = abort.reason;
       backoff.pause();
+    } catch (...) {
+      // User exception: roll back held state, account the attempt as an
+      // explicit abort, and let the exception escape the atomic block.
+      tx.abandon();
+      if (timed) tx.tally().ns_total = now_ns() - t0;
+      sink.record_attempt(tx.tally(), /*committed=*/false,
+                          metrics::AbortReason::kExplicit);
+      throw;
     }
   }
 }

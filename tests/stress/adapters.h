@@ -27,6 +27,24 @@
 
 namespace otb::stress {
 
+/// RAII override of the commit-sequence validation fast path: the lin
+/// checker must pass with the O(1) gate forced on AND off (the gated and
+/// ungated validation paths are both load-bearing).  Restores the
+/// environment-selected default on destruction.
+class FastPathOverride {
+ public:
+  explicit FastPathOverride(bool on)
+      : previous_(tx::validation_fast_path_enabled()) {
+    tx::set_validation_fast_path(on);
+  }
+  ~FastPathOverride() { tx::set_validation_fast_path(previous_); }
+  FastPathOverride(const FastPathOverride&) = delete;
+  FastPathOverride& operator=(const FastPathOverride&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Seeded per-worker decision source for explicit-abort injection.
 class AbortInjector {
  public:

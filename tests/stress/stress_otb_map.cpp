@@ -27,9 +27,14 @@ TEST(OtbMapStress, HistoriesAreLinearizable) {
     unsigned threads;
     unsigned abort_pct;
   };
+  // Both validation paths must produce linearizable histories: the O(1)
+  // commit-sequence gate (default) and the unconditional full scan.
+  for (const bool fast : {true, false}) {
+    stress::FastPathOverride knob(fast);
   for (const Case c : {Case{2, 0}, Case{4, 0}, Case{4, 20}, Case{6, 10}}) {
     SCOPED_TRACE("threads=" + std::to_string(c.threads) +
-                 " abort_pct=" + std::to_string(c.abort_pct));
+                 " abort_pct=" + std::to_string(c.abort_pct) +
+                 " fast_path=" + (fast ? "on" : "off"));
     tx::OtbListMap map;
     StressOptions opt;
     opt.threads = c.threads;
@@ -63,6 +68,7 @@ TEST(OtbMapStress, HistoriesAreLinearizable) {
     }
     const verify::AuditResult audit = verify::audit_set(h, final_keys, seeded);
     EXPECT_TRUE(audit.ok) << audit.detail;
+  }
   }
 }
 

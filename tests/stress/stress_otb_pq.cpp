@@ -56,9 +56,14 @@ TEST(OtbSkipListPqStress, HistoriesAreLinearizable) {
     unsigned threads;
     unsigned abort_pct;
   };
+  // Both validation paths must produce linearizable histories: the O(1)
+  // commit-sequence gate (default) and the unconditional full scan.
+  for (const bool fast : {true, false}) {
+    stress::FastPathOverride knob(fast);
   for (const Case c : {Case{2, 0}, Case{3, 0}, Case{3, 20}}) {
     SCOPED_TRACE("threads=" + std::to_string(c.threads) +
-                 " abort_pct=" + std::to_string(c.abort_pct));
+                 " abort_pct=" + std::to_string(c.abort_pct) +
+                 " fast_path=" + (fast ? "on" : "off"));
     tx::OtbSkipListPQ pq;
     StressOptions opt;
     opt.threads = c.threads;
@@ -96,6 +101,7 @@ TEST(OtbSkipListPqStress, HistoriesAreLinearizable) {
     if (lin.status == LinStatus::kBudgetExhausted) {
       GTEST_LOG_(WARNING) << "lin check inconclusive: " << lin.detail;
     }
+  }
   }
 }
 

@@ -47,9 +47,14 @@ TYPED_TEST_SUITE(OtbSetStress, SetTypes);
 
 TYPED_TEST(OtbSetStress, HistoriesAreLinearizable) {
   const std::uint64_t scale = verify::stress_scale();
-  for (const unsigned threads : {2u, 4u, 7u}) {
+  // Both validation paths must produce linearizable histories: the O(1)
+  // commit-sequence gate (default) and the unconditional full scan.
+  for (const bool fast : {true, false}) {
+    stress::FastPathOverride knob(fast);
+    for (const unsigned threads : {2u, 4u, 7u}) {
     for (const MixCase& mc : kMixes) {
-      SCOPED_TRACE(std::string(mc.name) + " threads=" + std::to_string(threads));
+      SCOPED_TRACE(std::string(mc.name) + " threads=" + std::to_string(threads) +
+                   " fast_path=" + (fast ? "on" : "off"));
       TypeParam set;
       StressOptions opt;
       opt.threads = threads;
@@ -80,6 +85,7 @@ TYPED_TEST(OtbSetStress, HistoriesAreLinearizable) {
       const verify::AuditResult audit =
           verify::audit_set(h, set.snapshot_unsafe(), seeded);
       EXPECT_TRUE(audit.ok) << audit.detail;
+    }
     }
   }
 }

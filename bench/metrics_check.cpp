@@ -1,5 +1,5 @@
 // metrics_smoke checker: runs micro_ops (path in argv[1]) with
-// --metrics-json and validates the dump against the strict otb.metrics/1
+// --metrics-json and validates the dump against the strict otb.metrics/2
 // parser plus the acceptance invariants — every BM_StmReadWrite algorithm
 // and the standalone OTB runtime must report attempts and commits, the
 // timed domains must carry attempt-phase histograms, and every histogram's
@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "metrics/json.h"
 
@@ -34,6 +36,12 @@ void check_histograms(const std::string& domain,
            ": bucket sum " + std::to_string(sum) + " != count " +
            std::to_string(p.count));
     }
+  }
+  std::uint64_t tsum = 0;
+  for (const auto b : s.traversals.log2_buckets) tsum += b;
+  if (tsum != s.traversals.count) {
+    fail(domain + ".traversals: bucket sum " + std::to_string(tsum) +
+         " != count " + std::to_string(s.traversals.count));
   }
 }
 
@@ -96,16 +104,162 @@ int validate_dump(int argc, char** argv) {
   return 0;
 }
 
+// ---- perf-regression compare (`metrics_check --compare`) --------------------
+
+/// One bench-baseline document: the `otb.bench_baseline/1` wrapper
+/// run_baselines.sh writes, holding one otb.metrics snapshot per run.
+struct BaselineDoc {
+  std::uint64_t bench_ms = 0;
+  std::string threads;
+  std::vector<std::pair<std::string, otb::metrics::Snapshot>> runs;
+};
+
+bool parse_baseline(const std::string& text, BaselineDoc& out) {
+  otb::metrics::detail::Parser p(text);
+  if (!p.consume('{')) return false;
+  bool got_schema = false, got_runs = false;
+  do {
+    std::string key;
+    if (!p.parse_string(key) || !p.consume(':')) return false;
+    if (key == "schema") {
+      std::string id;
+      if (!p.parse_string(id) || id != "otb.bench_baseline/1") return false;
+      got_schema = true;
+    } else if (key == "generated_by") {
+      std::string ignored;
+      if (!p.parse_string(ignored)) return false;
+    } else if (key == "bench_ms") {
+      if (!p.parse_u64(out.bench_ms)) return false;
+    } else if (key == "threads") {
+      if (!p.parse_string(out.threads)) return false;
+    } else if (key == "runs" && !got_runs) {
+      got_runs = true;
+      if (!p.consume('{')) return false;
+      if (!p.peek_is('}')) {
+        do {
+          std::string name;
+          if (!p.parse_string(name) || !p.consume(':')) return false;
+          otb::metrics::Snapshot snap;
+          if (!otb::metrics::detail::parse_snapshot(p, snap)) return false;
+          out.runs.emplace_back(std::move(name), std::move(snap));
+        } while (p.consume(','));
+      }
+      if (!p.consume('}')) return false;
+    } else {
+      return false;
+    }
+  } while (p.consume(','));
+  if (!p.consume('}') || !p.at_end()) return false;
+  return got_schema && got_runs && out.bench_ms != 0;
+}
+
+bool read_baseline(const char* path, BaselineDoc& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL: cannot read %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!parse_baseline(buf.str(), out)) {
+    std::fprintf(stderr, "FAIL: %s does not parse as otb.bench_baseline/1\n",
+                 path);
+    return false;
+  }
+  return true;
+}
+
+/// `metrics_check --compare <old.json> <new.json> [tolerance_pct]`:
+/// record-and-compare perf smoke.  Each (run, domain) pair present in both
+/// baselines is a throughput series — committed transactions normalised by
+/// that file's measured duration — and any series dropping by more than
+/// tolerance_pct (default 30, chosen noise-tolerant for shared CI runners)
+/// fails the check.  Low-count series (< 50 commits in the old baseline)
+/// and the google-benchmark-paced micro_ops run are skipped: they measure
+/// self-timed iterations, not a fixed-duration rate.  A thread-count
+/// mismatch means the baselines are not comparable; warn and exit 0 rather
+/// than fail on configuration drift.
+int compare_baselines(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(
+        stderr,
+        "usage: metrics_check --compare <old.json> <new.json> [tolerance_pct]\n");
+    return 2;
+  }
+  const double tol_pct = argc >= 5 ? std::atof(argv[4]) : 30.0;
+  BaselineDoc oldb, newb;
+  if (!read_baseline(argv[2], oldb) || !read_baseline(argv[3], newb)) return 1;
+  if (oldb.threads != newb.threads) {
+    std::fprintf(stderr,
+                 "WARN: thread configs differ ('%s' vs '%s'); baselines are "
+                 "not comparable, skipping\n",
+                 oldb.threads.c_str(), newb.threads.c_str());
+    return 0;
+  }
+
+  constexpr std::uint64_t kMinCommits = 50;
+  const double floor_ratio = 1.0 - tol_pct / 100.0;
+  int compared = 0;
+  for (const auto& [run, old_snap] : oldb.runs) {
+    if (run == "micro_ops") continue;  // self-timed, not a fixed-duration rate
+    const otb::metrics::Snapshot* new_snap = nullptr;
+    for (const auto& [name, snap] : newb.runs) {
+      if (name == run) new_snap = &snap;
+    }
+    if (new_snap == nullptr) {
+      fail("run missing from new baseline: " + run);
+      continue;
+    }
+    for (const auto& [domain, old_s] : old_snap.domains) {
+      const std::uint64_t old_commits =
+          old_s.counter(otb::metrics::CounterId::kCommits);
+      if (old_commits < kMinCommits) continue;  // too noisy to gate on
+      const otb::metrics::SinkSnapshot* new_s = new_snap->find(domain);
+      if (new_s == nullptr) {
+        fail(run + "/" + domain + ": domain missing from new baseline");
+        continue;
+      }
+      const double old_rate =
+          double(old_commits) / double(oldb.bench_ms);
+      const double new_rate =
+          double(new_s->counter(otb::metrics::CounterId::kCommits)) /
+          double(newb.bench_ms);
+      const double ratio = new_rate / old_rate;
+      ++compared;
+      std::printf("  %-28s %-12s %10.0f -> %10.0f commits/ms-series  (%.2fx)\n",
+                  run.c_str(), domain.c_str(), old_rate, new_rate, ratio);
+      if (ratio < floor_ratio) {
+        fail(run + "/" + domain + ": throughput regressed to " +
+             std::to_string(ratio) + "x of baseline (floor " +
+             std::to_string(floor_ratio) + "x)");
+      }
+    }
+  }
+  if (g_failures != 0) {
+    std::fprintf(stderr, "%d series regressed beyond %.0f%%\n", g_failures,
+                 tol_pct);
+    return 1;
+  }
+  std::printf("compare OK: %d series within %.0f%% of baseline\n", compared,
+              tol_pct);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "--validate") {
     return validate_dump(argc, argv);
   }
+  if (argc >= 2 && std::string(argv[1]) == "--compare") {
+    return compare_baselines(argc, argv);
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: metrics_check <path-to-micro_ops>\n"
-                 "       metrics_check --validate <dump.json> [domain...]\n");
+                 "       metrics_check --validate <dump.json> [domain...]\n"
+                 "       metrics_check --compare <old.json> <new.json> "
+                 "[tolerance_pct]\n");
     return 2;
   }
   const std::string json_path = "metrics_smoke.json";

@@ -125,6 +125,149 @@ void BM_OtbListSetValidationSweepMixed20(benchmark::State& state) {
 BENCHMARK(BM_OtbListSetValidationSweepMixed20)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+// Traversal-hint locality sweep: each transaction issues ops_per_tx
+// operations (90% contains / 10% add-remove toggle) with keys drawn
+// uniformly over the whole range, clustered in one random 64-key window per
+// transaction, or Zipf(0.99)-skewed.  Each shape runs hints-on and
+// hints-off (set_traversal_hints) so the pair A/Bs the layer directly;
+// hit-rate and traversal-length counters come from the registry sink, so
+// they also land in the --metrics-json dump.
+enum class KeyMode { kUniform, kClustered, kZipf };
+
+void hint_locality_sweep(benchmark::State& state, KeyMode mode, bool hints_on) {
+  constexpr std::int64_t kRange = 8192;
+  constexpr std::int64_t kCluster = 64;
+  const std::int64_t ops_per_tx = state.range(0);
+  const bool saved = otb::tx::traversal_hints_enabled();
+  otb::tx::set_traversal_hints(hints_on);
+  otb::tx::OtbListSet set;
+  for (std::int64_t k = 0; k < kRange; k += 2) set.add_seq(k);
+  otb::Xorshift rng{17};
+  const otb::Zipf zipf(kRange);
+  const auto counter = [](const otb::metrics::SinkSnapshot& s,
+                          otb::metrics::CounterId id) {
+    return s.counters[static_cast<std::size_t>(id)];
+  };
+  const otb::metrics::SinkSnapshot before = otb::tx::metrics_sink().snapshot();
+  for (auto _ : state) {
+    const std::int64_t base =
+        mode == KeyMode::kClustered
+            ? kCluster * std::int64_t(rng.next_bounded(kRange / kCluster))
+            : 0;
+    otb::tx::atomically([&](otb::tx::Transaction& tx) {
+      for (std::int64_t i = 0; i < ops_per_tx; ++i) {
+        std::int64_t key = 0;
+        switch (mode) {
+          case KeyMode::kUniform:
+            key = std::int64_t(rng.next_bounded(kRange));
+            break;
+          case KeyMode::kClustered:
+            key = base + std::int64_t(rng.next_bounded(kCluster));
+            break;
+          case KeyMode::kZipf:
+            key = std::int64_t(zipf.sample(rng));
+            break;
+        }
+        if (rng.chance_pct(10)) {
+          if (!set.add(tx, key)) set.remove(tx, key);
+        } else {
+          set.contains(tx, key);
+        }
+      }
+    });
+  }
+  const otb::metrics::SinkSnapshot after = otb::tx::metrics_sink().snapshot();
+  const double local =
+      double(counter(after, otb::metrics::CounterId::kHintHitLocal) -
+             counter(before, otb::metrics::CounterId::kHintHitLocal));
+  const double cached =
+      double(counter(after, otb::metrics::CounterId::kHintHitCached) -
+             counter(before, otb::metrics::CounterId::kHintHitCached));
+  const double miss = double(counter(after, otb::metrics::CounterId::kHintMiss) -
+                             counter(before, otb::metrics::CounterId::kHintMiss));
+  const double traversals =
+      double(after.traversals.count - before.traversals.count);
+  const double steps =
+      double(after.traversals.total_steps - before.traversals.total_steps);
+  state.counters["hint_hits"] = local + cached;
+  state.counters["hint_misses"] = miss;
+  state.counters["hint_hit_pct"] =
+      local + cached + miss > 0 ? 100.0 * (local + cached) / (local + cached + miss)
+                                : 0.0;
+  state.counters["avg_traversal_steps"] = traversals > 0 ? steps / traversals : 0.0;
+  state.SetItemsProcessed(state.iterations() * ops_per_tx);
+  otb::tx::set_traversal_hints(saved);
+}
+
+void BM_OtbListSetHintSweepUniformOn(benchmark::State& state) {
+  hint_locality_sweep(state, KeyMode::kUniform, /*hints_on=*/true);
+}
+BENCHMARK(BM_OtbListSetHintSweepUniformOn)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_OtbListSetHintSweepUniformOff(benchmark::State& state) {
+  hint_locality_sweep(state, KeyMode::kUniform, /*hints_on=*/false);
+}
+BENCHMARK(BM_OtbListSetHintSweepUniformOff)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_OtbListSetHintSweepClusteredOn(benchmark::State& state) {
+  hint_locality_sweep(state, KeyMode::kClustered, /*hints_on=*/true);
+}
+BENCHMARK(BM_OtbListSetHintSweepClusteredOn)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_OtbListSetHintSweepClusteredOff(benchmark::State& state) {
+  hint_locality_sweep(state, KeyMode::kClustered, /*hints_on=*/false);
+}
+BENCHMARK(BM_OtbListSetHintSweepClusteredOff)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_OtbListSetHintSweepZipfOn(benchmark::State& state) {
+  hint_locality_sweep(state, KeyMode::kZipf, /*hints_on=*/true);
+}
+BENCHMARK(BM_OtbListSetHintSweepZipfOn)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_OtbListSetHintSweepZipfOff(benchmark::State& state) {
+  hint_locality_sweep(state, KeyMode::kZipf, /*hints_on=*/false);
+}
+BENCHMARK(BM_OtbListSetHintSweepZipfOff)->Arg(1)->Arg(8)->Arg(16);
+
+// Same clustered shape on the skip list: only bottom-level-sufficient
+// outcomes can use a hint, so the win is smaller but should stay positive.
+void skiplist_hint_sweep(benchmark::State& state, bool hints_on) {
+  constexpr std::int64_t kRange = 8192;
+  constexpr std::int64_t kCluster = 64;
+  const std::int64_t ops_per_tx = state.range(0);
+  const bool saved = otb::tx::traversal_hints_enabled();
+  otb::tx::set_traversal_hints(hints_on);
+  otb::tx::OtbSkipListSet set;
+  for (std::int64_t k = 0; k < kRange; k += 2) set.add_seq(k);
+  otb::Xorshift rng{23};
+  for (auto _ : state) {
+    const std::int64_t base =
+        kCluster * std::int64_t(rng.next_bounded(kRange / kCluster));
+    otb::tx::atomically([&](otb::tx::Transaction& tx) {
+      for (std::int64_t i = 0; i < ops_per_tx; ++i) {
+        const std::int64_t key = base + std::int64_t(rng.next_bounded(kCluster));
+        if (rng.chance_pct(10)) {
+          if (!set.add(tx, key)) set.remove(tx, key);
+        } else {
+          set.contains(tx, key);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * ops_per_tx);
+  otb::tx::set_traversal_hints(saved);
+}
+
+void BM_OtbSkipListSetHintSweepClusteredOn(benchmark::State& state) {
+  skiplist_hint_sweep(state, /*hints_on=*/true);
+}
+BENCHMARK(BM_OtbSkipListSetHintSweepClusteredOn)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_OtbSkipListSetHintSweepClusteredOff(benchmark::State& state) {
+  skiplist_hint_sweep(state, /*hints_on=*/false);
+}
+BENCHMARK(BM_OtbSkipListSetHintSweepClusteredOff)->Arg(1)->Arg(8)->Arg(16);
+
 void BM_StmReadWrite(benchmark::State& state) {
   const auto kind = static_cast<otb::stm::AlgoKind>(state.range(0));
   otb::stm::Config cfg;

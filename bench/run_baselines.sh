@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# Record-only performance baseline runner: executes the Chapter-3 figure
-# harnesses (fig3.3-3.7) and the micro_ops suite at fixed thread counts and
-# durations, validates every --metrics-json dump with the strict
-# otb.metrics/1 checker, and merges the dumps into one baseline file
+# Record-and-compare performance baseline runner: executes the Chapter-3
+# figure harnesses (fig3.3-3.7) and the micro_ops suite at fixed thread
+# counts and durations, validates every --metrics-json dump with the strict
+# otb.metrics/2 checker, and merges the dumps into one baseline file
 # (BENCH_otb_baseline.json at the repo root by default).
 #
-# The output is a record, not a gate: absolute numbers are machine-bound,
-# so CI uploads the file as an artifact instead of comparing it.  Refresh
-# the checked-in baseline when the substrate changes materially:
+# By default the output is a record: absolute numbers are machine-bound, so
+# CI uploads the file as an artifact.  Setting OTB_BASELINE_COMPARE to a
+# previous baseline additionally diffs the fresh run against it with
+# `metrics_check --compare` and fails on any committed-throughput series
+# regressing beyond the tolerance — noise-tolerant (30% default, low-count
+# series skipped) but a real gate against order-of-magnitude slips.
+# Refresh the checked-in baseline when the substrate changes materially:
 #
 #   bench/run_baselines.sh <build-dir> [out.json]
 #
 # Environment (defaults chosen so a laptop run stays under ~1 minute):
-#   OTB_BASELINE_MS       measured ms per data point     (default 400)
-#   OTB_BASELINE_THREADS  thread counts, space-separated (default "1 2 4")
+#   OTB_BASELINE_MS            measured ms per data point     (default 400)
+#   OTB_BASELINE_THREADS       thread counts, space-separated (default "1 2 4")
+#   OTB_BASELINE_COMPARE       old baseline to diff against   (default: none)
+#   OTB_BASELINE_TOLERANCE_PCT allowed per-series drop        (default 30)
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -82,7 +88,7 @@ run_names+=("micro_ops")
   for i in "${!run_names[@]}"; do
     name=${run_names[$i]}
     printf '    "%s": ' "$name"
-    # Each dump is a complete otb.metrics/1 object; inline it verbatim.
+    # Each dump is a complete otb.metrics/2 object; inline it verbatim.
     tr -d '\n' < "$TMP/$name.json"
     if (( i + 1 < ${#run_names[@]} )); then printf ',\n'; else printf '\n'; fi
   done
@@ -91,3 +97,14 @@ run_names+=("micro_ops")
 } > "$OUT"
 
 echo "baseline written to $OUT ($(wc -c < "$OUT") bytes, ${#run_names[@]} runs)"
+
+# Optional regression gate: diff the fresh baseline against a recorded one.
+if [[ -n "${OTB_BASELINE_COMPARE:-}" ]]; then
+  if [[ ! -f "$OTB_BASELINE_COMPARE" ]]; then
+    echo "error: OTB_BASELINE_COMPARE=$OTB_BASELINE_COMPARE not found" >&2
+    exit 2
+  fi
+  echo "== compare against $OTB_BASELINE_COMPARE"
+  "$CHECK" --compare "$OTB_BASELINE_COMPARE" "$OUT" \
+    "${OTB_BASELINE_TOLERANCE_PCT:-30}"
+fi

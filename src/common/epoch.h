@@ -5,20 +5,47 @@
 // thread that might still hold a reference has left its critical region —
 // the classic three-epoch scheme (Fraser).  This keeps the lazy list /
 // skip-list traversals safe without per-node reference counting.
+//
+// Slot discipline: each thread claims one of `kMaxSlots` announcement slots
+// on first use and releases it (in_use = false) when the thread exits, so
+// any number of *sequential* short-lived threads run in the table.  Only
+// when more than `kMaxSlots` threads are inside the EBR machinery
+// *simultaneously* does slot acquisition fail — with a `SlotsExhausted`
+// exception naming the limit, never by silently leaking retirements.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/platform.h"
 
 namespace otb::ebr {
 
+/// Maximum number of threads simultaneously registered with the reclamation
+/// scheme.  Slots are recycled when threads exit, so total thread churn is
+/// unbounded — this caps concurrency, not lifetime thread count.
+inline constexpr unsigned kMaxSlots = 128;
+
+/// Thrown when a thread cannot claim an announcement slot because
+/// `kMaxSlots` threads are already registered.  The failed thread holds no
+/// EBR state, so catching this and retrying after other threads exit is
+/// safe.
+class SlotsExhausted : public std::runtime_error {
+ public:
+  SlotsExhausted()
+      : std::runtime_error(
+            "otb::ebr: all " + std::to_string(kMaxSlots) +
+            " reclamation slots are claimed by live threads; reduce thread "
+            "concurrency or raise otb::ebr::kMaxSlots") {}
+};
+
 namespace detail {
 
-inline constexpr unsigned kMaxThreads = 128;
+inline constexpr unsigned kMaxThreads = kMaxSlots;
 inline constexpr std::uint64_t kIdle = 0;  // local epoch 0 == not in a region
 inline constexpr std::size_t kScanThreshold = 256;
 
@@ -68,14 +95,25 @@ class ThreadState {
  public:
   ThreadState() {
     Global& g = Global::instance();
+    // acq_rel: acquire pairs with the releasing `in_use` store of the
+    // exiting thread that freed the slot, so its final kIdle store to
+    // `local` is visible before we republish the slot.
     for (unsigned i = 0; i < kMaxThreads; ++i) {
       bool expected = false;
-      if (g.slots[i].in_use.compare_exchange_strong(expected, true)) {
+      if (g.slots[i].in_use.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
         index_ = i;
         return;
       }
     }
-    index_ = kMaxThreads;  // over-subscribed: fall back to leaking retirement
+    // Over-subscribed.  Failing loudly here is the only safe option: a
+    // slotless thread cannot announce an epoch, so any Guard it took would
+    // not delay reclamation and any node it retired could never be proven
+    // unreachable.  (The throw aborts thread_local construction; the next
+    // EBR use on this thread retries the scan, so a thread that merely
+    // raced a slot release recovers.)
+    throw SlotsExhausted{};
   }
 
   ~ThreadState() {
@@ -84,30 +122,26 @@ class ThreadState {
       std::lock_guard<std::mutex> lk(g.orphan_mu);
       g.orphans.insert(g.orphans.end(), limbo_.begin(), limbo_.end());
     }
-    if (index_ < kMaxThreads) {
-      g.slots[index_].local.store(kIdle, std::memory_order_release);
-      g.slots[index_].in_use.store(false, std::memory_order_release);
-    }
+    g.slots[index_].local.store(kIdle, std::memory_order_release);
+    g.slots[index_].in_use.store(false, std::memory_order_release);
   }
 
   void enter() {
     if (++depth_ > 1) return;
     Global& g = Global::instance();
-    if (index_ < kMaxThreads) {
-      // Announce via a seq_cst RMW: the announcement must be ordered before
-      // every subsequent shared read (StoreLoad), and an RMW — unlike
-      // atomic_thread_fence — is a barrier ThreadSanitizer models.
-      g.slots[index_].local.exchange(
-          g.epoch.load(std::memory_order_seq_cst), std::memory_order_seq_cst);
-    }
+    // Announce via a seq_cst RMW: the announcement must be ordered before
+    // every subsequent shared read (StoreLoad), and an RMW — unlike
+    // atomic_thread_fence — is a barrier ThreadSanitizer models.
+    const std::uint64_t e = g.epoch.load(std::memory_order_seq_cst);
+    g.slots[index_].local.exchange(e, std::memory_order_seq_cst);
+    announced_ = e;
   }
 
   void exit() {
     if (--depth_ > 0) return;
     Global& g = Global::instance();
-    if (index_ < kMaxThreads) {
-      g.slots[index_].local.store(kIdle, std::memory_order_release);
-    }
+    g.slots[index_].local.store(kIdle, std::memory_order_release);
+    announced_ = kIdle;
   }
 
   void retire(void* p, void (*deleter)(void*)) {
@@ -129,6 +163,10 @@ class ThreadState {
     }
   }
 
+  /// Epoch this thread announced for its current (outermost) guard; kIdle
+  /// when the thread is not inside a critical region.
+  std::uint64_t announced() const { return announced_; }
+
  private:
   static void free_older_than(std::vector<Retired>& v, std::uint64_t safe) {
     std::size_t keep = 0;
@@ -144,8 +182,9 @@ class ThreadState {
     v.resize(keep);
   }
 
-  unsigned index_ = kMaxThreads;
+  unsigned index_ = 0;
   unsigned depth_ = 0;
+  std::uint64_t announced_ = kIdle;
   std::vector<Retired> limbo_;
 };
 
@@ -156,7 +195,8 @@ inline ThreadState& thread_state() {
 
 }  // namespace detail
 
-/// RAII critical-region guard.  Re-entrant.
+/// RAII critical-region guard.  Re-entrant.  Throws `SlotsExhausted` if
+/// this thread cannot claim an announcement slot.
 class Guard {
  public:
   Guard() { detail::thread_state().enter(); }
@@ -174,5 +214,15 @@ void retire(T* p) {
 
 /// Force a collection attempt (used by tests and shutdown paths).
 inline void collect() { detail::thread_state().collect(); }
+
+/// Epoch announced by the calling thread's active guard, or 0 (idle) when
+/// the thread is outside every critical region.  The traversal-hint cache
+/// uses this to age-gate cached node pointers (see DESIGN.md, "Traversal
+/// hints and opacity"): a pointer validated unreachable-from-free under
+/// announce epoch E stays dereferenceable for any guard announced at
+/// most E + 1.
+inline std::uint64_t announced_epoch() {
+  return detail::thread_state().announced();
+}
 
 }  // namespace otb::ebr

@@ -1,7 +1,10 @@
 // Per-thread deterministic PRNGs for workload generation and property tests.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "common/hash.h"
 
@@ -35,6 +38,32 @@ class Xorshift {
 
  private:
   std::uint64_t state_;
+};
+
+/// Bounded Zipf(s) sampler over [0, n) via a precomputed inverse CDF.
+/// Construction is O(n) (done once per benchmark setup); sampling is a
+/// binary search.  s = 0.99 matches the YCSB default skew.
+class Zipf {
+ public:
+  explicit Zipf(std::size_t n, double s = 0.99) {
+    cdf_.reserve(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_.push_back(acc);
+    }
+  }
+
+  std::uint64_t sample(Xorshift& rng) const {
+    // 53 uniform mantissa bits -> u in [0, total).
+    const double u =
+        static_cast<double>(rng.next() >> 11) * 0x1.0p-53 * cdf_.back();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
 };
 
 }  // namespace otb

@@ -61,6 +61,17 @@ class SmallVec {
     if (n > cap_) grow(n);
   }
 
+  /// Insert `v` before `pos` (an iterator into this vector), shifting the
+  /// tail right — used by the key-ordered traversal-hint lists.
+  void insert(T* pos, const T& v) {
+    const std::size_t at = static_cast<std::size_t>(pos - data());
+    if (size_ == cap_) grow(cap_ * 2);  // may invalidate pos; `at` survives
+    T* base = data();
+    std::memmove(base + at + 1, base + at, (size_ - at) * sizeof(T));
+    base[at] = v;
+    ++size_;
+  }
+
   /// Remove the element at `pos` (an iterator into this vector), shifting
   /// the tail left — the only erase shape descriptor code needs.
   void erase(T* pos) {

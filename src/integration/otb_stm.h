@@ -33,6 +33,10 @@ namespace otb::integration {
 /// Joint base: an STM context that can also host boosted structures.
 class OtbTx : public stm::Tx, public tx::TxHost {
  public:
+  /// Boosted structures account hint/traversal stats on the STM tally, so
+  /// the existing per-attempt flush carries them into the sink.
+  OtbTx() { bind_op_tally(&this->stats_); }
+
   /// The descriptor retry pool must not escape an atomic block: contexts
   /// are long-lived (one per thread), and a structure destroyed between
   /// blocks could leave a pooled descriptor keyed to a reused address.

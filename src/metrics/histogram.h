@@ -36,6 +36,20 @@ class Histogram {
         .fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Merge a pre-bucketed row in one pass (tally flush at attempt
+  /// boundaries).  Returns the number of samples added.
+  std::uint64_t add_buckets(
+      const std::array<std::uint64_t, kBuckets>& row) noexcept {
+    Shard& s = shards_[this_thread_shard() % kHistShards];
+    std::uint64_t n = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (row[b] == 0) continue;
+      s.buckets[b].fetch_add(row[b], std::memory_order_relaxed);
+      n += row[b];
+    }
+    return n;
+  }
+
   std::array<std::uint64_t, kBuckets> buckets() const noexcept {
     std::array<std::uint64_t, kBuckets> out{};
     for (const auto& s : shards_)

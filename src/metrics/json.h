@@ -1,20 +1,24 @@
 // JSON export/import for snapshots.
 //
-// Schema ("otb.metrics/1"):
+// Schema ("otb.metrics/2"):
 //   {
-//     "schema": "otb.metrics/1",
+//     "schema": "otb.metrics/2",
 //     "domains": {
 //       "stm.NOrec": {
-//         "counters": { "commits": 12, "attempts": 14, ... },   // all 8 ids
+//         "counters": { "commits": 12, "attempts": 14, ... },   // all ids
 //         "aborts":   { "validation": 2, "lock_fail": 0, ... }, // all reasons
 //         "phases": {
 //           "attempt":    { "count": 14, "total_ns": 9001, "log2_buckets": [..40..] },
 //           "validation": { ... },
 //           "commit":     { ... }
-//         }
+//         },
+//         "traversals": { "count": 9, "total_steps": 120, "log2_buckets": [..40..] }
 //       }, ...
 //     }
 //   }
+//
+// /2 over /1: three hint counters (hint_hit_local/hint_hit_cached/hint_miss)
+// and the per-domain "traversals" length histogram.
 //
 // The importer is deliberately strict — every counter/reason/phase key must
 // be present and no unknown keys are allowed — which is exactly what the
@@ -32,7 +36,7 @@
 
 namespace otb::metrics {
 
-inline constexpr std::string_view kJsonSchemaId = "otb.metrics/1";
+inline constexpr std::string_view kJsonSchemaId = "otb.metrics/2";
 
 namespace detail {
 
@@ -42,17 +46,26 @@ inline void append_u64(std::string& out, std::uint64_t v) {
   out += buf;
 }
 
-inline void append_phase_json(std::string& out, const PhaseSnapshot& p) {
+inline void append_bucketed_json(
+    std::string& out, std::string_view total_key, std::uint64_t count,
+    std::uint64_t total,
+    const std::array<std::uint64_t, Histogram::kBuckets>& buckets) {
   out += "{\"count\": ";
-  append_u64(out, p.count);
-  out += ", \"total_ns\": ";
-  append_u64(out, p.total_ns);
+  append_u64(out, count);
+  out += ", \"";
+  out += total_key;
+  out += "\": ";
+  append_u64(out, total);
   out += ", \"log2_buckets\": [";
   for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
     if (b != 0) out += ", ";
-    append_u64(out, p.log2_buckets[b]);
+    append_u64(out, buckets[b]);
   }
   out += "]}";
+}
+
+inline void append_phase_json(std::string& out, const PhaseSnapshot& p) {
+  append_bucketed_json(out, "total_ns", p.count, p.total_ns, p.log2_buckets);
 }
 
 inline void append_sink_json(std::string& out, const SinkSnapshot& s,
@@ -92,7 +105,12 @@ inline void append_sink_json(std::string& out, const SinkSnapshot& s,
     out += '\n';
   }
   out += indent;
-  out += "  }\n";
+  out += "  },\n";
+  out += indent;
+  out += "  \"traversals\": ";
+  append_bucketed_json(out, "total_steps", s.traversals.count,
+                       s.traversals.total_steps, s.traversals.log2_buckets);
+  out += '\n';
   out += indent;
   out += '}';
 }
@@ -182,7 +200,9 @@ bool parse_u64_object(Parser& p, std::size_t first, std::size_t count,
   return seen == count - first;  // every expected key present
 }
 
-inline bool parse_phase(Parser& p, PhaseSnapshot& out) {
+inline bool parse_bucketed(Parser& p, std::string_view total_key,
+                           std::uint64_t& count, std::uint64_t& total,
+                           std::array<std::uint64_t, Histogram::kBuckets>& row) {
   if (!p.consume('{')) return false;
   bool got_count = false, got_total = false, got_buckets = false;
   do {
@@ -190,16 +210,16 @@ inline bool parse_phase(Parser& p, PhaseSnapshot& out) {
     if (!p.parse_string(key) || !p.consume(':')) return false;
     if (key == "count" && !got_count) {
       got_count = true;
-      if (!p.parse_u64(out.count)) return false;
-    } else if (key == "total_ns" && !got_total) {
+      if (!p.parse_u64(count)) return false;
+    } else if (key == total_key && !got_total) {
       got_total = true;
-      if (!p.parse_u64(out.total_ns)) return false;
+      if (!p.parse_u64(total)) return false;
     } else if (key == "log2_buckets" && !got_buckets) {
       got_buckets = true;
       if (!p.consume('[')) return false;
       for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
         if (b != 0 && !p.consume(',')) return false;
-        if (!p.parse_u64(out.log2_buckets[b])) return false;
+        if (!p.parse_u64(row[b])) return false;
       }
       if (!p.consume(']')) return false;
     } else {
@@ -210,9 +230,15 @@ inline bool parse_phase(Parser& p, PhaseSnapshot& out) {
   return got_count && got_total && got_buckets;
 }
 
+inline bool parse_phase(Parser& p, PhaseSnapshot& out) {
+  return parse_bucketed(p, "total_ns", out.count, out.total_ns,
+                        out.log2_buckets);
+}
+
 inline bool parse_sink(Parser& p, SinkSnapshot& out) {
   if (!p.consume('{')) return false;
   bool got_counters = false, got_aborts = false, got_phases = false;
+  bool got_traversals = false;
   do {
     std::string key;
     if (!p.parse_string(key) || !p.consume(':')) return false;
@@ -247,12 +273,53 @@ inline bool parse_sink(Parser& p, SinkSnapshot& out) {
       if (!p.consume('}')) return false;
       for (const bool g : got)
         if (!g) return false;
+    } else if (key == "traversals" && !got_traversals) {
+      got_traversals = true;
+      if (!parse_bucketed(p, "total_steps", out.traversals.count,
+                          out.traversals.total_steps,
+                          out.traversals.log2_buckets))
+        return false;
     } else {
       return false;
     }
   } while (p.consume(','));
   if (!p.consume('}')) return false;
-  return got_counters && got_aborts && got_phases;
+  return got_counters && got_aborts && got_phases && got_traversals;
+}
+
+/// Parse one complete snapshot document (the outer `{"schema": ..,
+/// "domains": ..}` object) starting at the parser's cursor.  Does not
+/// require end-of-input, so snapshot documents can be nested inside larger
+/// files (the bench-baseline wrapper `metrics_check --compare` reads).
+inline bool parse_snapshot(Parser& p, Snapshot& out) {
+  if (!p.consume('{')) return false;
+  bool got_schema = false, got_domains = false;
+  do {
+    std::string key;
+    if (!p.parse_string(key) || !p.consume(':')) return false;
+    if (key == "schema" && !got_schema) {
+      got_schema = true;
+      std::string id;
+      if (!p.parse_string(id) || id != kJsonSchemaId) return false;
+    } else if (key == "domains" && !got_domains) {
+      got_domains = true;
+      if (!p.consume('{')) return false;
+      if (!p.peek_is('}')) {
+        do {
+          std::string name;
+          if (!p.parse_string(name) || !p.consume(':')) return false;
+          SinkSnapshot s;
+          if (!parse_sink(p, s)) return false;
+          out.domains.emplace_back(std::move(name), s);
+        } while (p.consume(','));
+      }
+      if (!p.consume('}')) return false;
+    } else {
+      return false;
+    }
+  } while (p.consume(','));
+  if (!p.consume('}')) return false;
+  return got_schema && got_domains;
 }
 
 }  // namespace detail
@@ -280,34 +347,7 @@ inline std::string to_json(const Snapshot& snap) {
 inline std::optional<Snapshot> from_json(std::string_view text) {
   detail::Parser p(text);
   Snapshot out;
-  if (!p.consume('{')) return std::nullopt;
-  bool got_schema = false, got_domains = false;
-  do {
-    std::string key;
-    if (!p.parse_string(key) || !p.consume(':')) return std::nullopt;
-    if (key == "schema" && !got_schema) {
-      got_schema = true;
-      std::string id;
-      if (!p.parse_string(id) || id != kJsonSchemaId) return std::nullopt;
-    } else if (key == "domains" && !got_domains) {
-      got_domains = true;
-      if (!p.consume('{')) return std::nullopt;
-      if (!p.peek_is('}')) {
-        do {
-          std::string name;
-          if (!p.parse_string(name) || !p.consume(':')) return std::nullopt;
-          SinkSnapshot s;
-          if (!detail::parse_sink(p, s)) return std::nullopt;
-          out.domains.emplace_back(std::move(name), s);
-        } while (p.consume(','));
-      }
-      if (!p.consume('}')) return std::nullopt;
-    } else {
-      return std::nullopt;
-    }
-  } while (p.consume(','));
-  if (!p.consume('}') || !p.at_end()) return std::nullopt;
-  if (!got_schema || !got_domains) return std::nullopt;
+  if (!detail::parse_snapshot(p, out) || !p.at_end()) return std::nullopt;
   return out;
 }
 

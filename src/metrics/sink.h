@@ -57,6 +57,21 @@ class MetricsSink {
     if (d.ns_total != 0) record_phase(Phase::kAttempt, d.ns_total);
     if (d.ns_validation != 0) record_phase(Phase::kValidation, d.ns_validation);
     if (d.ns_commit != 0) record_phase(Phase::kCommit, d.ns_commit);
+    record_traversal_slice(d);
+  }
+
+  /// Flush only the traversal-hint slice of a tally delta.  Split out of
+  /// `record_attempt` for hosts that account hardware retries outside the
+  /// attempt protocol (HtmCommitRuntime flushes this directly).
+  void record_traversal_slice(const TxTally& d) noexcept {
+    if (d.hint_hit_local != 0) add(CounterId::kHintHitLocal, d.hint_hit_local);
+    if (d.hint_hit_cached != 0) add(CounterId::kHintHitCached, d.hint_hit_cached);
+    if (d.hint_miss != 0) add(CounterId::kHintMiss, d.hint_miss);
+    if (d.traversals != 0) {
+      // Derive the count from the bucket row so the two can never drift.
+      traversal_count_.add(traversal_hist_.add_buckets(d.traversal_log2));
+      if (d.traversal_steps != 0) traversal_steps_.add(d.traversal_steps);
+    }
   }
 
   std::uint64_t counter(CounterId id) const noexcept {
@@ -80,6 +95,9 @@ class MetricsSink {
       s.phases[i].total_ns = timers_[i].total_ns();
       s.phases[i].log2_buckets = histograms_[i].buckets();
     }
+    s.traversals.count = traversal_count_.total();
+    s.traversals.total_steps = traversal_steps_.total();
+    s.traversals.log2_buckets = traversal_hist_.buckets();
     return s;
   }
 
@@ -88,6 +106,9 @@ class MetricsSink {
     for (auto& c : aborts_) c.reset();
     for (auto& t : timers_) t.reset();
     for (auto& h : histograms_) h.reset();
+    traversal_count_.reset();
+    traversal_steps_.reset();
+    traversal_hist_.reset();
   }
 
  private:
@@ -95,6 +116,9 @@ class MetricsSink {
   std::array<Counter, kAbortReasonCount> aborts_{};
   std::array<NsTimer, kPhaseCount> timers_{};
   std::array<Histogram, kPhaseCount> histograms_{};
+  Counter traversal_count_{};
+  Counter traversal_steps_{};
+  Histogram traversal_hist_{};
 };
 
 }  // namespace otb::metrics

@@ -30,9 +30,12 @@ enum class CounterId : unsigned {
   kLockSpins,
   kValidationsFast,
   kValidationsFull,
+  kHintHitLocal,
+  kHintHitCached,
+  kHintMiss,
 };
 
-inline constexpr std::size_t kCounterCount = 10;
+inline constexpr std::size_t kCounterCount = 13;
 
 constexpr std::string_view to_string(CounterId id) {
   switch (id) {
@@ -56,6 +59,12 @@ constexpr std::string_view to_string(CounterId id) {
       return "validations_fast";
     case CounterId::kValidationsFull:
       return "validations_full";
+    case CounterId::kHintHitLocal:
+      return "hint_hit_local";
+    case CounterId::kHintHitCached:
+      return "hint_hit_cached";
+    case CounterId::kHintMiss:
+      return "hint_miss";
   }
   return "?";
 }
@@ -95,11 +104,24 @@ struct PhaseSnapshot {
   bool operator==(const PhaseSnapshot&) const = default;
 };
 
+/// Traversal-length distribution: one sample per structure traversal, the
+/// value being the number of node hops (bucketed log2 like phase latency).
+/// `count` always equals the bucket sum — both are bumped from the same
+/// tally flush (`MetricsSink::record_traversal_slice`).
+struct TraversalSnapshot {
+  std::uint64_t count = 0;        // traversals sampled
+  std::uint64_t total_steps = 0;  // summed node hops across samples
+  std::array<std::uint64_t, Histogram::kBuckets> log2_buckets{};
+
+  bool operator==(const TraversalSnapshot&) const = default;
+};
+
 /// Point-in-time copy of one sink (one reporting domain).
 struct SinkSnapshot {
   std::array<std::uint64_t, kCounterCount> counters{};
   std::array<std::uint64_t, kAbortReasonCount> aborts{};
   std::array<PhaseSnapshot, kPhaseCount> phases{};
+  TraversalSnapshot traversals{};
 
   std::uint64_t counter(CounterId id) const { return counters[index(id)]; }
   std::uint64_t aborts_for(AbortReason r) const { return aborts[index(r)]; }
@@ -119,6 +141,10 @@ struct SinkSnapshot {
       for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
         phases[i].log2_buckets[b] += o.phases[i].log2_buckets[b];
     }
+    traversals.count += o.traversals.count;
+    traversals.total_steps += o.traversals.total_steps;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+      traversals.log2_buckets[b] += o.traversals.log2_buckets[b];
     return *this;
   }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "metrics/abort_reason.h"
+#include "metrics/histogram.h"
 
 namespace otb::metrics {
 
@@ -29,6 +30,19 @@ struct TxTally {
   std::uint64_t lock_cas_failures = 0;
   std::uint64_t lock_acquisitions = 0;
   std::uint64_t lock_spins = 0;
+
+  // Traversal-hint outcomes: exactly one tick per boosted operation that
+  // performed a physical traversal while hints are enabled (write-set
+  // short-circuits never traverse and tick nothing).
+  std::uint64_t hint_hit_local = 0;   // seeded from the descriptor's own positions
+  std::uint64_t hint_hit_cached = 0;  // seeded from the per-thread predecessor cache
+  std::uint64_t hint_miss = 0;        // no usable hint: traversal started at head
+  // Traversal-length samples (node hops per operation, summed across the
+  // restarts inside one operation).  `traversals` always equals the bucket
+  // sum; both are bumped together on the structure hot path.
+  std::uint64_t traversals = 0;
+  std::uint64_t traversal_steps = 0;
+  std::array<std::uint64_t, Histogram::kBuckets> traversal_log2{};
 
   // Populated only when Config::collect_timing (or the OTB timing knob) is
   // on; zero deltas are skipped at flush so untimed runs pay nothing.
@@ -51,6 +65,13 @@ struct TxTally {
     lock_cas_failures += o.lock_cas_failures;
     lock_acquisitions += o.lock_acquisitions;
     lock_spins += o.lock_spins;
+    hint_hit_local += o.hint_hit_local;
+    hint_hit_cached += o.hint_hit_cached;
+    hint_miss += o.hint_miss;
+    traversals += o.traversals;
+    traversal_steps += o.traversal_steps;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      traversal_log2[i] += o.traversal_log2[i];
     ns_validation += o.ns_validation;
     ns_commit += o.ns_commit;
     ns_total += o.ns_total;
@@ -74,6 +95,13 @@ struct TxTally {
     d.lock_cas_failures = lock_cas_failures - prev.lock_cas_failures;
     d.lock_acquisitions = lock_acquisitions - prev.lock_acquisitions;
     d.lock_spins = lock_spins - prev.lock_spins;
+    d.hint_hit_local = hint_hit_local - prev.hint_hit_local;
+    d.hint_hit_cached = hint_hit_cached - prev.hint_hit_cached;
+    d.hint_miss = hint_miss - prev.hint_miss;
+    d.traversals = traversals - prev.traversals;
+    d.traversal_steps = traversal_steps - prev.traversal_steps;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      d.traversal_log2[i] = traversal_log2[i] - prev.traversal_log2[i];
     d.ns_validation = ns_validation - prev.ns_validation;
     d.ns_commit = ns_commit - prev.ns_commit;
     d.ns_total = ns_total - prev.ns_total;

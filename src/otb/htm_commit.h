@@ -49,7 +49,10 @@ class HtmCommitRuntime {
 
   class Transaction final : public TxHost {
    public:
-    explicit Transaction(HtmCommitRuntime& rt) : rt_(rt) { epoch_guard_.emplace(); }
+    explicit Transaction(HtmCommitRuntime& rt) : rt_(rt) {
+      bind_op_tally(&tally_);  // hint/traversal stats land here per attempt
+      epoch_guard_.emplace();
+    }
 
     /// Re-arm for the next attempt (the retry loop reuses one instance and
     /// recycles its descriptors across attempts).
@@ -123,8 +126,9 @@ class HtmCommitRuntime {
       epoch_guard_.reset();
     }
 
-    /// Flush the per-attempt gated-validation counters into `sink` (this
-    /// host has no TxTally — it accounts directly on the sink).
+    /// Flush the per-attempt gated-validation counters plus the hint /
+    /// traversal tally into `sink` (this host runs outside the standard
+    /// record_attempt flow, so it pushes its slice explicitly).
     void flush_validation_counters(metrics::MetricsSink& sink) {
       if (validations_fast_ != 0) {
         sink.add(metrics::CounterId::kValidationsFast, validations_fast_);
@@ -134,6 +138,8 @@ class HtmCommitRuntime {
       }
       validations_fast_ = 0;
       validations_full_ = 0;
+      sink.record_traversal_slice(tally_);
+      tally_ = metrics::TxTally{};
     }
 
    private:
@@ -145,6 +151,7 @@ class HtmCommitRuntime {
     HtmCommitRuntime& rt_;
     std::uint64_t validations_fast_ = 0;
     std::uint64_t validations_full_ = 0;
+    metrics::TxTally tally_;
     std::optional<ebr::Guard> epoch_guard_;
   };
 

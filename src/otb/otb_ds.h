@@ -29,6 +29,7 @@
 
 #include "common/commit_seq.h"
 #include "common/tx_abort.h"
+#include "metrics/tally.h"
 
 namespace otb::tx {
 
@@ -178,13 +179,25 @@ class OtbDs {
   /// This structure's commit sequence (tests assert on its movement).
   const CommitSeq& commit_seq() const { return seq_; }
 
+  /// Process-unique id keying this structure in the cross-transaction
+  /// predecessor cache (`PredCache`).  Ids are never reused, so a cached
+  /// entry can never alias a different structure reincarnated at the same
+  /// address — destroying a structure implicitly orphans its cache entries.
+  std::uint64_t hint_owner_id() const { return hint_id_; }
+
  protected:
   virtual void do_on_commit(OtbDsDesc& desc) = 0;
   virtual void do_post_commit(OtbDsDesc& desc) = 0;
   virtual void do_on_abort(OtbDsDesc& desc) = 0;
 
  private:
+  static std::uint64_t next_hint_owner_id() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
   CommitSeq seq_;
+  const std::uint64_t hint_id_ = next_hint_owner_id();
 };
 
 // ---- transaction host -------------------------------------------------------
@@ -225,11 +238,24 @@ class TxHost {
   /// "onOperationValidate").  Throws TxAbort on failure.
   virtual void on_operation_validate() = 0;
 
+  /// Tally structures account per-operation instrumentation into
+  /// (traversal lengths, hint hits/misses).  Hosts bind their attempt tally
+  /// via bind_op_tally(); an unbound host falls back to a thread-local
+  /// scratch that is never flushed, so structure code can tick
+  /// unconditionally.
+  metrics::TxTally& op_tally() {
+    if (op_tally_ != nullptr) return *op_tally_;
+    thread_local metrics::TxTally scratch;
+    return scratch;
+  }
+
   const std::vector<std::pair<OtbDs*, std::unique_ptr<OtbDsDesc>>>& attached() const {
     return attached_;
   }
 
  protected:
+  void bind_op_tally(metrics::TxTally* tally) { op_tally_ = tally; }
+
   /// Validate every attached structure through the commit-sequence gate
   /// (helper for hosts).  `fast`/`full`, when given, accumulate per-
   /// structure fast-path hits and full scans for the host's tally.
@@ -308,6 +334,9 @@ class TxHost {
 
   std::vector<std::pair<OtbDs*, std::unique_ptr<OtbDsDesc>>> attached_;
   std::vector<std::pair<OtbDs*, std::unique_ptr<OtbDsDesc>>> pool_;
+
+ private:
+  metrics::TxTally* op_tally_ = nullptr;
 };
 
 }  // namespace otb::tx

@@ -16,6 +16,10 @@
 // minimal undo-log for the operations executed *while the lock is held*;
 // single-structure transactions never roll it back (the lock holder cannot
 // be invalidated), matching the paper's claim.
+//
+// Traversal hints (traversal_hints.h) do not apply here: the heap has no
+// pointer traversal to seed — every operation is O(log n) array sifting
+// under the global lock, so there is no entry point a hint could improve.
 #pragma once
 
 #include <cstdint>

@@ -28,6 +28,7 @@
 #include "common/small_vec.h"
 #include "common/spinlock.h"
 #include "otb/otb_ds.h"
+#include "otb/traversal_hints.h"
 
 namespace otb::tx {
 
@@ -142,7 +143,10 @@ class OtbListMap final : public OtbDs {
                        std::memory_order_relaxed);
       curr->marked.store(true, std::memory_order_relaxed);
       pred->next.store(node, std::memory_order_release);
-      delete curr;
+      // Retire (not delete): the traversal-hint cache may still hold this
+      // node from an earlier transactional phase on some thread, and the
+      // epoch age-gate only protects EBR-reclaimed memory.
+      ebr::retire(curr);
       return false;
     }
     Node* node = new Node(key, value);
@@ -323,6 +327,10 @@ class OtbListMap final : public OtbDs {
     SmallVec<WriteEntry, kInline> writes;
     SmallVec<Node*, 2 * kInline> locked;
     mutable SmallVec<std::uint64_t, 2 * kInline> snaps;
+    /// Level-1 traversal hints; survive reset() on purpose (retry attempts
+    /// inherit them, epoch-gated at consult time — see traversal_hints.h).
+    SmallVec<LocalHint<Node>, 2 * kInline> hints;
+    std::uint64_t hint_epoch = 0;
 
     void reset() override {
       reads.clear();
@@ -342,13 +350,32 @@ class OtbListMap final : public OtbDs {
            e.pred->next.load(std::memory_order_acquire) == e.curr;
   }
 
-  /// Unmonitored traversal with mid-removal re-runs (as in the set).
-  std::tuple<Node*, Node*, bool> traverse(TxHost& tx, Desc&, Key key) {
+  /// Unmonitored traversal with mid-removal re-runs (as in the set), seeded
+  /// by the hint layer when enabled: the entry point is advisory only, so a
+  /// stale hint falls back to a full from-head walk — never a conflict.
+  std::tuple<Node*, Node*, bool> traverse(TxHost& tx, Desc& desc, Key key) {
+    metrics::TxTally& tally = tx.op_tally();
+    const bool hints_on = traversal_hints_enabled();
+    HintSource src = HintSource::kNone;
+    Node* start =
+        hints_on ? hint::pick_start(desc, key, hint_owner_id(), head_, src)
+                 : head_;
+    std::uint64_t steps = 0;
     for (;;) {
-      auto [pred, curr] = locate(key);
+      auto [pred, curr] = locate_from(start, key, steps);
       if (!pred->marked.load(std::memory_order_acquire) &&
           !curr->marked.load(std::memory_order_acquire)) {
+        if (hints_on) {
+          hint::count(tally, src);
+          hint::remember(desc, hint_owner_id(), pred, curr, head_, tail_);
+        }
+        hint::sample_traversal(tally, steps);
         return {pred, curr, curr->key == key};
+      }
+      if (start != head_) {
+        start = head_;
+        src = HintSource::kNone;
+        continue;
       }
       tx.on_operation_validate();
     }
@@ -377,11 +404,18 @@ class OtbListMap final : public OtbDs {
   }
 
   std::pair<Node*, Node*> locate(Key key) const {
-    Node* pred = head_;
+    std::uint64_t steps = 0;
+    return locate_from(head_, key, steps);
+  }
+
+  std::pair<Node*, Node*> locate_from(Node* start, Key key,
+                                      std::uint64_t& steps) const {
+    Node* pred = start;
     Node* curr = pred->next.load(std::memory_order_acquire);
     while (curr->key < key) {
       pred = curr;
       curr = pred->next.load(std::memory_order_acquire);
+      ++steps;
     }
     return {pred, curr};
   }

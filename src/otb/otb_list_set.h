@@ -16,6 +16,13 @@
 //   * add/remove pairs on the same key eliminate each other locally,
 //     leaving their read-set entries behind (isolation is preserved);
 //   * inserted nodes stay locked until the whole commit finishes.
+//
+// Step 1's traversal is additionally seeded by the two-level hint layer
+// (traversal_hints.h): the walk may start from a previously validated
+// predecessor instead of head_, but everything after the walk — the marked
+// checks, read-set logging, and post-validation — is byte-for-byte the
+// no-hint protocol, so hints cannot weaken opacity (DESIGN.md, "Traversal
+// hints and opacity").
 #pragma once
 
 #include <algorithm>
@@ -27,6 +34,7 @@
 #include "common/small_vec.h"
 #include "common/spinlock.h"
 #include "otb/otb_ds.h"
+#include "otb/traversal_hints.h"
 
 namespace otb::tx {
 
@@ -229,6 +237,14 @@ class OtbListSet final : public OtbDs {
     SmallVec<Node*, 2 * kInline> locked;  // semantic locks held (commit phase only)
     /// Scratch for validate()'s lock snapshots (two words per read entry).
     mutable SmallVec<std::uint64_t, 2 * kInline> snaps;
+    /// Level-1 traversal hints: key-ordered positions this transaction's own
+    /// operations landed on.  Deliberately NOT cleared by reset() — a pooled
+    /// descriptor hands them to the retry attempt, which inherits the
+    /// already-proven positions; staleness is epoch-gated at consult time
+    /// (hint::age_gate).
+    SmallVec<LocalHint<Node>, 2 * kInline> hints;
+    /// Oldest announce epoch any surviving hint was recorded under.
+    std::uint64_t hint_epoch = 0;
 
     void reset() override {
       reads.clear();
@@ -267,18 +283,39 @@ class OtbListSet final : public OtbDs {
       }
     }
 
-    // Step 2: unmonitored traversal.  Re-traverse when we land on a node
-    // mid-removal so we never record an entry that is doomed to fail.
+    // Step 2: unmonitored traversal, seeded by the hint layer when enabled
+    // (the entry point is advisory; everything after the walk is the
+    // unchanged protocol).  Re-traverse when we land on a node mid-removal
+    // so we never record an entry that is doomed to fail.
+    metrics::TxTally& tally = tx.op_tally();
+    const bool hints_on = traversal_hints_enabled();
+    HintSource src = HintSource::kNone;
+    Node* start =
+        hints_on ? hint::pick_start(desc, key, hint_owner_id(), head_, src)
+                 : head_;
+    std::uint64_t steps = 0;
     Node* pred;
     Node* curr;
     for (;;) {
-      std::tie(pred, curr) = locate(key);
+      std::tie(pred, curr) = locate_from(start, key, steps);
       if (!pred->marked.load(std::memory_order_acquire) &&
           !curr->marked.load(std::memory_order_acquire)) {
         break;
       }
+      if (start != head_) {
+        // Stale hint: no validation failed, so this is not a conflict —
+        // just fall back to the full from-head traversal.
+        start = head_;
+        src = HintSource::kNone;
+        continue;
+      }
       tx.on_operation_validate();  // throws TxAbort when our snapshot broke
     }
+    if (hints_on) {
+      hint::count(tally, src);
+      hint::remember(desc, hint_owner_id(), pred, curr, head_, tail_);
+    }
+    hint::sample_traversal(tally, steps);
 
     // Step 4 (decide + log); the host runs step 3 (post-validation) below.
     const bool found = curr->key == key;
@@ -361,11 +398,18 @@ class OtbListSet final : public OtbDs {
   }
 
   std::pair<Node*, Node*> locate(Key key) const {
-    Node* pred = head_;
+    std::uint64_t steps = 0;
+    return locate_from(head_, key, steps);
+  }
+
+  std::pair<Node*, Node*> locate_from(Node* start, Key key,
+                                      std::uint64_t& steps) const {
+    Node* pred = start;
     Node* curr = pred->next.load(std::memory_order_acquire);
     while (curr->key < key) {
       pred = curr;
       curr = pred->next.load(std::memory_order_acquire);
+      ++steps;
     }
     return {pred, curr};
   }

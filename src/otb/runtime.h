@@ -87,6 +87,7 @@ inline RuntimeStatsView runtime_stats() {
 class Transaction final : public TxHost {
  public:
   explicit Transaction(bool timed = collect_timing()) : timed_(timed) {
+    bind_op_tally(&tally_);  // structures account hint/traversal stats here
     epoch_guard_.emplace();
   }
 

@@ -45,6 +45,23 @@ class FastPathOverride {
   bool previous_;
 };
 
+/// RAII override of the traversal-hint layer, same contract as
+/// FastPathOverride: histories must linearize with hint seeding forced on
+/// AND off (the hinted and head-start traversal paths are both load-bearing).
+class TraversalHintsOverride {
+ public:
+  explicit TraversalHintsOverride(bool on)
+      : previous_(tx::traversal_hints_enabled()) {
+    tx::set_traversal_hints(on);
+  }
+  ~TraversalHintsOverride() { tx::set_traversal_hints(previous_); }
+  TraversalHintsOverride(const TraversalHintsOverride&) = delete;
+  TraversalHintsOverride& operator=(const TraversalHintsOverride&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Seeded per-worker decision source for explicit-abort injection.
 class AbortInjector {
  public:

@@ -31,10 +31,13 @@ TEST(OtbMapStress, HistoriesAreLinearizable) {
   // commit-sequence gate (default) and the unconditional full scan.
   for (const bool fast : {true, false}) {
     stress::FastPathOverride knob(fast);
+  for (const bool hints : {true, false}) {
+    stress::TraversalHintsOverride hint_knob(hints);
   for (const Case c : {Case{2, 0}, Case{4, 0}, Case{4, 20}, Case{6, 10}}) {
     SCOPED_TRACE("threads=" + std::to_string(c.threads) +
                  " abort_pct=" + std::to_string(c.abort_pct) +
-                 " fast_path=" + (fast ? "on" : "off"));
+                 " fast_path=" + (fast ? "on" : "off") +
+                 " hints=" + (hints ? "on" : "off"));
     tx::OtbListMap map;
     StressOptions opt;
     opt.threads = c.threads;
@@ -68,6 +71,7 @@ TEST(OtbMapStress, HistoriesAreLinearizable) {
     }
     const verify::AuditResult audit = verify::audit_set(h, final_keys, seeded);
     EXPECT_TRUE(audit.ok) << audit.detail;
+  }
   }
   }
 }

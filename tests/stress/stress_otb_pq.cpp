@@ -60,10 +60,13 @@ TEST(OtbSkipListPqStress, HistoriesAreLinearizable) {
   // commit-sequence gate (default) and the unconditional full scan.
   for (const bool fast : {true, false}) {
     stress::FastPathOverride knob(fast);
+  for (const bool hints : {true, false}) {
+    stress::TraversalHintsOverride hint_knob(hints);
   for (const Case c : {Case{2, 0}, Case{3, 0}, Case{3, 20}}) {
     SCOPED_TRACE("threads=" + std::to_string(c.threads) +
                  " abort_pct=" + std::to_string(c.abort_pct) +
-                 " fast_path=" + (fast ? "on" : "off"));
+                 " fast_path=" + (fast ? "on" : "off") +
+                 " hints=" + (hints ? "on" : "off"));
     tx::OtbSkipListPQ pq;
     StressOptions opt;
     opt.threads = c.threads;
@@ -101,6 +104,7 @@ TEST(OtbSkipListPqStress, HistoriesAreLinearizable) {
     if (lin.status == LinStatus::kBudgetExhausted) {
       GTEST_LOG_(WARNING) << "lin check inconclusive: " << lin.detail;
     }
+  }
   }
   }
 }

@@ -47,14 +47,18 @@ TYPED_TEST_SUITE(OtbSetStress, SetTypes);
 
 TYPED_TEST(OtbSetStress, HistoriesAreLinearizable) {
   const std::uint64_t scale = verify::stress_scale();
-  // Both validation paths must produce linearizable histories: the O(1)
-  // commit-sequence gate (default) and the unconditional full scan.
+  // Both validation paths must produce linearizable histories — the O(1)
+  // commit-sequence gate (default) and the unconditional full scan — and
+  // both traversal modes: hint-seeded and head-start.
   for (const bool fast : {true, false}) {
     stress::FastPathOverride knob(fast);
+    for (const bool hints : {true, false}) {
+    stress::TraversalHintsOverride hint_knob(hints);
     for (const unsigned threads : {2u, 4u, 7u}) {
     for (const MixCase& mc : kMixes) {
       SCOPED_TRACE(std::string(mc.name) + " threads=" + std::to_string(threads) +
-                   " fast_path=" + (fast ? "on" : "off"));
+                   " fast_path=" + (fast ? "on" : "off") +
+                   " hints=" + (hints ? "on" : "off"));
       TypeParam set;
       StressOptions opt;
       opt.threads = threads;
@@ -85,6 +89,7 @@ TYPED_TEST(OtbSetStress, HistoriesAreLinearizable) {
       const verify::AuditResult audit =
           verify::audit_set(h, set.snapshot_unsafe(), seeded);
       EXPECT_TRUE(audit.ok) << audit.detail;
+    }
     }
     }
   }

@@ -1,0 +1,272 @@
+// Tests for the traversal-hint layer (DESIGN.md, "Traversal hints and
+// opacity"): transaction-local hints must hit on key-local operation
+// sequences, the cross-transaction predecessor cache must seed the first
+// traversal of a new transaction, stale hints (marked or epoch-aged
+// entries) must fall back to a full head traversal while still answering
+// correctly, retries must inherit pooled-descriptor hints, and the
+// OTB_TRAVERSAL_HINTS=off path must match the pre-hint behaviour with zero
+// hint counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+
+#include "common/epoch.h"
+#include "metrics/sink.h"
+#include "otb/otb_list_map.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_set.h"
+#include "otb/runtime.h"
+#include "otb/traversal_hints.h"
+
+namespace otb {
+namespace {
+
+using metrics::CounterId;
+
+struct HintCounts {
+  std::uint64_t local = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t miss = 0;
+};
+
+/// RAII sink injection + knob and thread-cache reset so hint provenance is
+/// deterministic per test and failures cannot leak state forward.
+class TraversalHintsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tx::set_traversal_hints(true);
+    tx::set_metrics_sink(&sink_);
+    tx::PredCache::clear_this_thread();
+  }
+  void TearDown() override {
+    tx::set_metrics_sink(nullptr);
+    tx::set_traversal_hints(true);
+  }
+
+  HintCounts delta() {
+    const metrics::SinkSnapshot s = sink_.snapshot();
+    const HintCounts now{
+        s.counters[static_cast<std::size_t>(CounterId::kHintHitLocal)],
+        s.counters[static_cast<std::size_t>(CounterId::kHintHitCached)],
+        s.counters[static_cast<std::size_t>(CounterId::kHintMiss)]};
+    const HintCounts d{now.local - last_.local, now.cached - last_.cached,
+                       now.miss - last_.miss};
+    last_ = now;
+    return d;
+  }
+
+  metrics::MetricsSink sink_;
+  HintCounts last_;
+};
+
+TEST_F(TraversalHintsTest, LocalHintsHitWithinTransaction) {
+  tx::OtbListSet set;
+  for (std::int64_t k = 1; k <= 8; ++k) set.add_seq(k);
+  delta();
+
+  tx::atomically([&](tx::Transaction& t) {
+    for (std::int64_t k = 1; k <= 8; ++k) EXPECT_TRUE(set.contains(t, k));
+  });
+
+  // First traversal has nothing to start from; the remaining seven resume
+  // from this transaction's own validated positions.
+  const HintCounts d = delta();
+  EXPECT_EQ(d.miss, 1u);
+  EXPECT_EQ(d.local, 7u);
+  EXPECT_EQ(d.cached, 0u);
+}
+
+TEST_F(TraversalHintsTest, CrossTransactionCacheSeedsFirstTraversal) {
+  tx::OtbListSet set;
+  for (std::int64_t k = 0; k < 32; ++k) set.add_seq(k);
+  delta();
+
+  tx::atomically([&](tx::Transaction& t) { EXPECT_TRUE(set.contains(t, 20)); });
+  const HintCounts first = delta();
+  EXPECT_EQ(first.miss, 1u);
+
+  // A brand-new transaction has no local hints (the descriptor pool is
+  // dropped at commit), so this hit can only come from the thread cache.
+  tx::atomically([&](tx::Transaction& t) { EXPECT_TRUE(set.contains(t, 20)); });
+  const HintCounts second = delta();
+  EXPECT_EQ(second.cached, 1u);
+  EXPECT_EQ(second.miss, 0u);
+}
+
+TEST_F(TraversalHintsTest, RemovedPredecessorFallsBackAndStaysCorrect) {
+  tx::OtbListSet set;
+  for (std::int64_t k = 0; k < 32; ++k) set.add_seq(k);
+  delta();
+
+  // Warm the thread cache with node 19 (the predecessor of key 20), then
+  // have ANOTHER thread remove it — its own traversal refreshes only its
+  // own thread-local cache, so this thread's entry is now a marked node.
+  tx::atomically([&](tx::Transaction& t) { EXPECT_TRUE(set.contains(t, 20)); });
+  std::thread remover([&] {
+    tx::atomically([&](tx::Transaction& t) { EXPECT_TRUE(set.remove(t, 19)); });
+  });
+  remover.join();
+  delta();
+
+  // The marked pre-filter rejects the stale entry; the traversal restarts
+  // from the head and still answers correctly.
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.contains(t, 20));
+    EXPECT_FALSE(set.contains(t, 19));
+  });
+  const HintCounts d = delta();
+  EXPECT_EQ(d.cached, 0u);
+  EXPECT_GE(d.miss, 1u);
+}
+
+TEST_F(TraversalHintsTest, EpochAgedCacheEntriesAreMisses) {
+  tx::OtbListSet set;
+  for (std::int64_t k = 0; k < 32; ++k) set.add_seq(k);
+  delta();
+
+  tx::atomically([&](tx::Transaction& t) { EXPECT_TRUE(set.contains(t, 20)); });
+  delta();
+
+  // Advance the global epoch past the age gate (each collect() bumps it).
+  // The cached entry's pointer may no longer be dereferenced and must read
+  // as a miss before any dereference happens.
+  for (int i = 0; i < 3; ++i) ebr::collect();
+
+  tx::atomically([&](tx::Transaction& t) { EXPECT_TRUE(set.contains(t, 20)); });
+  const HintCounts d = delta();
+  EXPECT_EQ(d.cached, 0u);
+  EXPECT_EQ(d.miss, 1u);
+}
+
+TEST_F(TraversalHintsTest, RetryInheritsLocalHints) {
+  tx::OtbListSet set;
+  for (std::int64_t k = 0; k < 32; ++k) set.add_seq(k);
+  delta();
+
+  // First attempt traverses (a miss) and aborts; the pooled descriptor's
+  // hints survive recycle, so the retry starts from the validated position.
+  int attempt = 0;
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.contains(t, 20));
+    if (attempt++ == 0) throw TxAbort{metrics::AbortReason::kExplicit};
+  });
+  EXPECT_EQ(attempt, 2);
+  const HintCounts d = delta();
+  EXPECT_EQ(d.local, 1u);
+  EXPECT_EQ(d.miss, 1u);
+}
+
+TEST_F(TraversalHintsTest, KnobOffMatchesNoHintPathWithZeroCounters) {
+  tx::set_traversal_hints(false);
+  tx::OtbListSet on_ref;  // hints-on twin for result comparison
+  tx::OtbListSet set;
+  for (std::int64_t k = 0; k < 64; k += 2) {
+    set.add_seq(k);
+    on_ref.add_seq(k);
+  }
+  delta();
+
+  for (std::int64_t k = 0; k < 64; ++k) {
+    bool off_result = false;
+    tx::atomically([&](tx::Transaction& t) { off_result = set.contains(t, k); });
+    tx::set_traversal_hints(true);
+    bool on_result = false;
+    tx::atomically([&](tx::Transaction& t) { on_result = on_ref.contains(t, k); });
+    tx::set_traversal_hints(false);
+    EXPECT_EQ(off_result, on_result) << "key " << k;
+  }
+
+  // The knob-off structure ticked no hint counters...
+  const metrics::SinkSnapshot s = sink_.snapshot();
+  // (the interleaved hints-on twin contributes hits/misses, so count only
+  // what the off-path could have produced: re-run a clean off-only block)
+  sink_.reset();
+  last_ = HintCounts{};
+  for (std::int64_t k = 0; k < 64; ++k) {
+    tx::atomically([&](tx::Transaction& t) { set.contains(t, k); });
+  }
+  const metrics::SinkSnapshot off_only = sink_.snapshot();
+  EXPECT_EQ(off_only.counters[static_cast<std::size_t>(CounterId::kHintHitLocal)], 0u);
+  EXPECT_EQ(off_only.counters[static_cast<std::size_t>(CounterId::kHintHitCached)], 0u);
+  EXPECT_EQ(off_only.counters[static_cast<std::size_t>(CounterId::kHintMiss)], 0u);
+  // ...but the traversal-length instrument still records (it is the A/B
+  // measurement, not part of the optimisation).
+  EXPECT_EQ(off_only.traversals.count, 64u);
+  (void)s;
+}
+
+TEST_F(TraversalHintsTest, TraversalHistogramCountMatchesBucketSum) {
+  tx::OtbListSet set;
+  for (std::int64_t k = 0; k < 32; ++k) set.add_seq(k);
+  delta();
+
+  tx::atomically([&](tx::Transaction& t) {
+    for (std::int64_t k = 0; k < 32; k += 4) set.contains(t, k);
+  });
+
+  const metrics::SinkSnapshot s = sink_.snapshot();
+  const std::uint64_t bucket_sum =
+      std::accumulate(s.traversals.log2_buckets.begin(),
+                      s.traversals.log2_buckets.end(), std::uint64_t{0});
+  EXPECT_EQ(s.traversals.count, bucket_sum);
+  EXPECT_EQ(s.traversals.count, 8u);
+  EXPECT_GT(s.traversals.total_steps, 0u);
+}
+
+TEST_F(TraversalHintsTest, ListMapHintsHitOnKeyLocalGets) {
+  tx::OtbListMap map;
+  for (std::int64_t k = 1; k <= 8; ++k) map.put_seq(k, k * 10);
+  delta();
+
+  tx::atomically([&](tx::Transaction& t) {
+    for (std::int64_t k = 1; k <= 8; ++k) {
+      std::int64_t v = 0;
+      EXPECT_TRUE(map.get(t, k, &v));
+      EXPECT_EQ(v, k * 10);
+    }
+  });
+
+  const HintCounts d = delta();
+  EXPECT_EQ(d.miss, 1u);
+  EXPECT_EQ(d.local, 7u);
+}
+
+TEST_F(TraversalHintsTest, SkipListLocalHintsHitOnBottomSufficientOps) {
+  tx::OtbSkipListSet set;
+  for (std::int64_t k = 0; k < 64; ++k) set.add_seq(k);
+  delta();
+
+  // contains is always bottom-level-sufficient, so ascending lookups hit
+  // the transaction-local hints exactly like the linked list.
+  tx::atomically([&](tx::Transaction& t) {
+    for (std::int64_t k = 10; k < 18; ++k) EXPECT_TRUE(set.contains(t, k));
+  });
+
+  const HintCounts d = delta();
+  EXPECT_EQ(d.miss, 1u);
+  EXPECT_EQ(d.local, 7u);
+}
+
+TEST_F(TraversalHintsTest, SkipListSuccessfulAddFallsBackToFullFind) {
+  tx::OtbSkipListSet set;
+  for (std::int64_t k = 0; k < 64; ++k) set.add_seq(k);
+  delta();
+
+  // A successful add needs the full pred/succ arrays for linking, so even
+  // with a usable hint nearby the operation re-runs find() and counts as a
+  // miss — and must still produce a correct structure.
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(set.contains(t, 10));
+    EXPECT_TRUE(set.add(t, 1000));
+  });
+  const HintCounts d = delta();
+  EXPECT_EQ(d.miss, 2u);
+  EXPECT_EQ(d.local, 0u);
+
+  tx::atomically([&](tx::Transaction& t) { EXPECT_TRUE(set.contains(t, 1000)); });
+}
+
+}  // namespace
+}  // namespace otb

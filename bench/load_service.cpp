@@ -1,0 +1,283 @@
+// Load harness for the transactional service plane (src/service).
+//
+// Two driving disciplines:
+//
+//   closed-loop (--mode=closed): each client keeps a fixed window of
+//     requests outstanding (submit until full, then wait the oldest), so
+//     concurrency — not rate — is the controlled variable.  This is the
+//     discipline that exposes batch amortisation: with a deep window the
+//     workers always find full batches, and the committed-ops/sec ratio of
+//     batch_max=16 over batch_max=1 is the subsystem's headline number
+//     (EXPERIMENTS.md).
+//
+//   open-loop (--mode=open): a Poisson arrival process at --rate req/s
+//     submits regardless of completions (the "offered load" discipline, no
+//     coordinated omission).  Sweeping --rate past saturation shows the
+//     admission-control story: committed throughput plateaus, p99 latency
+//     of ADMITTED requests stays bounded by queue depth, and the excess is
+//     reported as Overloaded (reject-at-admission) or Expired (deadline
+//     lapsed in queue) — never silently dropped.
+//
+// Output: one summary line per run (CSV-ish, stable field order) plus an
+// optional --metrics-json dump of every metrics domain (otb.service +
+// otb.tx), which CI's service-smoke step validates with metrics_check.
+//
+// Flags (all optional):
+//   --mode=closed|open        default closed
+//   --workers=N               service worker threads        (default 4)
+//   --clients=N               client threads                (default 2)
+//   --window=N                closed-loop in-flight/client  (default 256)
+//   --rate=R                  open-loop offered req/s       (default 20000)
+//   --duration-ms=D           measured run length           (default 2000)
+//   --batch-max=B             requests per transaction      (default 16)
+//   --queue-cap=C             per-shard ring capacity       (default 4096)
+//   --high-water=H            per-shard admission limit     (default C)
+//   --deadline-ms=D           per-request deadline, 0=none  (default 0)
+//   --key-range=K             map key universe              (default 256)
+//   --seed=S                  arrival/keystream seed        (default 42)
+//   --metrics-json=PATH       dump metrics registry on exit
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchlib/driver.h"
+#include "common/rng.h"
+#include "otb/otb_list_map.h"
+#include "service/service.h"
+
+namespace {
+
+using otb::now_ns;
+using otb::service::Op;
+using otb::service::Request;
+using otb::service::ResponseFuture;
+using otb::service::Service;
+using otb::service::ServiceConfig;
+using otb::service::SvcStatus;
+
+struct Flags {
+  std::string mode = "closed";
+  unsigned workers = 4;
+  unsigned clients = 2;
+  unsigned window = 256;
+  double rate = 20000;
+  unsigned duration_ms = 2000;
+  unsigned batch_max = 16;
+  std::size_t queue_cap = 4096;
+  std::size_t high_water = 0;
+  unsigned deadline_ms = 0;
+  std::int64_t key_range = 256;
+  std::uint64_t seed = 42;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  out = arg + n + 1;
+  return true;
+}
+
+Flags parse(int argc, char** argv) {
+  Flags f;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (parse_flag(argv[i], "--mode", v)) f.mode = v;
+    else if (parse_flag(argv[i], "--workers", v)) f.workers = std::stoul(v);
+    else if (parse_flag(argv[i], "--clients", v)) f.clients = std::stoul(v);
+    else if (parse_flag(argv[i], "--window", v)) f.window = std::stoul(v);
+    else if (parse_flag(argv[i], "--rate", v)) f.rate = std::stod(v);
+    else if (parse_flag(argv[i], "--duration-ms", v)) f.duration_ms = std::stoul(v);
+    else if (parse_flag(argv[i], "--batch-max", v)) f.batch_max = std::stoul(v);
+    else if (parse_flag(argv[i], "--queue-cap", v)) f.queue_cap = std::stoul(v);
+    else if (parse_flag(argv[i], "--high-water", v)) f.high_water = std::stoul(v);
+    else if (parse_flag(argv[i], "--deadline-ms", v)) f.deadline_ms = std::stoul(v);
+    else if (parse_flag(argv[i], "--key-range", v)) f.key_range = std::stol(v);
+    else if (parse_flag(argv[i], "--seed", v)) f.seed = std::stoull(v);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+/// 60/30/10 get/put/erase over [0, key_range) — the mixed-read service mix.
+Request next_request(otb::Xorshift& rng, const Flags& f) {
+  Request req;
+  const std::uint64_t pick = rng.next_bounded(100);
+  const auto key = static_cast<std::int64_t>(
+      rng.next_bounded(static_cast<std::uint64_t>(f.key_range)));
+  if (pick < 60) {
+    req = {Op::kMapGet, key};
+  } else if (pick < 90) {
+    req = {Op::kMapPut, key, key * 3 + 1};
+  } else {
+    req = {Op::kMapErase, key};
+  }
+  if (f.deadline_ms != 0) {
+    req.deadline_ns = now_ns() + std::uint64_t{f.deadline_ms} * 1'000'000ull;
+  }
+  return req;
+}
+
+struct Tally {
+  std::uint64_t ok = 0, overloaded = 0, expired = 0, failed = 0;
+  std::vector<std::uint64_t> latencies_ns;  // kOk requests only
+
+  void account(const ResponseFuture& fut) {
+    switch (fut.status()) {
+      case SvcStatus::kOk:
+        ok += 1;
+        latencies_ns.push_back(fut.latency_ns());
+        break;
+      case SvcStatus::kOverloaded: overloaded += 1; break;
+      case SvcStatus::kExpired: expired += 1; break;
+      default: failed += 1; break;
+    }
+  }
+
+  void merge(Tally&& o) {
+    ok += o.ok;
+    overloaded += o.overloaded;
+    expired += o.expired;
+    failed += o.failed;
+    latencies_ns.insert(latencies_ns.end(), o.latencies_ns.begin(),
+                        o.latencies_ns.end());
+  }
+};
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t>& v, double p) {
+  if (v.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(double(v.size()) - 1, p * double(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+/// Closed loop: --clients threads, each with --window requests in flight.
+Tally run_closed(Service& svc, const Flags& f) {
+  std::atomic<bool> stop{false};
+  std::vector<Tally> tallies(f.clients);
+  std::vector<std::thread> pool;
+  for (unsigned c = 0; c < f.clients; ++c) {
+    pool.emplace_back([&, c] {
+      otb::Xorshift rng{f.seed * 977 + c + 1};
+      Tally& t = tallies[c];
+      std::deque<ResponseFuture> window;
+      while (!stop.load(std::memory_order_acquire)) {
+        while (window.size() < f.window) {
+          window.push_back(svc.submit(next_request(rng, f)));
+        }
+        window.front().wait();
+        t.account(window.front());
+        window.pop_front();
+      }
+      for (ResponseFuture& fut : window) {
+        fut.wait();
+        t.account(fut);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(f.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  Tally total;
+  for (auto& t : tallies) total.merge(std::move(t));
+  return total;
+}
+
+/// Open loop: Poisson arrivals at --rate across --clients submitter
+/// threads (each runs an independent process at rate/clients, which
+/// superposes back to a Poisson process at the full rate).
+Tally run_open(Service& svc, const Flags& f) {
+  std::vector<Tally> tallies(f.clients);
+  std::vector<std::thread> pool;
+  const double per_thread_rate = f.rate / double(f.clients);
+  for (unsigned c = 0; c < f.clients; ++c) {
+    pool.emplace_back([&, c] {
+      otb::Xorshift rng{f.seed * 31 + c + 1};
+      Tally& t = tallies[c];
+      std::vector<ResponseFuture> inflight;
+      const std::uint64_t t_end =
+          now_ns() + std::uint64_t{f.duration_ms} * 1'000'000ull;
+      double next_arrival = double(now_ns());
+      while (true) {
+        // Exponential inter-arrival via inverse transform; u in (0,1].
+        const double u =
+            (double(rng.next_bounded(1u << 30)) + 1.0) / double(1u << 30);
+        next_arrival += -std::log(u) / per_thread_rate * 1e9;
+        if (next_arrival > double(t_end)) break;
+        while (double(now_ns()) < next_arrival) {
+          // Sub-ms gaps: yield rather than sleep to keep arrival jitter
+          // below the service's batching timescale.
+          std::this_thread::yield();
+        }
+        inflight.push_back(svc.submit(next_request(rng, f)));
+        // Opportunistically retire completed heads to bound memory.
+        while (!inflight.empty() && inflight.front().done()) {
+          t.account(inflight.front());
+          inflight.erase(inflight.begin());
+        }
+      }
+      for (ResponseFuture& fut : inflight) {
+        fut.wait();
+        t.account(fut);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  Tally total;
+  for (auto& t : tallies) total.merge(std::move(t));
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
+  const Flags f = parse(argc, argv);
+
+  otb::tx::OtbListMap map;
+  for (std::int64_t k = 0; k < f.key_range; k += 2) map.put_seq(k, k);
+  otb::service::Targets targets;
+  targets.map = &map;
+
+  ServiceConfig cfg;
+  cfg.workers = f.workers;
+  cfg.batch_max = f.batch_max;
+  cfg.queue_capacity = f.queue_cap;
+  cfg.high_water = f.high_water;
+  Service svc(targets, cfg);
+  svc.start();
+
+  const std::uint64_t t0 = now_ns();
+  Tally t = f.mode == "open" ? run_open(svc, f) : run_closed(svc, f);
+  const double secs = double(now_ns() - t0) * 1e-9;
+  svc.stop();
+
+  const std::uint64_t total = t.ok + t.overloaded + t.expired + t.failed;
+  const std::uint64_t p50 = percentile_ns(t.latencies_ns, 0.50);
+  const std::uint64_t p99 = percentile_ns(t.latencies_ns, 0.99);
+  std::printf(
+      "mode=%s workers=%u clients=%u batch_max=%u rate=%.0f window=%u "
+      "deadline_ms=%u duration_s=%.2f requests=%llu ok=%llu overloaded=%llu "
+      "expired=%llu failed=%llu ok_per_sec=%.0f p50_us=%.1f p99_us=%.1f\n",
+      f.mode.c_str(), f.workers, f.clients, f.batch_max, f.rate, f.window,
+      f.deadline_ms, secs, static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(t.ok),
+      static_cast<unsigned long long>(t.overloaded),
+      static_cast<unsigned long long>(t.expired),
+      static_cast<unsigned long long>(t.failed),
+      secs > 0 ? double(t.ok) / secs : 0.0, double(p50) * 1e-3,
+      double(p99) * 1e-3);
+  return t.ok == 0 ? 1 : 0;  // a load run that commits nothing is broken
+}

@@ -1,5 +1,5 @@
 // metrics_smoke checker: runs micro_ops (path in argv[1]) with
-// --metrics-json and validates the dump against the strict otb.metrics/2
+// --metrics-json and validates the dump against the strict otb.metrics/3
 // parser plus the acceptance invariants — every BM_StmReadWrite algorithm
 // and the standalone OTB runtime must report attempts and commits, the
 // timed domains must carry attempt-phase histograms, and every histogram's
@@ -43,6 +43,17 @@ void check_histograms(const std::string& domain,
     fail(domain + ".traversals: bucket sum " + std::to_string(tsum) +
          " != count " + std::to_string(s.traversals.count));
   }
+  const auto check_series = [&](const char* label,
+                                const otb::metrics::SeriesSnapshot& ss) {
+    std::uint64_t sum = 0;
+    for (const auto b : ss.log2_buckets) sum += b;
+    if (sum != ss.count) {
+      fail(domain + "." + label + ": bucket sum " + std::to_string(sum) +
+           " != count " + std::to_string(ss.count));
+    }
+  };
+  check_series("queue_depth", s.queue_depth);
+  check_series("batch_size", s.batch_size);
 }
 
 void check_domain(const otb::metrics::Snapshot& snap, const std::string& name,
@@ -54,13 +65,33 @@ void check_domain(const otb::metrics::Snapshot& snap, const std::string& name,
     fail("domain missing from dump: " + name);
     return;
   }
-  if (s->counter(CounterId::kAttempts) == 0) fail(name + ": attempts == 0");
-  if (s->counter(CounterId::kCommits) == 0) fail(name + ": commits == 0");
-  if (s->counter(CounterId::kAttempts) <
-      s->counter(CounterId::kCommits) + s->aborts_total()) {
-    fail(name + ": attempts < commits + aborts");
+  // Service-plane domains (otb.service) don't run transactions themselves —
+  // their tx work lands in otb.tx — so they get service invariants instead
+  // of the attempts/commits ones, chief among them the no-lost-completions
+  // identity: every admitted request was either executed in a committed
+  // batch or expired (rejected requests are never enqueued).
+  const bool service_domain = s->counter(CounterId::kSvcEnqueued) != 0 ||
+                              s->counter(CounterId::kSvcBatches) != 0;
+  if (service_domain) {
+    if (s->counter(CounterId::kSvcEnqueued) == 0) fail(name + ": svc_enqueued == 0");
+    if (s->counter(CounterId::kSvcBatches) == 0) fail(name + ": svc_batches == 0");
+    if (s->counter(CounterId::kSvcEnqueued) !=
+        s->batch_size.total + s->counter(CounterId::kSvcExpired)) {
+      fail(name + ": enqueued " +
+           std::to_string(s->counter(CounterId::kSvcEnqueued)) +
+           " != batch_size total " + std::to_string(s->batch_size.total) +
+           " + expired " + std::to_string(s->counter(CounterId::kSvcExpired)));
+    }
+  } else {
+    if (s->counter(CounterId::kAttempts) == 0) fail(name + ": attempts == 0");
+    if (s->counter(CounterId::kCommits) == 0) fail(name + ": commits == 0");
+    if (s->counter(CounterId::kAttempts) <
+        s->counter(CounterId::kCommits) + s->aborts_total()) {
+      fail(name + ": attempts < commits + aborts");
+    }
   }
-  if (want_phase_timing && s->phase(Phase::kAttempt).count == 0) {
+  if (want_phase_timing && !service_domain &&
+      s->phase(Phase::kAttempt).count == 0) {
     fail(name + ": attempt-phase histogram is empty");
   }
   check_histograms(name, *s);

@@ -127,8 +127,12 @@ inline RunResult run_fixed_duration(unsigned threads, unsigned warm_ms,
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back(
-        [&, t] { worker(t, phase_fn, results[t]); });
+    pool.emplace_back([&, t] {
+      char name[16];
+      std::snprintf(name, sizeof(name), "bench/w%u", t);
+      set_this_thread_name(name);
+      worker(t, phase_fn, results[t]);
+    });
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(warm_ms));
   const std::uint64_t t0 = now_ns();

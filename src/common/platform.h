@@ -60,6 +60,21 @@ class SpinWait {
   int count_ = 0;
 };
 
+/// Best-effort POSIX name for the calling thread, so TSan/ASan reports and
+/// gdb identify roles ("svc/w3", "stress/1") instead of raw TIDs.  Linux
+/// truncates to 15 chars + NUL; longer names are clipped, never an error.
+inline void set_this_thread_name(const char* name) noexcept {
+#if defined(__linux__)
+  char clipped[16];
+  std::size_t i = 0;
+  for (; i < 15 && name[i] != '\0'; ++i) clipped[i] = name[i];
+  clipped[i] = '\0';
+  pthread_setname_np(pthread_self(), clipped);
+#else
+  (void)name;
+#endif
+}
+
 /// Monotonic nanosecond timestamp.
 inline std::uint64_t now_ns() noexcept {
   return static_cast<std::uint64_t>(

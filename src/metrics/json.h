@@ -1,8 +1,8 @@
 // JSON export/import for snapshots.
 //
-// Schema ("otb.metrics/2"):
+// Schema ("otb.metrics/3"):
 //   {
-//     "schema": "otb.metrics/2",
+//     "schema": "otb.metrics/3",
 //     "domains": {
 //       "stm.NOrec": {
 //         "counters": { "commits": 12, "attempts": 14, ... },   // all ids
@@ -10,15 +10,20 @@
 //         "phases": {
 //           "attempt":    { "count": 14, "total_ns": 9001, "log2_buckets": [..40..] },
 //           "validation": { ... },
-//           "commit":     { ... }
+//           "commit":     { ... },
+//           "service":    { ... }
 //         },
-//         "traversals": { "count": 9, "total_steps": 120, "log2_buckets": [..40..] }
+//         "traversals":  { "count": 9, "total_steps": 120, "log2_buckets": [..40..] },
+//         "queue_depth": { "count": 3, "total": 17, "log2_buckets": [..40..] },
+//         "batch_size":  { "count": 3, "total": 21, "log2_buckets": [..40..] }
 //       }, ...
 //     }
 //   }
 //
 // /2 over /1: three hint counters (hint_hit_local/hint_hit_cached/hint_miss)
 // and the per-domain "traversals" length histogram.
+// /3 over /2: the service-plane slice — six svc_* counters, the "service"
+// enqueue-to-completion phase, and the "queue_depth" / "batch_size" series.
 //
 // The importer is deliberately strict — every counter/reason/phase key must
 // be present and no unknown keys are allowed — which is exactly what the
@@ -36,7 +41,7 @@
 
 namespace otb::metrics {
 
-inline constexpr std::string_view kJsonSchemaId = "otb.metrics/2";
+inline constexpr std::string_view kJsonSchemaId = "otb.metrics/3";
 
 namespace detail {
 
@@ -110,6 +115,16 @@ inline void append_sink_json(std::string& out, const SinkSnapshot& s,
   out += "  \"traversals\": ";
   append_bucketed_json(out, "total_steps", s.traversals.count,
                        s.traversals.total_steps, s.traversals.log2_buckets);
+  out += ",\n";
+  out += indent;
+  out += "  \"queue_depth\": ";
+  append_bucketed_json(out, "total", s.queue_depth.count, s.queue_depth.total,
+                       s.queue_depth.log2_buckets);
+  out += ",\n";
+  out += indent;
+  out += "  \"batch_size\": ";
+  append_bucketed_json(out, "total", s.batch_size.count, s.batch_size.total,
+                       s.batch_size.log2_buckets);
   out += '\n';
   out += indent;
   out += '}';
@@ -238,7 +253,7 @@ inline bool parse_phase(Parser& p, PhaseSnapshot& out) {
 inline bool parse_sink(Parser& p, SinkSnapshot& out) {
   if (!p.consume('{')) return false;
   bool got_counters = false, got_aborts = false, got_phases = false;
-  bool got_traversals = false;
+  bool got_traversals = false, got_queue_depth = false, got_batch_size = false;
   do {
     std::string key;
     if (!p.parse_string(key) || !p.consume(':')) return false;
@@ -279,12 +294,23 @@ inline bool parse_sink(Parser& p, SinkSnapshot& out) {
                           out.traversals.total_steps,
                           out.traversals.log2_buckets))
         return false;
+    } else if (key == "queue_depth" && !got_queue_depth) {
+      got_queue_depth = true;
+      if (!parse_bucketed(p, "total", out.queue_depth.count,
+                          out.queue_depth.total, out.queue_depth.log2_buckets))
+        return false;
+    } else if (key == "batch_size" && !got_batch_size) {
+      got_batch_size = true;
+      if (!parse_bucketed(p, "total", out.batch_size.count,
+                          out.batch_size.total, out.batch_size.log2_buckets))
+        return false;
     } else {
       return false;
     }
   } while (p.consume(','));
   if (!p.consume('}')) return false;
-  return got_counters && got_aborts && got_phases && got_traversals;
+  return got_counters && got_aborts && got_phases && got_traversals &&
+         got_queue_depth && got_batch_size;
 }
 
 /// Parse one complete snapshot document (the outer `{"schema": ..,

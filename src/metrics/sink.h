@@ -74,6 +74,22 @@ class MetricsSink {
     }
   }
 
+  /// One queue-depth observation (service workers sample their shard's
+  /// depth at every batch pop).  Direct sink write: pops happen once per
+  /// batch, not per request, so there is no tally to defer through.
+  void record_queue_depth(std::uint64_t depth) noexcept {
+    queue_depth_count_.add(1);
+    queue_depth_total_.add(depth);
+    queue_depth_hist_.record(depth);
+  }
+
+  /// Size of one executed service batch.
+  void record_batch_size(std::uint64_t n) noexcept {
+    batch_size_count_.add(1);
+    batch_size_total_.add(n);
+    batch_size_hist_.record(n);
+  }
+
   std::uint64_t counter(CounterId id) const noexcept {
     return counters_[index(id)].total();
   }
@@ -98,6 +114,12 @@ class MetricsSink {
     s.traversals.count = traversal_count_.total();
     s.traversals.total_steps = traversal_steps_.total();
     s.traversals.log2_buckets = traversal_hist_.buckets();
+    s.queue_depth.count = queue_depth_count_.total();
+    s.queue_depth.total = queue_depth_total_.total();
+    s.queue_depth.log2_buckets = queue_depth_hist_.buckets();
+    s.batch_size.count = batch_size_count_.total();
+    s.batch_size.total = batch_size_total_.total();
+    s.batch_size.log2_buckets = batch_size_hist_.buckets();
     return s;
   }
 
@@ -109,6 +131,12 @@ class MetricsSink {
     traversal_count_.reset();
     traversal_steps_.reset();
     traversal_hist_.reset();
+    queue_depth_count_.reset();
+    queue_depth_total_.reset();
+    queue_depth_hist_.reset();
+    batch_size_count_.reset();
+    batch_size_total_.reset();
+    batch_size_hist_.reset();
   }
 
  private:
@@ -119,6 +147,12 @@ class MetricsSink {
   Counter traversal_count_{};
   Counter traversal_steps_{};
   Histogram traversal_hist_{};
+  Counter queue_depth_count_{};
+  Counter queue_depth_total_{};
+  Histogram queue_depth_hist_{};
+  Counter batch_size_count_{};
+  Counter batch_size_total_{};
+  Histogram batch_size_hist_{};
 };
 
 }  // namespace otb::metrics

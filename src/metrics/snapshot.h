@@ -33,9 +33,19 @@ enum class CounterId : unsigned {
   kHintHitLocal,
   kHintHitCached,
   kHintMiss,
+  // Service-plane request accounting (domain "otb.service"): the admission
+  // and completion ledger.  svc_enqueued = svc-completed-ok + svc_expired +
+  // svc_failed once the service has drained; svc_rejected requests never
+  // enter a queue.
+  kSvcEnqueued,
+  kSvcRejected,
+  kSvcExpired,
+  kSvcFailed,
+  kSvcBatches,
+  kSvcBatchSplits,
 };
 
-inline constexpr std::size_t kCounterCount = 13;
+inline constexpr std::size_t kCounterCount = 19;
 
 constexpr std::string_view to_string(CounterId id) {
   switch (id) {
@@ -65,6 +75,18 @@ constexpr std::string_view to_string(CounterId id) {
       return "hint_hit_cached";
     case CounterId::kHintMiss:
       return "hint_miss";
+    case CounterId::kSvcEnqueued:
+      return "svc_enqueued";
+    case CounterId::kSvcRejected:
+      return "svc_rejected";
+    case CounterId::kSvcExpired:
+      return "svc_expired";
+    case CounterId::kSvcFailed:
+      return "svc_failed";
+    case CounterId::kSvcBatches:
+      return "svc_batches";
+    case CounterId::kSvcBatchSplits:
+      return "svc_batch_splits";
   }
   return "?";
 }
@@ -78,9 +100,12 @@ enum class Phase : unsigned {
   kAttempt = 0,
   kValidation,
   kCommit,
+  // Service-plane enqueue-to-completion latency: what a client of the
+  // request path experiences, queueing included (domain "otb.service").
+  kService,
 };
 
-inline constexpr std::size_t kPhaseCount = 3;
+inline constexpr std::size_t kPhaseCount = 4;
 
 constexpr std::string_view to_string(Phase p) {
   switch (p) {
@@ -90,6 +115,8 @@ constexpr std::string_view to_string(Phase p) {
       return "validation";
     case Phase::kCommit:
       return "commit";
+    case Phase::kService:
+      return "service";
   }
   return "?";
 }
@@ -116,12 +143,25 @@ struct TraversalSnapshot {
   bool operator==(const TraversalSnapshot&) const = default;
 };
 
+/// Generic log2-bucketed sample series.  The service plane records two per
+/// sink: queue depth observed at each batch pop and the size of each
+/// executed batch (mean = total / count).
+struct SeriesSnapshot {
+  std::uint64_t count = 0;  // samples recorded
+  std::uint64_t total = 0;  // summed sample values
+  std::array<std::uint64_t, Histogram::kBuckets> log2_buckets{};
+
+  bool operator==(const SeriesSnapshot&) const = default;
+};
+
 /// Point-in-time copy of one sink (one reporting domain).
 struct SinkSnapshot {
   std::array<std::uint64_t, kCounterCount> counters{};
   std::array<std::uint64_t, kAbortReasonCount> aborts{};
   std::array<PhaseSnapshot, kPhaseCount> phases{};
   TraversalSnapshot traversals{};
+  SeriesSnapshot queue_depth{};
+  SeriesSnapshot batch_size{};
 
   std::uint64_t counter(CounterId id) const { return counters[index(id)]; }
   std::uint64_t aborts_for(AbortReason r) const { return aborts[index(r)]; }
@@ -145,6 +185,14 @@ struct SinkSnapshot {
     traversals.total_steps += o.traversals.total_steps;
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
       traversals.log2_buckets[b] += o.traversals.log2_buckets[b];
+    queue_depth.count += o.queue_depth.count;
+    queue_depth.total += o.queue_depth.total;
+    batch_size.count += o.batch_size.count;
+    batch_size.total += o.batch_size.total;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      queue_depth.log2_buckets[b] += o.queue_depth.log2_buckets[b];
+      batch_size.log2_buckets[b] += o.batch_size.log2_buckets[b];
+    }
     return *this;
   }
 

@@ -133,6 +133,60 @@ class OtbListMap final : public OtbDs {
     return get(tx, key, &ignored);
   }
 
+  /// Collect every live (key, value) with lo <= key <= hi, in key order,
+  /// merged with this transaction's pending writes (read-own-writes).
+  /// Returns the number of pairs appended to `out`.
+  ///
+  /// The whole segment is pinned structurally: one read entry per link from
+  /// the predecessor of lo up to the first node beyond hi, so any
+  /// concurrent insert/erase inside the range invalidates the reader — the
+  /// same rule a single structural read uses, applied link-by-link.  The
+  /// service plane's range requests are the consumer (DESIGN.md
+  /// "Transactional service plane").
+  std::size_t range(TxHost& tx, Key lo, Key hi,
+                    std::vector<std::pair<Key, Value>>* out) {
+    Desc& desc = this->desc(tx);
+    const std::size_t before = out->size();
+    if (lo > hi) {
+      tx.on_operation_validate();
+      return 0;
+    }
+    auto [pred, curr, found] = traverse(tx, desc, lo);
+    (void)found;
+    desc.reads.push_back({pred, curr, ReadKind::kStructural});
+    Node* c = curr;
+    while (c != tail_ && c->key <= hi) {
+      out->emplace_back(c->key, c->value);
+      Node* next = c->next.load(std::memory_order_acquire);
+      desc.reads.push_back({c, next, ReadKind::kStructural});
+      c = next;
+    }
+    tx.on_operation_validate();
+    // Overlay the local write-set: pending inserts/replaces upsert, pending
+    // erases drop.  The shared walk above saw none of them.
+    for (const WriteEntry& w : desc.writes) {
+      if (w.key < lo || w.key > hi) continue;
+      auto it = out->begin() + static_cast<std::ptrdiff_t>(before);
+      for (; it != out->end() && it->first < w.key; ++it) {
+      }
+      const bool present = it != out->end() && it->first == w.key;
+      switch (w.op) {
+        case Op::kInsert:
+        case Op::kReplace:
+          if (present) {
+            it->second = w.value;
+          } else {
+            out->insert(it, {w.key, w.value});
+          }
+          break;
+        case Op::kErase:
+          if (present) out->erase(it);
+          break;
+      }
+    }
+    return out->size() - before;
+  }
+
   // ---- non-transactional helpers -----------------------------------------
 
   bool put_seq(Key key, Value value) {

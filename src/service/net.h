@@ -1,0 +1,322 @@
+// Thin length-prefixed binary TCP adapter over the service plane.
+//
+// One poll()-driven thread owns every socket: it accepts connections,
+// decodes request frames, submits them to the in-process Service, and
+// writes response frames back as their futures complete.  The adapter adds
+// no second threading model — all transactional work stays on the service
+// workers; this thread only shuttles bytes — so it is deliberately an
+// *adapter*, not a server framework.
+//
+// Wire format (little-endian; u32 length prefix counts the bytes after
+// itself):
+//   request  := u32 len | u64 id | u8 op | i64 key | i64 value
+//               | u32 deadline_ms                      (len == 29)
+//   response := u32 len | u64 id | u8 status | u8 ok | i64 value
+//               | u32 n | n × (i64 key, i64 value)
+// `id` is an opaque client token echoed back; `deadline_ms` is relative
+// (0 = none) and converted to the service's absolute now_ns clock on
+// receipt; `n` is nonzero only for completed kMapRange requests.  Malformed
+// frames (bad length or op) close the connection — a length-prefixed stream
+// cannot resynchronise after garbage.
+//
+// Shutdown: NetServer::request_stop() is async-signal-safe (one relaxed
+// store), so `signal(SIGTERM, handler)` can call it directly.  The loop
+// then stops accepting, waits for in-flight responses to flush, stops the
+// service (full drain), and returns from run().
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "service/request.h"
+#include "service/service.h"
+
+namespace otb::service {
+
+#if defined(__linux__)
+
+inline constexpr std::size_t kNetRequestFrameLen = 29;
+
+namespace wire {
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+template <typename T>
+T get(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+}  // namespace wire
+
+class NetServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see bound_port()).  Throws
+  /// nothing: check listening() before run().
+  NetServer(Service& svc, std::uint16_t port) : svc_(svc) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (listen_fd_ < 0) return;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0) {
+      bound_port_ = ntohs(addr.sin_port);
+    }
+  }
+
+  ~NetServer() {
+    for (auto& c : conns_) close_conn(*c);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  bool listening() const { return listen_fd_ >= 0; }
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  /// Async-signal-safe stop request (SIGTERM handlers call this).
+  void request_stop() { stop_flag_.store(true, std::memory_order_relaxed); }
+
+  /// Serve until request_stop(); drains in-flight responses and stops the
+  /// service before returning.
+  void run() {
+    while (!stop_flag_.load(std::memory_order_relaxed)) {
+      pump(/*accepting=*/true);
+    }
+    // Drain: no new connections or frames, but every submitted request
+    // still gets its response before the socket closes.
+    while (in_flight_total() > 0 || pending_writes()) {
+      pump(/*accepting=*/false);
+    }
+    svc_.stop();
+  }
+
+ private:
+  struct InFlight {
+    std::uint64_t id = 0;
+    ResponseFuture fut;
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    std::deque<InFlight> inflight;
+    bool dead = false;
+  };
+
+  /// One poll round: harvest completions, then move bytes.  `accepting`
+  /// false (drain mode) stops accept() and ignores fresh request frames.
+  void pump(bool accepting) {
+    harvest();
+    // accept_new() below can append to conns_ mid-round; only the first
+    // `polled` connections have a pollfd entry, so the revents loop must
+    // not run past them (fresh connections get polled next round).
+    const std::size_t polled = conns_.size();
+    std::vector<pollfd> fds;
+    fds.reserve(polled + 1);
+    if (accepting) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    for (auto& c : conns_) {
+      short ev = accepting ? POLLIN : 0;
+      if (c->out_off < c->out.size()) ev |= POLLOUT;
+      fds.push_back({c->fd, ev, 0});
+    }
+    // Short timeout: completions arrive from service workers, not sockets,
+    // so the loop must wake to harvest even when no fd is ready.
+    ::poll(fds.data(), fds.size(), /*timeout_ms=*/1);
+    std::size_t i = 0;
+    if (accepting) {
+      if ((fds[i].revents & POLLIN) != 0) accept_new();
+      ++i;
+    }
+    for (std::size_t c = 0; c < polled; ++c, ++i) {
+      Conn& conn = *conns_[c];
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && accepting) {
+        read_frames(conn);
+      }
+      if ((fds[i].revents & POLLOUT) != 0) flush(conn);
+    }
+    // Reap connections that died with nothing left to say.
+    for (std::size_t c = 0; c < conns_.size();) {
+      Conn& conn = *conns_[c];
+      if (conn.dead && conn.inflight.empty() &&
+          conn.out_off >= conn.out.size()) {
+        close_conn(conn);
+        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(c));
+      } else {
+        ++c;
+      }
+    }
+  }
+
+  void accept_new() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) return;
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conns_.push_back(std::move(conn));
+    }
+  }
+
+  void read_frames(Conn& conn) {
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.in.insert(conn.in.end(), buf, buf + n);
+        continue;
+      }
+      if (n == 0) conn.dead = true;                       // orderly EOF
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) conn.dead = true;
+      break;
+    }
+    std::size_t off = 0;
+    while (conn.in.size() - off >= 4) {
+      const std::uint32_t len = wire::get<std::uint32_t>(conn.in.data() + off);
+      if (len != kNetRequestFrameLen) {  // protocol error: cannot resync
+        conn.dead = true;
+        break;
+      }
+      if (conn.in.size() - off < 4 + len) break;
+      decode_submit(conn, conn.in.data() + off + 4);
+      off += 4 + len;
+    }
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+
+  void decode_submit(Conn& conn, const std::uint8_t* p) {
+    const std::uint64_t id = wire::get<std::uint64_t>(p);
+    const std::uint8_t op = wire::get<std::uint8_t>(p + 8);
+    if (op > static_cast<std::uint8_t>(Op::kSlPopMin)) {
+      conn.dead = true;
+      return;
+    }
+    Request req;
+    req.op = static_cast<Op>(op);
+    req.key = wire::get<std::int64_t>(p + 9);
+    req.value = wire::get<std::int64_t>(p + 17);
+    const std::uint32_t deadline_ms = wire::get<std::uint32_t>(p + 25);
+    if (deadline_ms != 0) {
+      req.deadline_ns = now_ns() + std::uint64_t{deadline_ms} * 1'000'000ull;
+    }
+    conn.inflight.push_back(InFlight{id, svc_.submit(req)});
+  }
+
+  /// Append response frames for completed futures.  Completions are
+  /// encoded in FIFO order per connection; responses stall behind an
+  /// incomplete older request, which keeps the client's submission order
+  /// (it still matches responses by id).
+  void harvest() {
+    for (auto& c : conns_) {
+      while (!c->inflight.empty() && c->inflight.front().fut.done()) {
+        encode(*c, c->inflight.front());
+        c->inflight.pop_front();
+      }
+      flush(*c);
+    }
+  }
+
+  void encode(Conn& conn, const InFlight& f) {
+    const SvcStatus s = f.fut.status();
+    const bool with_range =
+        s == SvcStatus::kOk && !f.fut.range().empty();
+    const std::uint32_t n =
+        with_range ? static_cast<std::uint32_t>(f.fut.range().size()) : 0;
+    wire::put<std::uint32_t>(conn.out, 8 + 1 + 1 + 8 + 4 + n * 16);
+    wire::put<std::uint64_t>(conn.out, f.id);
+    wire::put<std::uint8_t>(conn.out, static_cast<std::uint8_t>(s));
+    wire::put<std::uint8_t>(conn.out, s == SvcStatus::kOk && f.fut.ok() ? 1 : 0);
+    wire::put<std::int64_t>(conn.out, s == SvcStatus::kOk ? f.fut.value() : 0);
+    wire::put<std::uint32_t>(conn.out, n);
+    if (with_range) {
+      for (const auto& [k, v] : f.fut.range()) {
+        wire::put<std::int64_t>(conn.out, k);
+        wire::put<std::int64_t>(conn.out, v);
+      }
+    }
+  }
+
+  void flush(Conn& conn) {
+    while (conn.out_off < conn.out.size()) {
+      const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      conn.dead = true;
+      conn.out_off = conn.out.size();
+      return;
+    }
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+    }
+  }
+
+  std::size_t in_flight_total() const {
+    std::size_t n = 0;
+    for (const auto& c : conns_) n += c->inflight.size();
+    return n;
+  }
+
+  bool pending_writes() const {
+    for (const auto& c : conns_) {
+      if (c->out_off < c->out.size()) return true;
+    }
+    return false;
+  }
+
+  void close_conn(Conn& conn) {
+    if (conn.fd >= 0) ::close(conn.fd);
+    conn.fd = -1;
+  }
+
+  Service& svc_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<bool> stop_flag_{false};
+};
+
+#endif  // defined(__linux__)
+
+}  // namespace otb::service

@@ -1,0 +1,212 @@
+// Typed request/response vocabulary of the transactional service plane.
+//
+// A client submits a `Request` naming one operation over one of the
+// service's registered OTB structures (map get/put/erase/range, set
+// add/remove/contains, PQ push/pop) and receives a `ResponseFuture`.  The
+// service completes the underlying `Pending` cell exactly once with a
+// terminal `SvcStatus`; the future is the client's read-only view and can
+// be waited on (C++20 atomic wait — futex-backed, no spinning client).
+//
+// Ownership: a Pending cell is shared by exactly two parties — the future
+// held by the client and the service's queue slot — via an intrusive
+// refcount, so fire-and-forget clients may drop their future immediately
+// and loaded-service shutdown can still complete every cell ("no lost
+// completions").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/platform.h"
+
+namespace otb::service {
+
+/// Operation + target structure, one enumerator per (structure, op) pair.
+enum class Op : std::uint8_t {
+  kMapGet = 0,
+  kMapPut,
+  kMapErase,
+  kMapRange,    // key = lo, value = hi; pairs come back in Pending::range_out
+  kSetAdd,
+  kSetRemove,
+  kSetContains,
+  kHeapPush,    // binary-heap PQ (duplicates allowed; always succeeds)
+  kHeapPopMin,
+  kSlPush,      // skip-list PQ (unique keys)
+  kSlPopMin,
+};
+
+inline const char* to_string(Op op) {
+  switch (op) {
+    case Op::kMapGet: return "map_get";
+    case Op::kMapPut: return "map_put";
+    case Op::kMapErase: return "map_erase";
+    case Op::kMapRange: return "map_range";
+    case Op::kSetAdd: return "set_add";
+    case Op::kSetRemove: return "set_remove";
+    case Op::kSetContains: return "set_contains";
+    case Op::kHeapPush: return "heap_push";
+    case Op::kHeapPopMin: return "heap_pop_min";
+    case Op::kSlPush: return "sl_push";
+    case Op::kSlPopMin: return "sl_pop_min";
+  }
+  return "?";
+}
+
+/// Terminal request states (kPending is the only non-terminal one).
+enum class SvcStatus : std::uint8_t {
+  kPending = 0,
+  kOk,          // executed in a committed transaction; see ok/value
+  kOverloaded,  // rejected at admission (queue above high-water, or stopped)
+  kExpired,     // deadline passed before a transaction slot ran it
+  kFailed,      // no structure registered for the op
+};
+
+inline const char* to_string(SvcStatus s) {
+  switch (s) {
+    case SvcStatus::kPending: return "pending";
+    case SvcStatus::kOk: return "ok";
+    case SvcStatus::kOverloaded: return "overloaded";
+    case SvcStatus::kExpired: return "expired";
+    case SvcStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+struct Request {
+  Op op = Op::kMapGet;
+  std::int64_t key = 0;
+  std::int64_t value = 0;       // put value / range hi bound
+  std::uint64_t deadline_ns = 0;  // absolute (now_ns clock); 0 = no deadline
+};
+
+/// One in-flight request: the request itself plus the completion cell the
+/// worker fills.  Completed exactly once; `status` is the publication flag
+/// (release store + notify), so readers that observed a terminal status may
+/// read every other field without further synchronisation.
+struct Pending {
+  Request req;
+  std::uint64_t enqueue_ns = 0;
+  std::uint64_t complete_ns = 0;
+
+  // Results (valid once status is terminal).
+  bool ok = false;
+  bool failed = false;  // op had no registered target structure
+  std::int64_t value = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> range_out;
+
+  std::atomic<SvcStatus> status{SvcStatus::kPending};
+  std::atomic<int> refs{2};  // client future + service queue slot
+
+  void release() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  // Thread-local freelist: one cell is allocated and freed per request, on
+  // the submit path's critical path.  The last reference is typically
+  // dropped by the same client thread that allocated the cell (the service
+  // completes first, the client's future destructor frees), so a plain
+  // thread-local stack recycles cells without synchronisation.  Cross-
+  // thread frees just seed the freeing thread's list; the cap bounds
+  // memory when alloc/free threads are persistently imbalanced.
+  static void* operator new(std::size_t size) {
+    FreeList& fl = free_list();
+    if (fl.head != nullptr) {
+      void* p = fl.head;
+      fl.head = *static_cast<void**>(p);
+      fl.size -= 1;
+      return p;
+    }
+    return ::operator new(size);
+  }
+
+  static void operator delete(void* p) noexcept {
+    FreeList& fl = free_list();
+    if (fl.size < kFreeListCap) {
+      *static_cast<void**>(p) = fl.head;
+      fl.head = p;
+      fl.size += 1;
+      return;
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  static constexpr std::size_t kFreeListCap = 4096;
+  struct FreeList {
+    void* head = nullptr;
+    std::size_t size = 0;
+    ~FreeList() {
+      while (head != nullptr) {
+        void* next = *static_cast<void**>(head);
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  };
+  static FreeList& free_list() {
+    static thread_local FreeList fl;
+    return fl;
+  }
+};
+
+/// Client-side handle.  Movable, not copyable; blocks on wait().
+class ResponseFuture {
+ public:
+  ResponseFuture() = default;
+  explicit ResponseFuture(Pending* p) : p_(p) {}
+  ResponseFuture(ResponseFuture&& o) noexcept : p_(std::exchange(o.p_, nullptr)) {}
+  ResponseFuture& operator=(ResponseFuture&& o) noexcept {
+    if (this != &o) {
+      if (p_ != nullptr) p_->release();
+      p_ = std::exchange(o.p_, nullptr);
+    }
+    return *this;
+  }
+  ResponseFuture(const ResponseFuture&) = delete;
+  ResponseFuture& operator=(const ResponseFuture&) = delete;
+  ~ResponseFuture() {
+    if (p_ != nullptr) p_->release();
+  }
+
+  bool valid() const { return p_ != nullptr; }
+
+  /// Current status (terminal statuses are stable).
+  SvcStatus status() const { return p_->status.load(std::memory_order_acquire); }
+  bool done() const { return status() != SvcStatus::kPending; }
+
+  /// Block until completed (futex wait, no busy spin).
+  SvcStatus wait() const {
+    SvcStatus s = p_->status.load(std::memory_order_acquire);
+    while (s == SvcStatus::kPending) {
+      p_->status.wait(SvcStatus::kPending, std::memory_order_acquire);
+      s = p_->status.load(std::memory_order_acquire);
+    }
+    return s;
+  }
+
+  // Results — call only after wait()/done() reported a terminal status.
+  bool ok() const { return p_->ok; }
+  std::int64_t value() const { return p_->value; }
+  const std::vector<std::pair<std::int64_t, std::int64_t>>& range() const {
+    return p_->range_out;
+  }
+  /// Enqueue-to-completion latency of this request.
+  std::uint64_t latency_ns() const { return p_->complete_ns - p_->enqueue_ns; }
+
+ private:
+  Pending* p_ = nullptr;
+};
+
+/// Complete `p` exactly once: fill results before the releasing status
+/// store, wake any waiter, then drop the completing side's reference.
+inline void complete(Pending* p, SvcStatus s) {
+  p->complete_ns = now_ns();
+  p->status.store(s, std::memory_order_release);
+  p->status.notify_all();
+  p->release();
+}
+
+}  // namespace otb::service

@@ -1,0 +1,433 @@
+// The in-process transactional service plane (DESIGN.md "Transactional
+// service plane").
+//
+// Clients submit typed requests (request.h); sharded bounded MPSC rings
+// (queue.h) buffer them; worker threads drain their own shard and coalesce
+// up to `batch_max` requests into ONE boosted transaction — many
+// fine-grained client operations composed into fewer, larger atomic steps,
+// which is exactly the regime where the commit-sequence fast path and
+// traversal hints pay (per-transaction costs amortise over ops/tx).
+//
+// Robustness:
+//   * admission control — a submit against a queue at its high-water mark
+//     completes immediately as kOverloaded; admitted requests therefore see
+//     bounded queueing delay no matter the offered load;
+//   * per-request deadlines — a request whose deadline passed while queued
+//     completes as kExpired before it wastes a transaction slot;
+//   * split-retry — a batch that cannot commit within `batch_attempts`
+//     transaction attempts (contention, injected aborts) is split in half
+//     and each half retried under the capped-jittered Backoff; singletons
+//     retry until they commit or expire, so persistent conflicts degrade
+//     throughput, never results;
+//   * stop()/drain — stop() (and SIGTERM via net.h) closes admission, waits
+//     out in-flight submits, then workers drain every queued request to a
+//     terminal status before exiting: no lost completions.
+//
+// Metrics (domain "otb.service", schema otb.metrics/3): svc_* admission /
+// completion counters, queue-depth + batch-size log2 series, and the
+// "service" phase histogram of enqueue-to-completion latency.  The batch
+// transactions themselves keep reporting through "otb.tx" as always.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/platform.h"
+#include "common/spinlock.h"
+#include "common/tx_abort.h"
+#include "metrics/registry.h"
+#include "metrics/sink.h"
+#include "otb/otb_heap_pq.h"
+#include "otb/otb_list_map.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_pq.h"
+#include "otb/runtime.h"
+#include "service/queue.h"
+#include "service/request.h"
+
+namespace otb::service {
+
+namespace detail {
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+}  // namespace detail
+
+/// Structures the service serves.  Ops against a null target complete as
+/// kFailed — a service may expose any subset.
+struct Targets {
+  tx::OtbListMap* map = nullptr;
+  tx::OtbListSet* set = nullptr;
+  tx::OtbHeapPQ* heap_pq = nullptr;
+  tx::OtbSkipListPQ* sl_pq = nullptr;
+};
+
+struct ServiceConfig {
+  unsigned workers = 2;               // drain threads (= queue shards)
+  unsigned batch_max = 16;            // requests coalesced per transaction
+  std::size_t queue_capacity = 1024;  // per shard, rounded up to 2^k
+  std::size_t high_water = 0;         // per shard; 0 = queue_capacity
+  unsigned batch_attempts = 4;        // tx attempts before a batch splits
+  std::uint64_t default_deadline_ns = 0;  // applied when a request has none
+
+  /// Test hook, run INSIDE every batch transaction just before commit.
+  /// Throwing TxAbort (the same explicit-abort channel the abort-taxonomy
+  /// injection tests use) fails the attempt; spending the whole attempt
+  /// budget forces a split-retry.  Never set in production.
+  std::function<void(std::size_t batch_size)> batch_fault_hook;
+
+  /// Metrics sink; null = Registry::global().sink("otb.service").
+  metrics::MetricsSink* metrics = nullptr;
+
+  /// Defaults overridable from the environment (docs/KNOBS.md):
+  /// OTB_SERVICE_WORKERS, OTB_SERVICE_BATCH_MAX, OTB_SERVICE_QUEUE_CAP,
+  /// OTB_SERVICE_HIGH_WATER, OTB_SERVICE_BATCH_ATTEMPTS,
+  /// OTB_SERVICE_DEADLINE_MS.
+  static ServiceConfig from_env() {
+    ServiceConfig cfg;
+    cfg.workers = static_cast<unsigned>(
+        detail::env_u64("OTB_SERVICE_WORKERS", cfg.workers));
+    cfg.batch_max = static_cast<unsigned>(
+        detail::env_u64("OTB_SERVICE_BATCH_MAX", cfg.batch_max));
+    cfg.queue_capacity = static_cast<std::size_t>(
+        detail::env_u64("OTB_SERVICE_QUEUE_CAP", cfg.queue_capacity));
+    cfg.high_water = static_cast<std::size_t>(
+        detail::env_u64("OTB_SERVICE_HIGH_WATER", cfg.high_water));
+    cfg.batch_attempts = static_cast<unsigned>(
+        detail::env_u64("OTB_SERVICE_BATCH_ATTEMPTS", cfg.batch_attempts));
+    cfg.default_deadline_ns =
+        detail::env_u64("OTB_SERVICE_DEADLINE_MS", 0) * 1'000'000ull;
+    return cfg;
+  }
+};
+
+class Service {
+ public:
+  explicit Service(Targets targets, ServiceConfig cfg = ServiceConfig{})
+      : targets_(targets),
+        cfg_(sanitise(std::move(cfg))),
+        queue_(cfg_.workers, cfg_.queue_capacity, cfg_.high_water),
+        sink_(cfg_.metrics != nullptr
+                  ? cfg_.metrics
+                  : &metrics::Registry::global().sink("otb.service")) {}
+
+  ~Service() { stop(); }
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Launch the worker threads.  Separate from the constructor so tests can
+  /// pre-load queues (admission and deadline behaviour without racing a
+  /// drain) before any worker runs.
+  void start() {
+    if (started_.exchange(true)) return;
+    running_.store(true, std::memory_order_release);
+    workers_.reserve(cfg_.workers);
+    for (unsigned w = 0; w < cfg_.workers; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  /// Close admission, drain every queued request to a terminal status, and
+  /// join the workers.  Idempotent; also invoked by the destructor and the
+  /// net adapter's SIGTERM path.
+  void stop() {
+    accepting_.store(false, std::memory_order_seq_cst);
+    // Dekker with submit(): once no submit is mid-push, every future submit
+    // observes accepting_ == false and rejects, so the drains below see the
+    // final queue contents.
+    while (submits_in_flight_.load(std::memory_order_seq_cst) != 0) {
+      cpu_relax();
+    }
+    if (started_.load(std::memory_order_acquire)) {
+      running_.store(false, std::memory_order_release);
+      queue_.wake_all();
+      for (auto& t : workers_) {
+        if (t.joinable()) t.join();
+      }
+      workers_.clear();
+      started_.store(false, std::memory_order_release);
+    } else {
+      // stop() before start(): no workers exist, so the stopping thread
+      // drains (admitted requests still complete, running on this thread).
+      for (unsigned s = 0; s < queue_.shard_count(); ++s) drain_shard(s);
+    }
+  }
+
+  bool accepting() const {
+    return accepting_.load(std::memory_order_acquire);
+  }
+
+  /// Submit one request.  Always returns a valid future; admission failures
+  /// (high-water or stopped service) complete it as kOverloaded before
+  /// returning.  Safe from any number of producer threads.
+  ResponseFuture submit(Request req) {
+    Pending* p = new Pending;
+    if (req.deadline_ns == 0 && cfg_.default_deadline_ns != 0) {
+      req.deadline_ns = now_ns() + cfg_.default_deadline_ns;
+    }
+    p->req = req;
+    p->enqueue_ns = now_ns();
+    ResponseFuture fut(p);
+    submits_in_flight_.fetch_add(1, std::memory_order_seq_cst);
+    const bool admitted =
+        accepting_.load(std::memory_order_seq_cst) && queue_.try_push(p);
+    submits_in_flight_.fetch_sub(1, std::memory_order_seq_cst);
+    if (!admitted) {
+      sink_->add(metrics::CounterId::kSvcRejected);
+      complete(p, SvcStatus::kOverloaded);
+      return fut;
+    }
+    sink_->add(metrics::CounterId::kSvcEnqueued);
+    return fut;
+  }
+
+  const ServiceConfig& config() const { return cfg_; }
+  metrics::MetricsSink& metrics_sink() { return *sink_; }
+  std::size_t queue_size() const { return queue_.total_size(); }
+
+ private:
+  static ServiceConfig sanitise(ServiceConfig cfg) {
+    if (cfg.workers == 0) cfg.workers = 1;
+    if (cfg.batch_max == 0) cfg.batch_max = 1;
+    if (cfg.queue_capacity < 2) cfg.queue_capacity = 2;
+    if (cfg.batch_attempts == 0) cfg.batch_attempts = 1;
+    return cfg;
+  }
+
+  void worker_loop(unsigned shard) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "svc/w%u", shard);
+    set_this_thread_name(name);
+    std::vector<Pending*> batch;
+    batch.reserve(cfg_.batch_max);
+    for (;;) {
+      const std::uint32_t doorbell = queue_.doorbell(shard);
+      // Depth sampled BEFORE popping: the backlog a newly arriving request
+      // would queue behind.
+      const std::size_t depth = queue_.shard_size(shard);
+      batch.clear();
+      for (unsigned i = 0; i < cfg_.batch_max; ++i) {
+        Pending* p = queue_.try_pop(shard);
+        if (p == nullptr) break;
+        batch.push_back(p);
+      }
+      if (batch.empty()) {
+        if (!running_.load(std::memory_order_acquire)) break;
+        queue_.wait(shard, doorbell);
+        continue;
+      }
+      sink_->record_queue_depth(depth);
+      execute_batch(batch);
+    }
+    // Drain sweep: stop() guarantees no push starts after running_ clears,
+    // but pushes admitted before it may still sit in the ring.
+    drain_shard(shard);
+  }
+
+  void drain_shard(unsigned shard) {
+    std::vector<Pending*> batch;
+    batch.reserve(cfg_.batch_max);
+    for (;;) {
+      batch.clear();
+      for (unsigned i = 0; i < cfg_.batch_max; ++i) {
+        Pending* p = queue_.try_pop(shard);
+        if (p == nullptr) break;
+        batch.push_back(p);
+      }
+      if (batch.empty()) return;
+      execute_batch(batch);
+    }
+  }
+
+  /// Execute one batch: expire stale requests, run the rest in a single
+  /// boosted transaction, split on repeated failure.
+  void execute_batch(std::vector<Pending*>& batch) {
+    // Per-thread scratch: one batch is in flight per worker, and the
+    // split recursion never re-enters execute_batch.
+    static thread_local std::vector<Pending*> live;
+    live.clear();
+    live.reserve(batch.size());
+    const std::uint64_t now = now_ns();
+    for (Pending* p : batch) {
+      // Deadline check before the batch takes a transaction slot.
+      if (p->req.deadline_ns != 0 && p->req.deadline_ns < now) {
+        sink_->add(metrics::CounterId::kSvcExpired);
+        complete(p, SvcStatus::kExpired);
+      } else {
+        live.push_back(p);
+      }
+    }
+    if (live.size() > 1) {
+      // Key-sort the batch (stable: same-key requests keep arrival order,
+      // preserving read-after-write for a pipelining client whose ops
+      // landed in one batch).  Concurrent requests carry no cross-key
+      // ordering obligation, and ascending keys turn the batch's structure
+      // traversals into short hint-relative hops instead of full walks
+      // from the head — the locality that makes coalescing pay.
+      std::stable_sort(live.begin(), live.end(),
+                       [](const Pending* a, const Pending* b) {
+                         return a->req.key < b->req.key;
+                       });
+    }
+    if (!live.empty()) run_or_split(live);
+  }
+
+  void run_or_split(std::vector<Pending*>& batch) {
+    Backoff backoff(Backoff::kDefaultCap);
+    for (;;) {
+      if (try_batch_tx(batch)) {
+        sink_->add(metrics::CounterId::kSvcBatches);
+        sink_->record_batch_size(batch.size());
+        const std::uint64_t done = now_ns();
+        for (Pending* p : batch) {
+          if (p->failed) {
+            sink_->add(metrics::CounterId::kSvcFailed);
+            complete(p, SvcStatus::kFailed);
+          } else {
+            sink_->record_phase(metrics::Phase::kService,
+                                done - p->enqueue_ns);
+            complete(p, SvcStatus::kOk);
+          }
+        }
+        return;
+      }
+      // Attempt budget spent without a commit.
+      sink_->add(metrics::CounterId::kSvcBatchSplits);
+      if (batch.size() > 1) {
+        const std::size_t half = batch.size() / 2;
+        std::vector<Pending*> right(batch.begin() + half, batch.end());
+        batch.resize(half);
+        backoff.pause();
+        run_or_split(batch);  // depth ≤ log2(batch_max)
+        run_or_split(right);
+        return;
+      }
+      // Singleton: re-check its deadline, then keep retrying — conflicts
+      // degrade latency, never results.
+      Pending* p = batch.front();
+      if (p->req.deadline_ns != 0 && p->req.deadline_ns < now_ns()) {
+        sink_->add(metrics::CounterId::kSvcExpired);
+        complete(p, SvcStatus::kExpired);
+        return;
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Run every request of `batch` in one transaction, retrying up to
+  /// cfg_.batch_attempts times.  Returns false when the budget is spent
+  /// (caller splits).  Accounting flows through the standard otb.tx sink —
+  /// batch transactions are ordinary boosted transactions.  This is
+  /// tx::atomically's loop with a bounded attempt count; like it, non-abort
+  /// exceptions still abandon held state before escaping.
+  bool try_batch_tx(std::vector<Pending*>& batch) {
+    metrics::MetricsSink& tx_sink = tx::metrics_sink();
+    Backoff backoff(Backoff::kDefaultCap);
+    tx::Transaction t;
+    for (unsigned attempt = 0; attempt < cfg_.batch_attempts; ++attempt) {
+      t.begin_attempt();
+      try {
+        for (Pending* p : batch) apply(t, p);
+        if (cfg_.batch_fault_hook) cfg_.batch_fault_hook(batch.size());
+        t.commit();
+        tx_sink.record_attempt(t.tally(), /*committed=*/true,
+                               metrics::AbortReason::kNone);
+        return true;
+      } catch (const TxAbort& abort) {
+        t.abandon();
+        tx_sink.record_attempt(t.tally(), /*committed=*/false, abort.reason);
+        backoff.pause();
+      } catch (...) {
+        t.abandon();
+        tx_sink.record_attempt(t.tally(), /*committed=*/false,
+                               metrics::AbortReason::kExplicit);
+        throw;
+      }
+    }
+    return false;
+  }
+
+  /// One client request inside the batch transaction.  Results land
+  /// directly in the Pending cell: only this worker touches it until the
+  /// completing status store publishes them.
+  void apply(tx::Transaction& t, Pending* p) {
+    const Request& r = p->req;
+    switch (r.op) {
+      case Op::kMapGet:
+        if (targets_.map == nullptr) break;
+        p->value = 0;
+        p->ok = targets_.map->get(t, r.key, &p->value);
+        return;
+      case Op::kMapPut:
+        if (targets_.map == nullptr) break;
+        p->ok = targets_.map->put(t, r.key, r.value);
+        return;
+      case Op::kMapErase:
+        if (targets_.map == nullptr) break;
+        p->ok = targets_.map->erase(t, r.key);
+        return;
+      case Op::kMapRange:
+        if (targets_.map == nullptr) break;
+        p->range_out.clear();  // this attempt may be a retry
+        targets_.map->range(t, r.key, r.value, &p->range_out);
+        p->value = static_cast<std::int64_t>(p->range_out.size());
+        p->ok = true;
+        return;
+      case Op::kSetAdd:
+        if (targets_.set == nullptr) break;
+        p->ok = targets_.set->add(t, r.key);
+        return;
+      case Op::kSetRemove:
+        if (targets_.set == nullptr) break;
+        p->ok = targets_.set->remove(t, r.key);
+        return;
+      case Op::kSetContains:
+        if (targets_.set == nullptr) break;
+        p->ok = targets_.set->contains(t, r.key);
+        return;
+      case Op::kHeapPush:
+        if (targets_.heap_pq == nullptr) break;
+        targets_.heap_pq->add(t, r.key);
+        p->ok = true;
+        return;
+      case Op::kHeapPopMin:
+        if (targets_.heap_pq == nullptr) break;
+        p->value = 0;
+        p->ok = targets_.heap_pq->remove_min(t, &p->value);
+        return;
+      case Op::kSlPush:
+        if (targets_.sl_pq == nullptr) break;
+        p->ok = targets_.sl_pq->add(t, r.key);
+        return;
+      case Op::kSlPopMin:
+        if (targets_.sl_pq == nullptr) break;
+        p->value = 0;
+        p->ok = targets_.sl_pq->remove_min(t, &p->value);
+        return;
+    }
+    p->ok = false;
+    p->failed = true;
+  }
+
+  Targets targets_;
+  ServiceConfig cfg_;
+  ShardedQueue queue_;
+  metrics::MetricsSink* sink_;
+  std::vector<std::thread> workers_;
+  // Admission opens at construction (not start()) so tests can pre-load
+  // queues before any worker runs; only stop() closes it.
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint32_t> submits_in_flight_{0};
+};
+
+}  // namespace otb::service

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <utility>
@@ -93,6 +94,9 @@ History run_stress(const StressOptions& opt, WorkerFactory&& make_worker) {
 
   for (unsigned tid = 0; tid < opt.threads; ++tid) {
     pool.emplace_back([&, tid] {
+      char name[16];
+      std::snprintf(name, sizeof(name), "stress/%u", tid);
+      set_this_thread_name(name);
       auto worker = make_worker(tid);
       Xorshift rng{detail::split_seed(opt.seed, tid)};
       ready.fetch_add(1, std::memory_order_acq_rel);

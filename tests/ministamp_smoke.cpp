@@ -1,0 +1,74 @@
+// Per-app mini-STAMP smoke binary: `ministamp_smoke <app> [threads]` runs
+// one workload at its tiny default scale under NOrec and checks the app's
+// final-state invariant, exiting nonzero on violation.  One tier-1 ctest
+// per app (see tests/CMakeLists.txt) keeps each workload individually
+// green — the gtest suite (test_ministamp) sweeps algorithms and thread
+// counts, but a broken app there is one EXPECT among hundreds; here it is
+// a named red test in the tier-1 summary.
+//
+// Invariants:
+//   deterministic apps — concurrent checksum equals the 1-thread oracle
+//     run in-process (STAMP's "execution is equivalent to sequential");
+//   labyrinth — every route either lands or fails: routed + failed
+//     equals the grid's route count (96 * OTB_STAMP_SCALE).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ministamp/ministamp.h"
+
+int main(int argc, char** argv) {
+  using namespace otb::ministamp;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: ministamp_smoke <app> [threads]\n");
+    return 2;
+  }
+  const char* want = argv[1];
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 2;
+
+  const auto apps = make_all_apps();
+  for (const auto& app : apps) {
+    if (std::strcmp(app->name(), want) != 0) continue;
+
+    otb::stm::Config cfg;
+    cfg.max_threads = threads > 1 ? threads : 2;
+    otb::stm::Runtime rt(otb::stm::AlgoKind::kNOrec, cfg);
+    const AppResult got = app->run(rt, threads);
+    if (got.stats.commits == 0) {
+      std::fprintf(stderr, "FAIL %s: no transaction committed\n", want);
+      return 1;
+    }
+
+    if (app->deterministic()) {
+      otb::stm::Runtime oracle_rt(otb::stm::AlgoKind::kNOrec);
+      const AppResult oracle = app->run(oracle_rt, 1);
+      if (got.checksum != oracle.checksum) {
+        std::fprintf(stderr,
+                     "FAIL %s: checksum %llu != sequential oracle %llu\n",
+                     want, static_cast<unsigned long long>(got.checksum),
+                     static_cast<unsigned long long>(oracle.checksum));
+        return 1;
+      }
+    } else {
+      // labyrinth: checksum = routed * 1000 + failed.
+      const std::uint64_t routed = got.checksum / 1000;
+      const std::uint64_t failed = got.checksum % 1000;
+      const std::uint64_t total = 96ull * stamp_scale();
+      if (routed + failed != total || routed == 0) {
+        std::fprintf(stderr,
+                     "FAIL %s: routed %llu + failed %llu != %llu routes\n",
+                     want, static_cast<unsigned long long>(routed),
+                     static_cast<unsigned long long>(failed),
+                     static_cast<unsigned long long>(total));
+        return 1;
+      }
+    }
+    std::printf("OK %s threads=%u checksum=%llu commits=%llu\n", want,
+                threads, static_cast<unsigned long long>(got.checksum),
+                static_cast<unsigned long long>(got.stats.commits));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown app: %s\n", want);
+  return 2;
+}

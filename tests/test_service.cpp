@@ -1,0 +1,402 @@
+// Tier-1 tests of the transactional service plane: request round-trips
+// over every registered structure (including transactional range), the
+// failure edges ISSUE'd for the subsystem — queue-full rejection, deadline
+// expiry while queued, batch split-retry under injected aborts, and
+// stop()-while-loaded drain with no lost completions — plus service
+// metrics accounting and a loopback smoke of the binary TCP adapter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/tx_abort.h"
+#include "metrics/sink.h"
+#include "otb/otb_heap_pq.h"
+#include "otb/otb_list_map.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_pq.h"
+#include "service/net.h"
+#include "service/service.h"
+
+namespace otb {
+namespace {
+
+using metrics::CounterId;
+using service::Op;
+using service::Request;
+using service::ResponseFuture;
+using service::Service;
+using service::ServiceConfig;
+using service::SvcStatus;
+using service::Targets;
+
+std::uint64_t counter(const metrics::MetricsSink& sink, CounterId id) {
+  return sink.snapshot().counters[static_cast<std::size_t>(id)];
+}
+
+/// Everything-registered fixture with a test-local metrics sink.
+class ServiceTest : public ::testing::Test {
+ protected:
+  Targets targets() {
+    Targets t;
+    t.map = &map_;
+    t.set = &set_;
+    t.heap_pq = &heap_;
+    t.sl_pq = &slpq_;
+    return t;
+  }
+
+  ServiceConfig config() {
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.batch_max = 4;
+    cfg.queue_capacity = 64;
+    cfg.metrics = &sink_;
+    return cfg;
+  }
+
+  tx::OtbListMap map_;
+  tx::OtbListSet set_;
+  tx::OtbHeapPQ heap_;
+  tx::OtbSkipListPQ slpq_;
+  metrics::MetricsSink sink_;
+};
+
+TEST_F(ServiceTest, RoundTripsEveryOp) {
+  Service svc(targets(), config());
+  svc.start();
+
+  EXPECT_TRUE(svc.submit({Op::kMapPut, 10, 100}).wait() == SvcStatus::kOk);
+  EXPECT_TRUE(svc.submit({Op::kMapPut, 20, 200}).wait() == SvcStatus::kOk);
+  ResponseFuture get = svc.submit({Op::kMapGet, 10});
+  EXPECT_EQ(get.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(get.ok());
+  EXPECT_EQ(get.value(), 100);
+
+  ResponseFuture erase = svc.submit({Op::kMapErase, 10});
+  EXPECT_EQ(erase.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(erase.ok());
+  ResponseFuture miss = svc.submit({Op::kMapGet, 10});
+  EXPECT_EQ(miss.wait(), SvcStatus::kOk);
+  EXPECT_FALSE(miss.ok());
+
+  ResponseFuture add = svc.submit({Op::kSetAdd, 7});
+  EXPECT_EQ(add.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(add.ok());
+  ResponseFuture has = svc.submit({Op::kSetContains, 7});
+  EXPECT_EQ(has.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(has.ok());
+  ResponseFuture rm = svc.submit({Op::kSetRemove, 7});
+  EXPECT_EQ(rm.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(rm.ok());
+
+  EXPECT_EQ(svc.submit({Op::kHeapPush, 5}).wait(), SvcStatus::kOk);
+  EXPECT_EQ(svc.submit({Op::kHeapPush, 3}).wait(), SvcStatus::kOk);
+  ResponseFuture pop = svc.submit({Op::kHeapPopMin, 0});
+  EXPECT_EQ(pop.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(pop.ok());
+  EXPECT_EQ(pop.value(), 3);
+
+  EXPECT_EQ(svc.submit({Op::kSlPush, 9}).wait(), SvcStatus::kOk);
+  ResponseFuture spop = svc.submit({Op::kSlPopMin, 0});
+  EXPECT_EQ(spop.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(spop.ok());
+  EXPECT_EQ(spop.value(), 9);
+
+  svc.stop();
+  EXPECT_GT(counter(sink_, CounterId::kSvcEnqueued), 0u);
+  EXPECT_GT(counter(sink_, CounterId::kSvcBatches), 0u);
+}
+
+TEST_F(ServiceTest, RangeReturnsSortedWindowWithOverlay) {
+  Service svc(targets(), config());
+  svc.start();
+  for (std::int64_t k = 0; k < 20; k += 2) {
+    ASSERT_EQ(svc.submit({Op::kMapPut, k, k * 10}).wait(), SvcStatus::kOk);
+  }
+  // key = lo, value = hi (inclusive).
+  ResponseFuture r = svc.submit({Op::kMapRange, 4, 11});
+  ASSERT_EQ(r.wait(), SvcStatus::kOk);
+  const auto& pairs = r.range();
+  ASSERT_EQ(pairs.size(), 4u);  // 4, 6, 8, 10
+  EXPECT_EQ(r.value(), 4);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pairs[i].first, static_cast<std::int64_t>(4 + 2 * i));
+    EXPECT_EQ(pairs[i].second, pairs[i].first * 10);
+  }
+  svc.stop();
+}
+
+TEST_F(ServiceTest, UnregisteredTargetFails) {
+  Targets only_map;
+  only_map.map = &map_;
+  ServiceConfig cfg = config();
+  Service svc(only_map, cfg);
+  svc.start();
+  ResponseFuture f = svc.submit({Op::kHeapPush, 1});
+  EXPECT_EQ(f.wait(), SvcStatus::kFailed);
+  svc.stop();
+  EXPECT_EQ(counter(sink_, CounterId::kSvcFailed), 1u);
+}
+
+TEST_F(ServiceTest, QueueFullRejectsWithOverloaded) {
+  ServiceConfig cfg = config();
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.high_water = 4;
+  Service svc(targets(), cfg);
+  // No start(): the queue only fills.  Beyond high_water the service must
+  // reject instantly instead of blocking the producer.
+  std::vector<ResponseFuture> admitted;
+  for (int i = 0; i < 4; ++i) {
+    admitted.push_back(svc.submit({Op::kMapPut, i, i}));
+    EXPECT_EQ(admitted.back().status(), SvcStatus::kPending);
+  }
+  ResponseFuture rejected = svc.submit({Op::kMapPut, 99, 99});
+  EXPECT_EQ(rejected.status(), SvcStatus::kOverloaded);
+  EXPECT_EQ(counter(sink_, CounterId::kSvcRejected), 1u);
+  EXPECT_EQ(counter(sink_, CounterId::kSvcEnqueued), 4u);
+  // Starting late must still complete the queued work.
+  svc.start();
+  for (auto& f : admitted) EXPECT_EQ(f.wait(), SvcStatus::kOk);
+  svc.stop();
+}
+
+TEST_F(ServiceTest, DeadlineExpiresWhileQueued) {
+  ServiceConfig cfg = config();
+  cfg.workers = 1;
+  Service svc(targets(), cfg);
+  // Queue with no worker running, let the deadline lapse, then start: the
+  // worker must expire the stale request without running its transaction.
+  Request doomed{Op::kMapPut, 1, 1};
+  doomed.deadline_ns = now_ns() + 1'000'000;  // 1ms
+  ResponseFuture f = svc.submit(doomed);
+  ResponseFuture healthy = svc.submit({Op::kMapPut, 2, 2});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  svc.start();
+  EXPECT_EQ(f.wait(), SvcStatus::kExpired);
+  EXPECT_EQ(healthy.wait(), SvcStatus::kOk);
+  svc.stop();
+  EXPECT_EQ(counter(sink_, CounterId::kSvcExpired), 1u);
+  // The expired request must not have reached the map.
+  ResponseFuture probe = svc.submit({Op::kMapGet, 1});
+  EXPECT_EQ(probe.status(), SvcStatus::kOverloaded);  // stopped service
+}
+
+TEST_F(ServiceTest, InjectedAbortsSplitBatchesAndStillComplete) {
+  ServiceConfig cfg = config();
+  cfg.workers = 1;
+  cfg.batch_max = 8;
+  cfg.batch_attempts = 2;
+  // Fail every attempt of every multi-request batch: batches keep halving
+  // until singletons, which commit (hook passes size 1).
+  cfg.batch_fault_hook = [](std::size_t batch_size) {
+    if (batch_size > 1) throw TxAbort{};
+  };
+  Service svc(targets(), cfg);
+  // Queue before start so the worker wakes to one full batch.
+  std::vector<ResponseFuture> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(svc.submit({Op::kMapPut, i, i}));
+  svc.start();
+  for (auto& f : futs) EXPECT_EQ(f.wait(), SvcStatus::kOk);
+  svc.stop();
+  EXPECT_GT(counter(sink_, CounterId::kSvcBatchSplits), 0u);
+  // All eight landed despite the turbulence.
+  metrics::MetricsSink probe;
+  ServiceConfig cfg2 = config();
+  cfg2.metrics = &probe;
+  Service svc2(targets(), cfg2);
+  svc2.start();
+  for (int i = 0; i < 8; ++i) {
+    ResponseFuture g = svc2.submit({Op::kMapGet, i});
+    ASSERT_EQ(g.wait(), SvcStatus::kOk);
+    EXPECT_TRUE(g.ok());
+    EXPECT_EQ(g.value(), i);
+  }
+  svc2.stop();
+}
+
+TEST_F(ServiceTest, StopWhileLoadedDrainsEveryRequest) {
+  ServiceConfig cfg = config();
+  cfg.workers = 2;
+  cfg.queue_capacity = 4096;
+  Service svc(targets(), cfg);
+  svc.start();
+  // Producers race stop(): every future must still reach a terminal
+  // status — admitted requests complete (kOk), late ones reject.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::vector<std::vector<ResponseFuture>> futs(kProducers);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        futs[t].push_back(
+            svc.submit({Op::kMapPut, t * kPerProducer + i, i}));
+      }
+    });
+  }
+  svc.stop();
+  for (auto& p : producers) p.join();
+  std::uint64_t ok = 0, overloaded = 0;
+  for (auto& lane : futs) {
+    for (auto& f : lane) {
+      const SvcStatus s = f.wait();  // must not hang
+      ASSERT_TRUE(s == SvcStatus::kOk || s == SvcStatus::kOverloaded)
+          << to_string(s);
+      (s == SvcStatus::kOk ? ok : overloaded) += 1;
+    }
+  }
+  EXPECT_EQ(ok + overloaded,
+            static_cast<std::uint64_t>(kProducers * kPerProducer));
+  // Metrics must agree: every admitted request completed.
+  EXPECT_EQ(counter(sink_, CounterId::kSvcEnqueued), ok);
+  EXPECT_EQ(counter(sink_, CounterId::kSvcRejected), overloaded);
+}
+
+TEST_F(ServiceTest, ServiceMetricsSeriesArePopulated) {
+  Service svc(targets(), config());
+  svc.start();
+  std::vector<ResponseFuture> futs;
+  for (int i = 0; i < 32; ++i) futs.push_back(svc.submit({Op::kMapPut, i, i}));
+  for (auto& f : futs) ASSERT_EQ(f.wait(), SvcStatus::kOk);
+  svc.stop();
+  const metrics::SinkSnapshot s = sink_.snapshot();
+  EXPECT_GT(s.batch_size.count, 0u);
+  EXPECT_EQ(s.batch_size.total, 32u);  // every admitted request in a batch
+  EXPECT_GT(s.queue_depth.count, 0u);
+  const metrics::PhaseSnapshot& ph = s.phase(metrics::Phase::kService);
+  EXPECT_EQ(ph.count, 32u);
+  EXPECT_GT(ph.total_ns, 0u);
+}
+
+TEST_F(ServiceTest, FireAndForgetFuturesDoNotLeakOrCrash) {
+  Service svc(targets(), config());
+  svc.start();
+  for (int i = 0; i < 64; ++i) {
+    svc.submit({Op::kMapPut, i, i});  // future dropped immediately
+  }
+  svc.stop();  // drain touches every Pending exactly once
+  ResponseFuture probe = svc.submit({Op::kMapGet, 0});
+  EXPECT_EQ(probe.status(), SvcStatus::kOverloaded);
+}
+
+#if defined(__linux__)
+
+// Minimal blocking client for the loopback smoke test.
+class NetClient {
+ public:
+  explicit NetClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~NetClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  void send_request(std::uint64_t id, Op op, std::int64_t key,
+                    std::int64_t value, std::uint32_t deadline_ms = 0) {
+    std::vector<std::uint8_t> buf;
+    service::wire::put<std::uint32_t>(buf, service::kNetRequestFrameLen);
+    service::wire::put<std::uint64_t>(buf, id);
+    service::wire::put<std::uint8_t>(buf, static_cast<std::uint8_t>(op));
+    service::wire::put<std::int64_t>(buf, key);
+    service::wire::put<std::int64_t>(buf, value);
+    service::wire::put<std::uint32_t>(buf, deadline_ms);
+    ASSERT_EQ(::send(fd_, buf.data(), buf.size(), 0),
+              static_cast<ssize_t>(buf.size()));
+  }
+
+  struct Response {
+    std::uint64_t id = 0;
+    SvcStatus status = SvcStatus::kPending;
+    bool ok = false;
+    std::int64_t value = 0;
+    std::vector<std::pair<std::int64_t, std::int64_t>> range;
+  };
+
+  Response read_response() {
+    Response r;
+    std::uint8_t hdr[4];
+    if (!read_exact(hdr, 4)) return r;
+    const auto len = service::wire::get<std::uint32_t>(hdr);
+    std::vector<std::uint8_t> body(len);
+    if (!read_exact(body.data(), len)) return r;
+    r.id = service::wire::get<std::uint64_t>(body.data());
+    r.status = static_cast<SvcStatus>(body[8]);
+    r.ok = body[9] != 0;
+    r.value = service::wire::get<std::int64_t>(body.data() + 10);
+    const auto n = service::wire::get<std::uint32_t>(body.data() + 18);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      r.range.emplace_back(
+          service::wire::get<std::int64_t>(body.data() + 22 + i * 16),
+          service::wire::get<std::int64_t>(body.data() + 30 + i * 16));
+    }
+    return r;
+  }
+
+ private:
+  bool read_exact(std::uint8_t* out, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+      if (r <= 0) return false;
+      got += static_cast<std::size_t>(r);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+TEST_F(ServiceTest, NetAdapterLoopbackRoundTrip) {
+  Service svc(targets(), config());
+  svc.start();
+  service::NetServer server(svc, /*port=*/0);
+  if (!server.listening()) {
+    GTEST_SKIP() << "loopback sockets unavailable in this sandbox";
+  }
+  std::thread serve([&server] { server.run(); });
+  NetClient client(server.bound_port());
+  ASSERT_TRUE(client.ok());
+
+  client.send_request(1, Op::kMapPut, 5, 50);
+  NetClient::Response r1 = client.read_response();
+  EXPECT_EQ(r1.id, 1u);
+  EXPECT_EQ(r1.status, SvcStatus::kOk);
+
+  client.send_request(2, Op::kMapGet, 5, 0);
+  NetClient::Response r2 = client.read_response();
+  EXPECT_EQ(r2.id, 2u);
+  EXPECT_TRUE(r2.ok);
+  EXPECT_EQ(r2.value, 50);
+
+  client.send_request(3, Op::kMapPut, 6, 60);
+  (void)client.read_response();
+  client.send_request(4, Op::kMapRange, 5, 6);
+  NetClient::Response r4 = client.read_response();
+  EXPECT_EQ(r4.id, 4u);
+  ASSERT_EQ(r4.range.size(), 2u);
+  EXPECT_EQ(r4.range[0].second, 50);
+  EXPECT_EQ(r4.range[1].second, 60);
+
+  server.request_stop();
+  serve.join();
+  // run() stops the service as its SIGTERM-path contract.
+  EXPECT_FALSE(svc.accepting());
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+}  // namespace otb

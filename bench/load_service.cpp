@@ -24,6 +24,8 @@
 //
 // Flags (all optional):
 //   --mode=closed|open        default closed
+//   --scenario=S              kv|scheduler|session|orderbook (default kv)
+//   --script-len=N            steps per kv script            (default 1)
 //   --workers=N               service worker threads        (default 4)
 //   --clients=N               client threads                (default 2)
 //   --window=N                closed-loop in-flight/client  (default 256)
@@ -36,6 +38,14 @@
 //   --key-range=K             map key universe              (default 256)
 //   --seed=S                  arrival/keystream seed        (default 42)
 //   --metrics-json=PATH       dump metrics registry on exit
+//
+// --script-len > 1 turns each kv request into an N-step atomic script over
+// the same key distribution — the composition-overhead axis charted in
+// EXPERIMENTS.md.  --script-len=1 submits the identical single-step request
+// the PR 5 harness did, so the baseline closed-loop numbers stay directly
+// comparable.  The scenario workloads drive the cross-structure scripts
+// from src/service/scenarios.h under load (guard aborts there are benign
+// contention outcomes, reported inside ok=).
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -44,6 +54,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,20 +63,25 @@
 #include "benchlib/driver.h"
 #include "common/rng.h"
 #include "otb/otb_list_map.h"
+#include "service/scenarios.h"
 #include "service/service.h"
 
 namespace {
 
 using otb::now_ns;
-using otb::service::Op;
 using otb::service::Request;
 using otb::service::ResponseFuture;
 using otb::service::Service;
 using otb::service::ServiceConfig;
 using otb::service::SvcStatus;
+using otb::service::map_erase;
+using otb::service::map_get;
+using otb::service::map_put;
 
 struct Flags {
   std::string mode = "closed";
+  std::string scenario = "kv";
+  unsigned script_len = 1;
   unsigned workers = 4;
   unsigned clients = 2;
   unsigned window = 256;
@@ -90,6 +107,8 @@ Flags parse(int argc, char** argv) {
   std::string v;
   for (int i = 1; i < argc; ++i) {
     if (parse_flag(argv[i], "--mode", v)) f.mode = v;
+    else if (parse_flag(argv[i], "--scenario", v)) f.scenario = v;
+    else if (parse_flag(argv[i], "--script-len", v)) f.script_len = std::stoul(v);
     else if (parse_flag(argv[i], "--workers", v)) f.workers = std::stoul(v);
     else if (parse_flag(argv[i], "--clients", v)) f.clients = std::stoul(v);
     else if (parse_flag(argv[i], "--window", v)) f.window = std::stoul(v);
@@ -109,23 +128,102 @@ Flags parse(int argc, char** argv) {
   return f;
 }
 
-/// 60/30/10 get/put/erase over [0, key_range) — the mixed-read service mix.
-Request next_request(otb::Xorshift& rng, const Flags& f) {
-  Request req;
+/// Request generator: per-client callable producing the next script.
+using RequestGen = std::function<Request(otb::Xorshift&)>;
+
+/// One 60/30/10 get/put/erase step over [0, key_range) — the mixed-read
+/// service mix, unchanged from the PR 5 harness.
+otb::service::Step kv_step(otb::Xorshift& rng, const Flags& f) {
   const std::uint64_t pick = rng.next_bounded(100);
   const auto key = static_cast<std::int64_t>(
       rng.next_bounded(static_cast<std::uint64_t>(f.key_range)));
-  if (pick < 60) {
-    req = {Op::kMapGet, key};
-  } else if (pick < 90) {
-    req = {Op::kMapPut, key, key * 3 + 1};
+  if (pick < 60) return map_get(key);
+  if (pick < 90) return map_put(key, key * 3 + 1);
+  return map_erase(key);
+}
+
+/// The kv workload: --script-len independent steps per atomic script.
+Request next_kv_request(otb::Xorshift& rng, const Flags& f) {
+  Request req{kv_step(rng, f)};
+  for (unsigned i = 1; i < f.script_len; ++i) req.steps.push_back(kv_step(rng, f));
+  return req;
+}
+
+/// Everything a workload needs to run: registered targets, a generator,
+/// and ownership of whichever structures back them.
+struct Workload {
+  otb::service::Targets targets;
+  RequestGen gen;
+  std::unique_ptr<otb::tx::OtbListMap> map;  // kv only
+  std::unique_ptr<otb::service::scenarios::JobScheduler> sched;
+  std::unique_ptr<otb::service::scenarios::SessionStore> store;
+  std::unique_ptr<otb::service::scenarios::OrderBook> book;
+};
+
+Workload make_workload(const Flags& f) {
+  Workload w;
+  const auto range = static_cast<std::uint64_t>(f.key_range);
+  if (f.scenario == "kv") {
+    w.map = std::make_unique<otb::tx::OtbListMap>();
+    for (std::int64_t k = 0; k < f.key_range; k += 2) w.map->put_seq(k, k);
+    w.targets = otb::service::Targets::standard(w.map.get());
+    w.gen = [&f](otb::Xorshift& rng) { return next_kv_request(rng, f); };
+  } else if (f.scenario == "scheduler") {
+    // Claims race releases over a seeded job pool; guard aborts (empty
+    // queue, job not leased) are benign contention outcomes.
+    w.sched = std::make_unique<otb::service::scenarios::JobScheduler>();
+    for (std::int64_t j = 1; j <= f.key_range; ++j) w.sched->seed_job(j);
+    w.targets = w.sched->targets();
+    auto* sched = w.sched.get();
+    w.gen = [sched, range](otb::Xorshift& rng) {
+      const std::uint64_t pick = rng.next_bounded(100);
+      if (pick < 50) {
+        return sched->claim(static_cast<std::int64_t>(rng.next_bounded(64)));
+      }
+      const auto job = static_cast<std::int64_t>(1 + rng.next_bounded(range));
+      return sched->release(job);
+    };
+  } else if (f.scenario == "session") {
+    // rank == sid (one expiry bucket): create and expire stay symmetric, so
+    // the sessions/TTL bijection holds throughout the run.
+    w.store = std::make_unique<otb::service::scenarios::SessionStore>();
+    w.targets = w.store->targets();
+    auto* store = w.store.get();
+    w.gen = [store, range](otb::Xorshift& rng) {
+      const std::uint64_t pick = rng.next_bounded(100);
+      const auto sid = static_cast<std::int64_t>(rng.next_bounded(range));
+      if (pick < 45) return store->create(sid, sid * 7, /*expiry_rank=*/sid);
+      if (pick < 90) return store->expire(/*rank=*/sid, sid);
+      return store->scan_ttl(sid, sid + 16);
+    };
+  } else if (f.scenario == "orderbook") {
+    // Makers dominate; match attempts use the optimistic expect-guarded
+    // script against a guessed top of book, so most abort under drift —
+    // exactly the contention profile the scenario exists to measure.
+    w.book = std::make_unique<otb::service::scenarios::OrderBook>();
+    w.targets = w.book->targets();
+    auto* book = w.book.get();
+    w.gen = [book, range](otb::Xorshift& rng) {
+      const std::uint64_t pick = rng.next_bounded(100);
+      const auto price = static_cast<std::int64_t>(100 + rng.next_bounded(range));
+      if (pick < 35) return book->place_ask(price, /*qty=*/1);
+      if (pick < 70) return book->place_bid(price, /*qty=*/1);
+      if (pick < 85) return (pick & 1) ? book->best_ask() : book->best_bid();
+      return book->match(price, price);
+    };
   } else {
-    req = {Op::kMapErase, key};
+    std::fprintf(stderr, "unknown --scenario: %s\n", f.scenario.c_str());
+    std::exit(2);
   }
   if (f.deadline_ms != 0) {
-    req.deadline_ns = now_ns() + std::uint64_t{f.deadline_ms} * 1'000'000ull;
+    RequestGen inner = std::move(w.gen);
+    w.gen = [inner, &f](otb::Xorshift& rng) {
+      Request req = inner(rng);
+      req.deadline_ns = now_ns() + std::uint64_t{f.deadline_ms} * 1'000'000ull;
+      return req;
+    };
   }
-  return req;
+  return w;
 }
 
 struct Tally {
@@ -164,7 +262,7 @@ std::uint64_t percentile_ns(std::vector<std::uint64_t>& v, double p) {
 }
 
 /// Closed loop: --clients threads, each with --window requests in flight.
-Tally run_closed(Service& svc, const Flags& f) {
+Tally run_closed(Service& svc, const Flags& f, const RequestGen& gen) {
   std::atomic<bool> stop{false};
   std::vector<Tally> tallies(f.clients);
   std::vector<std::thread> pool;
@@ -175,7 +273,7 @@ Tally run_closed(Service& svc, const Flags& f) {
       std::deque<ResponseFuture> window;
       while (!stop.load(std::memory_order_acquire)) {
         while (window.size() < f.window) {
-          window.push_back(svc.submit(next_request(rng, f)));
+          window.push_back(svc.submit(gen(rng)));
         }
         window.front().wait();
         t.account(window.front());
@@ -198,7 +296,7 @@ Tally run_closed(Service& svc, const Flags& f) {
 /// Open loop: Poisson arrivals at --rate across --clients submitter
 /// threads (each runs an independent process at rate/clients, which
 /// superposes back to a Poisson process at the full rate).
-Tally run_open(Service& svc, const Flags& f) {
+Tally run_open(Service& svc, const Flags& f, const RequestGen& gen) {
   std::vector<Tally> tallies(f.clients);
   std::vector<std::thread> pool;
   const double per_thread_rate = f.rate / double(f.clients);
@@ -221,7 +319,7 @@ Tally run_open(Service& svc, const Flags& f) {
           // below the service's batching timescale.
           std::this_thread::yield();
         }
-        inflight.push_back(svc.submit(next_request(rng, f)));
+        inflight.push_back(svc.submit(gen(rng)));
         // Opportunistically retire completed heads to bound memory.
         while (!inflight.empty() && inflight.front().done()) {
           t.account(inflight.front());
@@ -246,21 +344,19 @@ int main(int argc, char** argv) {
   otb::bench::install_metrics_json_exporter(argc, argv);
   const Flags f = parse(argc, argv);
 
-  otb::tx::OtbListMap map;
-  for (std::int64_t k = 0; k < f.key_range; k += 2) map.put_seq(k, k);
-  otb::service::Targets targets;
-  targets.map = &map;
+  Workload w = make_workload(f);
 
   ServiceConfig cfg;
   cfg.workers = f.workers;
   cfg.batch_max = f.batch_max;
   cfg.queue_capacity = f.queue_cap;
   cfg.high_water = f.high_water;
-  Service svc(targets, cfg);
+  Service svc(w.targets, cfg);
   svc.start();
 
   const std::uint64_t t0 = now_ns();
-  Tally t = f.mode == "open" ? run_open(svc, f) : run_closed(svc, f);
+  Tally t =
+      f.mode == "open" ? run_open(svc, f, w.gen) : run_closed(svc, f, w.gen);
   const double secs = double(now_ns() - t0) * 1e-9;
   svc.stop();
 
@@ -268,10 +364,12 @@ int main(int argc, char** argv) {
   const std::uint64_t p50 = percentile_ns(t.latencies_ns, 0.50);
   const std::uint64_t p99 = percentile_ns(t.latencies_ns, 0.99);
   std::printf(
-      "mode=%s workers=%u clients=%u batch_max=%u rate=%.0f window=%u "
+      "mode=%s scenario=%s script_len=%u workers=%u clients=%u batch_max=%u "
+      "rate=%.0f window=%u "
       "deadline_ms=%u duration_s=%.2f requests=%llu ok=%llu overloaded=%llu "
       "expired=%llu failed=%llu ok_per_sec=%.0f p50_us=%.1f p99_us=%.1f\n",
-      f.mode.c_str(), f.workers, f.clients, f.batch_max, f.rate, f.window,
+      f.mode.c_str(), f.scenario.c_str(), f.script_len, f.workers, f.clients,
+      f.batch_max, f.rate, f.window,
       f.deadline_ms, secs, static_cast<unsigned long long>(total),
       static_cast<unsigned long long>(t.ok),
       static_cast<unsigned long long>(t.overloaded),

@@ -67,6 +67,28 @@ for entry in "${FIGURES[@]}"; do
   run_names+=("$name")
 done
 
+# Service-plane closed loop at script lengths 1/2/4/8: the composition-
+# overhead curve (EXPERIMENTS.md).  --script-len=1 submits the identical
+# single-step requests the pre-script harness did, so load_service_s1 is
+# the single-op throughput series the compare gate tracks across the API
+# redesign.  Short fixed window/clients keep a laptop run quick; the
+# figure-quality sweep lives in EXPERIMENTS.md's command lines.
+if [[ -x "$BENCH_DIR/load_service" ]]; then
+  for slen in 1 2 4 8; do
+    name="load_service_s$slen"
+    echo "== $name (closed loop, ms=$OTB_BENCH_MS)"
+    "$BENCH_DIR/load_service" --mode=closed --script-len="$slen" \
+      --duration-ms="$OTB_BENCH_MS" --clients=2 --workers=2 \
+      --window=128 --batch-max=16 --key-range=256 \
+      --metrics-json="$TMP/$name.json" > "$TMP/$name.out"
+    "$CHECK" --validate "$TMP/$name.json" otb.service otb.tx > /dev/null
+    run_names+=("$name")
+  done
+else
+  echo "error: $BENCH_DIR/load_service not built" >&2
+  exit 2
+fi
+
 # micro_ops: transactional micro-latencies plus the validation-scaling
 # sweep (the sweep's fast/full counters land in the otb.tx domain).
 echo "== micro_ops (validation-scaling sweep + tx micro-ops)"

@@ -1,0 +1,88 @@
+// Job-scheduler scenario: the multi-op script API end to end.
+//
+// A skip-list priority queue holds ready jobs; a lease map records which
+// worker owns each claimed job.  Workers drive everything through the
+// service plane with two-step atomic scripts (scenarios.h):
+//   claim    = [pop_min(free).require(), put(lease, <popped>, worker)]
+//   requeue  = [erase(lease, job).require(), push(free, job)]
+//   complete = [erase(lease, job).require()]
+// The pop→put binding and the guards make the cross-structure invariant —
+// a job is never in both the free queue and the lease map, and never lost —
+// hold by construction; the final audit checks exactly that.
+//
+// Supports --metrics-json=PATH (validated by metrics_check --validate in
+// CI's scenario-smoke step).
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "benchlib/driver.h"
+#include "service/scenarios.h"
+
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
+  using namespace otb::service;
+
+  constexpr std::int64_t kJobs = 400;
+  constexpr int kWorkers = 3;
+
+  scenarios::JobScheduler sched;
+  for (std::int64_t j = 1; j <= kJobs; ++j) sched.seed_job(j);
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_max = 8;
+  Service svc(sched.targets(), cfg);
+  svc.start();
+
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> claims_ok{0};
+  std::atomic<bool> mismatch{false};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      std::uint64_t rng = 0x9e3779b9u + static_cast<std::uint64_t>(w);
+      while (completed.load(std::memory_order_relaxed) < kJobs) {
+        ResponseFuture fut = svc.submit(sched.claim(w));
+        if (fut.wait() != SvcStatus::kOk) continue;
+        if (!fut.ok()) continue;  // guard abort: queue momentarily empty
+        claims_ok.fetch_add(1, std::memory_order_relaxed);
+        // The binding contract: step 0 popped the job the lease now names.
+        const std::int64_t job = fut.step(0).value;
+        if (!fut.step(1).ran) mismatch.store(true);
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        if ((rng & 3) == 0) {
+          // Requeue: back to the free queue, atomically un-leased.
+          ResponseFuture rq = svc.submit(sched.release(job));
+          if (rq.wait() != SvcStatus::kOk || !rq.ok()) mismatch.store(true);
+        } else {
+          // Complete: retire the lease; the job leaves the system.
+          ResponseFuture done =
+              svc.submit(Request{map_erase(job, sched.lease_id()).require()});
+          if (done.wait() != SvcStatus::kOk || !done.ok()) mismatch.store(true);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  svc.stop();
+
+  // Audit: every job completed exactly once, nothing stranded in either
+  // structure, nothing duplicated into both.
+  const auto free_left = scenarios::drain_pq_unsafe(sched.free_queue());
+  const std::size_t leased_left = sched.leases().size_unsafe();
+  std::printf(
+      "scenario_job_scheduler: completed=%lld claims=%lld free_left=%zu "
+      "leased_left=%zu (expected %lld/_/0/0)\n",
+      static_cast<long long>(completed.load()),
+      static_cast<long long>(claims_ok.load()), free_left.size(), leased_left,
+      static_cast<long long>(kJobs));
+  const bool pass = completed.load() == kJobs && free_left.empty() &&
+                    leased_left == 0 && !mismatch.load();
+  return pass ? 0 : 1;
+}

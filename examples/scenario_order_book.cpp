@@ -1,0 +1,124 @@
+// Order-book scenario: optimistic cross-matching with expect guards.
+//
+// Three structures under one service: an ask queue, a bid queue (prices
+// negated so the queue minimum is the best bid) and an order map holding
+// every resting order's quantity.  Makers rest orders with guarded
+// push+put scripts; matchers read both tops, then submit the four-step
+// match script (scenarios.h): pop both minima with `expect` guards and
+// erase both book entries.  If the book moved between the read and the
+// match — the other matcher got there first, a better price arrived — the
+// expects abort the whole script and nothing is half-matched: the
+// CAS-retry shape of a real matching engine, with the retry loop in the
+// client and atomicity in the service.  Final audit: matched pairs all
+// crossed (bid >= ask), and the order map is exactly the union of the
+// remaining queues.
+//
+// Supports --metrics-json=PATH (validated by metrics_check --validate in
+// CI's scenario-smoke step).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "benchlib/driver.h"
+#include "service/scenarios.h"
+
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
+  using namespace otb::service;
+
+  constexpr std::int64_t kOrders = 200;  // asks and bids placed, each
+  constexpr int kMatchers = 2;
+
+  scenarios::OrderBook book;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_max = 8;
+  Service svc(book.targets(), cfg);
+  svc.start();
+
+  std::atomic<std::int64_t> matched{0};
+  std::atomic<bool> makers_done{false};
+  std::atomic<bool> mismatch{false};
+  std::mutex fills_mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> fills;  // (ask, bid)
+
+  // Every bid dominates every ask (bids 1100.., asks 100..), so the book
+  // fully crosses: exactly kOrders matches drain both sides.  Interleaved
+  // placement makes the matchers race the makers on a moving top of book.
+  std::thread ask_maker([&] {
+    for (std::int64_t i = 0; i < kOrders; ++i) {
+      ResponseFuture fut = svc.submit(book.place_ask(100 + i, /*qty=*/10));
+      if (fut.wait() != SvcStatus::kOk || !fut.ok()) mismatch.store(true);
+    }
+  });
+  std::thread bid_maker([&] {
+    for (std::int64_t i = 0; i < kOrders; ++i) {
+      ResponseFuture fut = svc.submit(book.place_bid(1100 + i, /*qty=*/10));
+      if (fut.wait() != SvcStatus::kOk || !fut.ok()) mismatch.store(true);
+    }
+  });
+
+  std::vector<std::thread> matchers;
+  for (int m = 0; m < kMatchers; ++m) {
+    matchers.emplace_back([&] {
+      while (matched.load(std::memory_order_relaxed) < kOrders) {
+        ResponseFuture a = svc.submit(book.best_ask());
+        ResponseFuture b = svc.submit(book.best_bid());
+        if (a.wait() != SvcStatus::kOk || b.wait() != SvcStatus::kOk) continue;
+        if (!a.ok() || !b.ok()) {  // a side is empty
+          if (makers_done.load(std::memory_order_relaxed) &&
+              matched.load(std::memory_order_relaxed) >= kOrders) {
+            break;
+          }
+          continue;
+        }
+        const std::int64_t ask = a.value();
+        const std::int64_t bid = -b.value();  // bids are stored negated
+        if (bid < ask) continue;  // top of book does not cross (yet)
+        ResponseFuture fut = svc.submit(book.match(ask, bid));
+        if (fut.wait() != SvcStatus::kOk) continue;
+        if (!fut.ok()) continue;  // expects drifted: benign, retry
+        matched.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(fills_mu);
+        fills.emplace_back(ask, bid);
+      }
+    });
+  }
+
+  ask_maker.join();
+  bid_maker.join();
+  makers_done.store(true);
+  for (auto& t : matchers) t.join();
+  svc.stop();
+
+  // Audit 1: every fill crossed.
+  for (const auto& [ask, bid] : fills) {
+    if (bid < ask) mismatch.store(true);
+  }
+  // Audit 2: the order map is exactly the remaining queues' union.
+  auto asks_left = scenarios::drain_pq_unsafe(book.asks());
+  auto bids_left = scenarios::drain_pq_unsafe(book.bids());
+  std::vector<std::int64_t> queues;
+  queues.insert(queues.end(), asks_left.begin(), asks_left.end());
+  queues.insert(queues.end(), bids_left.begin(), bids_left.end());
+  std::sort(queues.begin(), queues.end());
+  std::vector<std::int64_t> orders_left;
+  for (const auto& [k, v] : book.orders().snapshot_unsafe()) {
+    orders_left.push_back(k);
+  }
+  std::sort(orders_left.begin(), orders_left.end());
+  if (queues != orders_left) mismatch.store(true);
+
+  std::printf(
+      "scenario_order_book: matched=%lld asks_left=%zu bids_left=%zu "
+      "orders_left=%zu (expected %lld/0/0/0)\n",
+      static_cast<long long>(matched.load()), asks_left.size(),
+      bids_left.size(), orders_left.size(), static_cast<long long>(kOrders));
+  const bool pass = matched.load() == kOrders && asks_left.empty() &&
+                    bids_left.empty() && orders_left.empty() &&
+                    !mismatch.load();
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Session-store scenario: atomic create and TTL-sweep scripts.
+//
+// Two maps share one service: `sessions` (sid -> data) and a TTL index
+// (expiry rank -> sid, rank = bucket * kSessions + sid so ranks are unique
+// and time-ordered).  Creators install sessions with a two-put script;
+// concurrent sweepers scan the TTL index with a range step and retire each
+// expired entry with a guarded two-erase script (scenarios.h) — the TTL
+// erase is the guard, so racing sweepers never double-expire and never
+// touch a session the other sweeper already removed.  Invariant audited at
+// the end: both maps empty (every created session expired exactly once),
+// and within every expire script the step results agreed.
+//
+// Supports --metrics-json=PATH (validated by metrics_check --validate in
+// CI's scenario-smoke step).
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "benchlib/driver.h"
+#include "service/scenarios.h"
+
+int main(int argc, char** argv) {
+  otb::bench::install_metrics_json_exporter(argc, argv);
+  using namespace otb::service;
+
+  constexpr std::int64_t kSessions = 256;  // sids [0, kSessions)
+  constexpr std::int64_t kBuckets = 4;     // expiry buckets, created in order
+  constexpr int kSweepers = 2;
+
+  scenarios::SessionStore store;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_max = 8;
+  Service svc(store.targets(), cfg);
+  svc.start();
+
+  std::atomic<std::int64_t> expired{0};
+  std::atomic<bool> mismatch{false};
+
+  std::thread creator([&] {
+    for (std::int64_t b = 0; b < kBuckets; ++b) {
+      for (std::int64_t sid = 0; sid < kSessions; ++sid) {
+        if (sid % kBuckets != b) continue;  // each sid lives in one bucket
+        const std::int64_t rank = b * kSessions + sid;
+        ResponseFuture fut = svc.submit(store.create(sid, sid * 7, rank));
+        if (fut.wait() != SvcStatus::kOk || !fut.ok()) mismatch.store(true);
+      }
+    }
+  });
+
+  // Sweepers race over the whole rank space until every session is gone:
+  // scan a bucket's rank window, then atomically expire each hit.  Guard
+  // aborts (the other sweeper won the entry) are expected and benign.
+  std::vector<std::thread> sweepers;
+  for (int s = 0; s < kSweepers; ++s) {
+    sweepers.emplace_back([&] {
+      while (expired.load(std::memory_order_relaxed) < kSessions) {
+        ResponseFuture scan =
+            svc.submit(store.scan_ttl(0, kBuckets * kSessions));
+        if (scan.wait() != SvcStatus::kOk) continue;
+        for (const auto& [rank, sid] : scan.range()) {
+          ResponseFuture fut = svc.submit(store.expire(rank, sid));
+          if (fut.wait() != SvcStatus::kOk) continue;
+          if (!fut.ok()) {
+            // Guard abort: the TTL erase lost the race.  The session erase
+            // must not have run — that is the atomicity contract.
+            if (fut.step(1).ran) mismatch.store(true);
+            continue;
+          }
+          // Won the TTL entry: the session erase ran in the same
+          // transaction and must have found the session.
+          if (!fut.step(1).ran || !fut.step(1).ok) mismatch.store(true);
+          expired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  creator.join();
+  for (auto& t : sweepers) t.join();
+  svc.stop();
+
+  const std::size_t sessions_left = store.sessions().size_unsafe();
+  const std::size_t ttl_left = store.ttl_index().size_unsafe();
+  std::printf(
+      "scenario_session_store: expired=%lld sessions_left=%zu ttl_left=%zu "
+      "(expected %lld/0/0)\n",
+      static_cast<long long>(expired.load()), sessions_left, ttl_left,
+      static_cast<long long>(kSessions));
+  const bool pass = expired.load() == kSessions && sessions_left == 0 &&
+                    ttl_left == 0 && !mismatch.load();
+  return pass ? 0 : 1;
+}

@@ -35,8 +35,28 @@ class SmallVec {
     if (heap_ != nullptr) ::operator delete(heap_, std::align_val_t{alignof(T)});
   }
 
-  SmallVec(const SmallVec&) = delete;
-  SmallVec& operator=(const SmallVec&) = delete;
+  // Copy/move keep the inline-first representation: small payloads are a
+  // memcpy, only spilled ones transfer (move) or reallocate (copy) the heap
+  // block.  The service plane's multi-op `Request` rides on this — a request
+  // carries its step list by value through submit() into the Pending cell.
+  SmallVec(const SmallVec& o) { assign(o); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      size_ = 0;
+      assign(o);
+    }
+    return *this;
+  }
+  SmallVec(SmallVec&& o) noexcept { steal(o); }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      if (heap_ != nullptr) ::operator delete(heap_, std::align_val_t{alignof(T)});
+      heap_ = nullptr;
+      cap_ = N;
+      steal(o);
+    }
+    return *this;
+  }
 
   T* begin() noexcept { return data(); }
   T* end() noexcept { return data() + size_; }
@@ -90,6 +110,27 @@ class SmallVec {
   }
   const T* data() const noexcept {
     return heap_ != nullptr ? heap_ : reinterpret_cast<const T*>(inline_);
+  }
+
+  void assign(const SmallVec& o) {
+    reserve(o.size_);
+    std::memcpy(data(), o.data(), o.size_ * sizeof(T));
+    size_ = o.size_;
+  }
+
+  void steal(SmallVec& o) noexcept {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      std::memcpy(inline_, o.inline_, o.size_ * sizeof(T));
+      size_ = o.size_;
+      o.size_ = 0;
+    }
   }
 
   void grow(std::size_t new_cap) {

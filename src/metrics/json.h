@@ -1,8 +1,8 @@
 // JSON export/import for snapshots.
 //
-// Schema ("otb.metrics/3"):
+// Schema ("otb.metrics/4"):
 //   {
-//     "schema": "otb.metrics/3",
+//     "schema": "otb.metrics/4",
 //     "domains": {
 //       "stm.NOrec": {
 //         "counters": { "commits": 12, "attempts": 14, ... },   // all ids
@@ -24,6 +24,8 @@
 // and the per-domain "traversals" length histogram.
 // /3 over /2: the service-plane slice — six svc_* counters, the "service"
 // enqueue-to-completion phase, and the "queue_depth" / "batch_size" series.
+// /4 over /3: the multi-op script surface — svc_scripts / svc_script_steps /
+// svc_guard_aborts counters (see snapshot.h for their ledger relations).
 //
 // The importer is deliberately strict — every counter/reason/phase key must
 // be present and no unknown keys are allowed — which is exactly what the
@@ -41,7 +43,7 @@
 
 namespace otb::metrics {
 
-inline constexpr std::string_view kJsonSchemaId = "otb.metrics/3";
+inline constexpr std::string_view kJsonSchemaId = "otb.metrics/4";
 
 namespace detail {
 

@@ -43,9 +43,17 @@ enum class CounterId : unsigned {
   kSvcFailed,
   kSvcBatches,
   kSvcBatchSplits,
+  // Multi-op script surface (schema otb.metrics/4): svc_scripts counts
+  // admitted requests with more than one step, svc_script_steps the total
+  // steps admitted (svc_script_steps >= svc_enqueued), svc_guard_aborts the
+  // requests completed via a solo guard failure (a subset of the kOk
+  // completions counted in batch_size.total).
+  kSvcScripts,
+  kSvcScriptSteps,
+  kSvcGuardAborts,
 };
 
-inline constexpr std::size_t kCounterCount = 19;
+inline constexpr std::size_t kCounterCount = 22;
 
 constexpr std::string_view to_string(CounterId id) {
   switch (id) {
@@ -87,6 +95,12 @@ constexpr std::string_view to_string(CounterId id) {
       return "svc_batches";
     case CounterId::kSvcBatchSplits:
       return "svc_batch_splits";
+    case CounterId::kSvcScripts:
+      return "svc_scripts";
+    case CounterId::kSvcScriptSteps:
+      return "svc_script_steps";
+    case CounterId::kSvcGuardAborts:
+      return "svc_guard_aborts";
   }
   return "?";
 }

@@ -21,6 +21,7 @@
 //     instead of re-running `make_desc()` (zero-allocation retries).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
@@ -185,6 +186,14 @@ class OtbDs {
   /// address — destroying a structure implicitly orphans its cache entries.
   std::uint64_t hint_owner_id() const { return hint_id_; }
 
+  /// The same id doubles as the structure's rank in the GLOBAL cross-
+  /// structure lock-acquisition order: a host that pre-commits multiple
+  /// structures does so in ascending structure_id(), and each structure's
+  /// own pre_commit locks its keys in ascending key order, so the combined
+  /// (structure id, key) order is total across the process (DESIGN.md
+  /// "Cross-structure lock order").
+  std::uint64_t structure_id() const { return hint_id_; }
+
  protected:
   virtual void do_on_commit(OtbDsDesc& desc) = 0;
   virtual void do_post_commit(OtbDsDesc& desc) = 0;
@@ -278,7 +287,24 @@ class TxHost {
 
   /// pre_commit every structure; on failure, roll back the ones already
   /// locked and report false.
+  ///
+  /// Structures are visited in ascending structure_id() — combined with the
+  /// per-structure ascending-key lock order inside each pre_commit, every
+  /// transaction in the process acquires semantic locks along one total
+  /// (structure id, key) order.  pre_commit lock grabs are try_lock
+  /// (fail -> abort, never block), so this is not needed for deadlock
+  /// freedom; it makes the failure point deterministic and keeps two
+  /// multi-structure writers from repeatedly aborting each other from
+  /// opposite ends (the same livelock argument as the PR 5 batch key sort,
+  /// now lifted across heterogeneous structures — DESIGN.md
+  /// "Cross-structure lock order").
   bool pre_commit_attached(bool use_locks) {
+    if (attached_.size() > 1) {
+      std::sort(attached_.begin(), attached_.end(),
+                [](const auto& a, const auto& b) {
+                  return a.first->structure_id() < b.first->structure_id();
+                });
+    }
     for (std::size_t i = 0; i < attached_.size(); ++i) {
       if (!attached_[i].first->pre_commit(*attached_[i].second, use_locks)) {
         for (std::size_t j = 0; j <= i; ++j) {

@@ -8,16 +8,38 @@
 // *adapter*, not a server framework.
 //
 // Wire format (little-endian; u32 length prefix counts the bytes after
-// itself):
-//   request  := u32 len | u64 id | u8 op | i64 key | i64 value
-//               | u32 deadline_ms                      (len == 29)
-//   response := u32 len | u64 id | u8 status | u8 ok | i64 value
-//               | u32 n | n × (i64 key, i64 value)
+// itself).  Two request frame versions coexist on one connection, selected
+// per frame by length (docs/SERVICE.md "Wire format"):
+//
+//   v1 (legacy single-op, len == 29 exactly — 14 + 29·n can never equal 29,
+//   so the length disambiguates):
+//     request  := u32 len | u64 id | u8 op | i64 key | i64 value
+//                 | u32 deadline_ms
+//     response := u32 len | u64 id | u8 status | u8 ok | i64 value
+//                 | u32 n | n × (i64 key, i64 value)
+//   `op` is the retired flat PR 5 opcode (0..10), translated to a
+//   one-step script on receipt; v1 clients keep working unchanged.
+//
+//   v2 (multi-op script, len == 14 + 29·nsteps):
+//     request  := u32 len | u8 ver(=2) | u8 nsteps | u32 deadline_ms
+//                 | u64 id | nsteps × step
+//     step     := u8 structure | u8 verb | u8 flags | i8 key_from
+//                 | i8 value_from | i64 key | i64 value | i64 expect
+//     response := u32 len | u8 ver(=2) | u64 id | u8 status | u8 ok
+//                 | u8 nsteps | nsteps × (u8 ran, u8 ok, i64 value)
+//                 | u32 n | n × (i64 key, i64 value)
+//   `flags` bit0 = required, bit1 = has_expect.  A response frame's version
+//   always matches its request's — a v1 client never sees v2 bytes.
+//
 // `id` is an opaque client token echoed back; `deadline_ms` is relative
 // (0 = none) and converted to the service's absolute now_ns clock on
-// receipt; `n` is nonzero only for completed kMapRange requests.  Malformed
-// frames (bad length or op) close the connection — a length-prefixed stream
-// cannot resynchronise after garbage.
+// receipt; `n` counts the range pairs of completed kOk requests with range
+// steps.  Frame-level garbage (length matching neither version, bad v2
+// version byte, nsteps outside [1, kNetMaxWireSteps], unknown verb/op byte)
+// closes the connection — a length-prefixed stream cannot resynchronise
+// after garbage.  SEMANTIC problems (unregistered slot, incompatible verb,
+// bad binding) are the service's call: they come back as a kFailed
+// response, not a hangup.
 //
 // Shutdown: NetServer::request_stop() is async-signal-safe (one relaxed
 // store), so `signal(SIGTERM, handler)` can call it directly.  The loop
@@ -49,7 +71,49 @@ namespace otb::service {
 
 #if defined(__linux__)
 
-inline constexpr std::size_t kNetRequestFrameLen = 29;
+inline constexpr std::size_t kNetRequestFrameLen = 29;  // v1 frame body
+inline constexpr std::uint8_t kNetWireV2 = 2;
+inline constexpr std::size_t kNetWireStepLen = 29;      // encoded v2 step
+inline constexpr std::size_t kNetWireV2HeaderLen = 14;  // ver..id inclusive
+/// Framing cap on v2 scripts — decoupled from the service's own
+/// OTB_SVC_MAX_STEPS admission knob (a longer-than-configured script
+/// decodes fine and completes kFailed; a frame above this cap is garbage).
+inline constexpr std::size_t kNetMaxWireSteps = 32;
+
+/// Retired flat PR 5 opcodes, kept only as the v1 wire vocabulary.
+enum class LegacyWireOp : std::uint8_t {
+  kMapGet = 0,
+  kMapPut,
+  kMapErase,
+  kMapRange,
+  kSetAdd,
+  kSetRemove,
+  kSetContains,
+  kHeapPush,
+  kHeapPopMin,
+  kSlPush,
+  kSlPopMin,
+};
+
+/// v1 opcode -> one-step script against the standard slot layout.
+/// Returns false for an unknown opcode (caller hangs up).
+inline bool legacy_wire_step(std::uint8_t op, std::int64_t key,
+                             std::int64_t value, Step* out) {
+  switch (static_cast<LegacyWireOp>(op)) {
+    case LegacyWireOp::kMapGet: *out = map_get(key); return true;
+    case LegacyWireOp::kMapPut: *out = map_put(key, value); return true;
+    case LegacyWireOp::kMapErase: *out = map_erase(key); return true;
+    case LegacyWireOp::kMapRange: *out = map_range(key, value); return true;
+    case LegacyWireOp::kSetAdd: *out = set_add(key); return true;
+    case LegacyWireOp::kSetRemove: *out = set_remove(key); return true;
+    case LegacyWireOp::kSetContains: *out = set_contains(key); return true;
+    case LegacyWireOp::kHeapPush: *out = heap_push(key); return true;
+    case LegacyWireOp::kHeapPopMin: *out = heap_pop_min(); return true;
+    case LegacyWireOp::kSlPush: *out = sl_push(key); return true;
+    case LegacyWireOp::kSlPopMin: *out = sl_pop_min(); return true;
+  }
+  return false;
+}
 
 namespace wire {
 template <typename T>
@@ -124,6 +188,7 @@ class NetServer {
  private:
   struct InFlight {
     std::uint64_t id = 0;
+    bool v2 = false;  // respond in the same frame version the request used
     ResponseFuture fut;
   };
 
@@ -209,34 +274,86 @@ class NetServer {
     std::size_t off = 0;
     while (conn.in.size() - off >= 4) {
       const std::uint32_t len = wire::get<std::uint32_t>(conn.in.data() + off);
-      if (len != kNetRequestFrameLen) {  // protocol error: cannot resync
+      // Version dispatch by length: exactly 29 is a v1 frame, 14 + 29·n a
+      // v2 frame (the two sets are disjoint); anything else is garbage.
+      const bool v1 = len == kNetRequestFrameLen;
+      const bool v2_shape =
+          len >= kNetWireV2HeaderLen + kNetWireStepLen &&
+          (len - kNetWireV2HeaderLen) % kNetWireStepLen == 0 &&
+          (len - kNetWireV2HeaderLen) / kNetWireStepLen <= kNetMaxWireSteps;
+      if (!v1 && !v2_shape) {  // protocol error: cannot resync
         conn.dead = true;
         break;
       }
       if (conn.in.size() - off < 4 + len) break;
-      decode_submit(conn, conn.in.data() + off + 4);
+      if (v1) {
+        decode_submit_v1(conn, conn.in.data() + off + 4);
+      } else {
+        decode_submit_v2(conn, conn.in.data() + off + 4, len);
+      }
       off += 4 + len;
     }
     conn.in.erase(conn.in.begin(),
                   conn.in.begin() + static_cast<std::ptrdiff_t>(off));
   }
 
-  void decode_submit(Conn& conn, const std::uint8_t* p) {
+  void decode_submit_v1(Conn& conn, const std::uint8_t* p) {
     const std::uint64_t id = wire::get<std::uint64_t>(p);
     const std::uint8_t op = wire::get<std::uint8_t>(p + 8);
-    if (op > static_cast<std::uint8_t>(Op::kSlPopMin)) {
+    const std::int64_t key = wire::get<std::int64_t>(p + 9);
+    const std::int64_t value = wire::get<std::int64_t>(p + 17);
+    Step step;
+    if (!legacy_wire_step(op, key, value, &step)) {
       conn.dead = true;
       return;
     }
-    Request req;
-    req.op = static_cast<Op>(op);
-    req.key = wire::get<std::int64_t>(p + 9);
-    req.value = wire::get<std::int64_t>(p + 17);
+    Request req{step};
     const std::uint32_t deadline_ms = wire::get<std::uint32_t>(p + 25);
     if (deadline_ms != 0) {
       req.deadline_ns = now_ns() + std::uint64_t{deadline_ms} * 1'000'000ull;
     }
-    conn.inflight.push_back(InFlight{id, svc_.submit(req)});
+    conn.inflight.push_back(InFlight{id, /*v2=*/false, svc_.submit(req)});
+  }
+
+  void decode_submit_v2(Conn& conn, const std::uint8_t* p, std::uint32_t len) {
+    if (wire::get<std::uint8_t>(p) != kNetWireV2) {
+      conn.dead = true;
+      return;
+    }
+    const std::uint8_t nsteps = wire::get<std::uint8_t>(p + 1);
+    if (nsteps == 0 ||
+        std::size_t{nsteps} !=
+            (len - kNetWireV2HeaderLen) / kNetWireStepLen) {
+      conn.dead = true;  // header and length prefix disagree
+      return;
+    }
+    const std::uint32_t deadline_ms = wire::get<std::uint32_t>(p + 2);
+    const std::uint64_t id = wire::get<std::uint64_t>(p + 6);
+    Request req;
+    if (deadline_ms != 0) {
+      req.deadline_ns = now_ns() + std::uint64_t{deadline_ms} * 1'000'000ull;
+    }
+    const std::uint8_t* sp = p + kNetWireV2HeaderLen;
+    for (std::uint8_t i = 0; i < nsteps; ++i, sp += kNetWireStepLen) {
+      const std::uint8_t verb = wire::get<std::uint8_t>(sp + 1);
+      if (verb >= kVerbCount) {  // not even a known verb: garbage frame
+        conn.dead = true;
+        return;
+      }
+      Step s;
+      s.structure = wire::get<std::uint8_t>(sp);
+      s.verb = static_cast<Verb>(verb);
+      const std::uint8_t flags = wire::get<std::uint8_t>(sp + 2);
+      s.required = (flags & 1u) != 0;
+      s.has_expect = (flags & 2u) != 0;
+      s.key_from = static_cast<std::int8_t>(wire::get<std::uint8_t>(sp + 3));
+      s.value_from = static_cast<std::int8_t>(wire::get<std::uint8_t>(sp + 4));
+      s.key = wire::get<std::int64_t>(sp + 5);
+      s.value = wire::get<std::int64_t>(sp + 13);
+      s.expect = wire::get<std::int64_t>(sp + 21);
+      req.steps.push_back(s);
+    }
+    conn.inflight.push_back(InFlight{id, /*v2=*/true, svc_.submit(req)});
   }
 
   /// Append response frames for completed futures.  Completions are
@@ -259,11 +376,35 @@ class NetServer {
         s == SvcStatus::kOk && !f.fut.range().empty();
     const std::uint32_t n =
         with_range ? static_cast<std::uint32_t>(f.fut.range().size()) : 0;
-    wire::put<std::uint32_t>(conn.out, 8 + 1 + 1 + 8 + 4 + n * 16);
-    wire::put<std::uint64_t>(conn.out, f.id);
-    wire::put<std::uint8_t>(conn.out, static_cast<std::uint8_t>(s));
-    wire::put<std::uint8_t>(conn.out, s == SvcStatus::kOk && f.fut.ok() ? 1 : 0);
-    wire::put<std::int64_t>(conn.out, s == SvcStatus::kOk ? f.fut.value() : 0);
+    // Per-step results exist only for requests the worker path saw; a
+    // submit-time kFailed/kOverloaded leaves `results` empty, which the
+    // v2 frame carries faithfully as nsteps == 0.
+    const std::uint32_t nsteps =
+        f.v2 ? static_cast<std::uint32_t>(f.fut.step_count()) : 0;
+    const std::uint32_t body = (f.v2 ? 1 + 8 + 1 + 1 + 1 + nsteps * 10
+                                     : 8 + 1 + 1 + 8) +
+                               4 + n * 16;
+    wire::put<std::uint32_t>(conn.out, body);
+    if (f.v2) {
+      wire::put<std::uint8_t>(conn.out, kNetWireV2);
+      wire::put<std::uint64_t>(conn.out, f.id);
+      wire::put<std::uint8_t>(conn.out, static_cast<std::uint8_t>(s));
+      wire::put<std::uint8_t>(conn.out,
+                              s == SvcStatus::kOk && f.fut.ok() ? 1 : 0);
+      wire::put<std::uint8_t>(conn.out, static_cast<std::uint8_t>(nsteps));
+      for (std::uint32_t i = 0; i < nsteps; ++i) {
+        const StepResult& r = f.fut.step(i);
+        wire::put<std::uint8_t>(conn.out, r.ran ? 1 : 0);
+        wire::put<std::uint8_t>(conn.out, r.ok ? 1 : 0);
+        wire::put<std::int64_t>(conn.out, r.value);
+      }
+    } else {
+      wire::put<std::uint64_t>(conn.out, f.id);
+      wire::put<std::uint8_t>(conn.out, static_cast<std::uint8_t>(s));
+      wire::put<std::uint8_t>(conn.out,
+                              s == SvcStatus::kOk && f.fut.ok() ? 1 : 0);
+      wire::put<std::int64_t>(conn.out, s == SvcStatus::kOk ? f.fut.value() : 0);
+    }
     wire::put<std::uint32_t>(conn.out, n);
     if (with_range) {
       for (const auto& [k, v] : f.fut.range()) {

@@ -1,9 +1,29 @@
 // Typed request/response vocabulary of the transactional service plane.
 //
-// A client submits a `Request` naming one operation over one of the
-// service's registered OTB structures (map get/put/erase/range, set
-// add/remove/contains, PQ push/pop) and receives a `ResponseFuture`.  The
-// service completes the underlying `Pending` cell exactly once with a
+// A client submits a `Request` — an atomic *script* of one or more typed
+// `Step`s over the service's registered OTB structures — and receives a
+// `ResponseFuture`.  Every step names its target by `StructureId` (the
+// slot the structure was registered under, see `service::Targets`) plus a
+// `Verb`; the whole script executes inside ONE boosted transaction, so a
+// pop from a priority queue and a put into a map either both happen or
+// neither does.  Single-step requests are the inline fast path: the step
+// list lives in the request itself (SmallVec inline storage), so the PR 5
+// one-op submit path allocates and copies exactly what it used to.
+//
+// Script features (specified in docs/SERVICE.md):
+//   * result binding — a step may take its key or value from the result of
+//     an earlier step (`key_from`/`value_from`), e.g. "pop the most urgent
+//     job, then lease THAT job";
+//   * guards — a `required` step whose outcome is false aborts the script:
+//     the transaction's effects are rolled back and the request completes
+//     with per-step results describing where it stopped (atomically
+//     nothing happened);
+//   * expectations — `expect` turns a step into a compare: the step's
+//     result value must match or the script aborts (CAS-style conditional
+//     scripts, e.g. "pop the ask I matched against, not whatever became
+//     the minimum since").
+//
+// The service completes the underlying `Pending` cell exactly once with a
 // terminal `SvcStatus`; the future is the client's read-only view and can
 // be waited on (C++20 atomic wait — futex-backed, no spinning client).
 //
@@ -16,55 +36,95 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <utility>
 #include <vector>
 
 #include "common/platform.h"
+#include "common/small_vec.h"
 
 namespace otb::service {
 
-/// Operation + target structure, one enumerator per (structure, op) pair.
-enum class Op : std::uint8_t {
-  kMapGet = 0,
-  kMapPut,
-  kMapErase,
-  kMapRange,    // key = lo, value = hi; pairs come back in Pending::range_out
-  kSetAdd,
-  kSetRemove,
-  kSetContains,
-  kHeapPush,    // binary-heap PQ (duplicates allowed; always succeeds)
-  kHeapPopMin,
-  kSlPush,      // skip-list PQ (unique keys)
-  kSlPopMin,
+/// What kind of structure a `Targets` slot holds — determines which verbs
+/// a step against that slot may use.
+enum class StructureKind : std::uint8_t {
+  kMap = 0,   // OtbListMap: get/put/erase/contains/range
+  kSet,       // OtbListSet: add/remove/contains
+  kHeapPq,    // OtbHeapPQ: push (duplicates ok, never fails) / pop_min / min
+  kSlPq,      // OtbSkipListPQ: push (unique keys) / pop_min / min
 };
 
-inline const char* to_string(Op op) {
-  switch (op) {
-    case Op::kMapGet: return "map_get";
-    case Op::kMapPut: return "map_put";
-    case Op::kMapErase: return "map_erase";
-    case Op::kMapRange: return "map_range";
-    case Op::kSetAdd: return "set_add";
-    case Op::kSetRemove: return "set_remove";
-    case Op::kSetContains: return "set_contains";
-    case Op::kHeapPush: return "heap_push";
-    case Op::kHeapPopMin: return "heap_pop_min";
-    case Op::kSlPush: return "sl_push";
-    case Op::kSlPopMin: return "sl_pop_min";
+inline constexpr std::size_t kStructureKindCount = 4;
+
+constexpr const char* to_string(StructureKind k) {
+  // Exhaustive by construction: no default case, so -Werror=switch
+  // (OTB_WERROR) breaks the build when an enumerator is added without a
+  // string; the post-switch "?" is reachable only for out-of-range values
+  // decoded off the wire.  test_service.cpp walks [0, kStructureKindCount)
+  // and asserts every name is distinct and never "?".
+  switch (k) {
+    case StructureKind::kMap: return "map";
+    case StructureKind::kSet: return "set";
+    case StructureKind::kHeapPq: return "heap_pq";
+    case StructureKind::kSlPq: return "sl_pq";
   }
   return "?";
 }
 
+/// One operation verb.  Which verbs are legal depends on the target slot's
+/// StructureKind (see `Targets::valid_step`); an incompatible pair fails
+/// the whole request at admission (kFailed), it never reaches a worker.
+enum class Verb : std::uint8_t {
+  kGet = 0,   // map: ok = present, result value = mapped value
+  kPut,       // map: ok = key was absent (insert-or-assign), result = value
+  kErase,     // map: ok = key was present
+  kContains,  // map/set: ok = present
+  kRange,     // map: key = lo, value = hi (inclusive); pairs append to
+              // Pending::range_out, result value = pair count of THIS step
+  kAdd,       // set: ok = key was absent
+  kRemove,    // set: ok = key was present
+  kPush,      // pq: insert key; heap PQ always succeeds, skip-list PQ is
+              // unique-keys (ok = was absent); result value = key
+  kPopMin,    // pq: ok = non-empty, result value = removed minimum
+  kMin,       // pq: ok = non-empty, result value = current minimum
+};
+
+inline constexpr std::size_t kVerbCount = 10;
+
+constexpr const char* to_string(Verb v) {
+  switch (v) {
+    case Verb::kGet: return "get";
+    case Verb::kPut: return "put";
+    case Verb::kErase: return "erase";
+    case Verb::kContains: return "contains";
+    case Verb::kRange: return "range";
+    case Verb::kAdd: return "add";
+    case Verb::kRemove: return "remove";
+    case Verb::kPush: return "push";
+    case Verb::kPopMin: return "pop_min";
+    case Verb::kMin: return "min";
+  }
+  return "?";
+}
+
+/// Slot index into the service's structure table (`Targets`).  Plain
+/// integer rather than an enum: services register their own structures at
+/// runtime, the vocabulary cannot know their names.
+using StructureId = std::uint8_t;
+
 /// Terminal request states (kPending is the only non-terminal one).
 enum class SvcStatus : std::uint8_t {
   kPending = 0,
-  kOk,          // executed in a committed transaction; see ok/value
+  kOk,          // script executed atomically; semantic outcome in ok/steps
   kOverloaded,  // rejected at admission (queue above high-water, or stopped)
   kExpired,     // deadline passed before a transaction slot ran it
-  kFailed,      // no structure registered for the op
+  kFailed,      // malformed script: unregistered slot, incompatible verb,
+                // bad binding index, or too many steps (rejected at submit)
 };
 
-inline const char* to_string(SvcStatus s) {
+inline constexpr std::size_t kSvcStatusCount = 5;
+
+constexpr const char* to_string(SvcStatus s) {
   switch (s) {
     case SvcStatus::kPending: return "pending";
     case SvcStatus::kOk: return "ok";
@@ -75,14 +135,127 @@ inline const char* to_string(SvcStatus s) {
   return "?";
 }
 
-struct Request {
-  Op op = Op::kMapGet;
+/// One typed operation inside a script.  Trivially copyable by design —
+/// the step list is a SmallVec and the wire codec memcpys fields.
+struct Step {
+  StructureId structure = 0;
+  Verb verb = Verb::kGet;
+  // Result bindings: take key/value from the result value of an EARLIER
+  // step (index < this step's position) instead of the literal fields.
+  // -1 = use the literal.
+  std::int8_t key_from = -1;
+  std::int8_t value_from = -1;
+  bool required = false;    // guard: script aborts if this step's ok is false
+  bool has_expect = false;  // guard: script aborts unless result == expect
   std::int64_t key = 0;
-  std::int64_t value = 0;       // put value / range hi bound
-  std::uint64_t deadline_ns = 0;  // absolute (now_ns clock); 0 = no deadline
+  std::int64_t value = 0;   // put value / range hi bound
+  std::int64_t expect = 0;
+
+  // Fluent modifiers so factory-built steps read as a sentence:
+  //   sl_pop_min(free).require(), map_put(0, worker, leases).key_from_step(0)
+  Step& require() {
+    required = true;
+    return *this;
+  }
+  Step& expecting(std::int64_t v) {
+    has_expect = true;
+    expect = v;
+    return *this;
+  }
+  Step& key_from_step(std::int8_t i) {
+    key_from = i;
+    return *this;
+  }
+  Step& value_from_step(std::int8_t i) {
+    value_from = i;
+    return *this;
+  }
 };
 
-/// One in-flight request: the request itself plus the completion cell the
+// Step factories.  The default slot arguments match `Targets::standard`'s
+// canonical layout (map=0, set=1, heap=2, skip-list PQ=3); services with
+// bespoke registrations pass their own slot ids.
+inline Step map_get(std::int64_t key, StructureId sid = 0) {
+  return Step{sid, Verb::kGet, -1, -1, false, false, key, 0, 0};
+}
+inline Step map_put(std::int64_t key, std::int64_t value, StructureId sid = 0) {
+  return Step{sid, Verb::kPut, -1, -1, false, false, key, value, 0};
+}
+inline Step map_erase(std::int64_t key, StructureId sid = 0) {
+  return Step{sid, Verb::kErase, -1, -1, false, false, key, 0, 0};
+}
+inline Step map_contains(std::int64_t key, StructureId sid = 0) {
+  return Step{sid, Verb::kContains, -1, -1, false, false, key, 0, 0};
+}
+inline Step map_range(std::int64_t lo, std::int64_t hi, StructureId sid = 0) {
+  return Step{sid, Verb::kRange, -1, -1, false, false, lo, hi, 0};
+}
+inline Step set_add(std::int64_t key, StructureId sid = 1) {
+  return Step{sid, Verb::kAdd, -1, -1, false, false, key, 0, 0};
+}
+inline Step set_remove(std::int64_t key, StructureId sid = 1) {
+  return Step{sid, Verb::kRemove, -1, -1, false, false, key, 0, 0};
+}
+inline Step set_contains(std::int64_t key, StructureId sid = 1) {
+  return Step{sid, Verb::kContains, -1, -1, false, false, key, 0, 0};
+}
+inline Step pq_push(std::int64_t key, StructureId sid) {
+  return Step{sid, Verb::kPush, -1, -1, false, false, key, 0, 0};
+}
+inline Step pq_pop_min(StructureId sid) {
+  return Step{sid, Verb::kPopMin, -1, -1, false, false, 0, 0, 0};
+}
+inline Step pq_min(StructureId sid) {
+  return Step{sid, Verb::kMin, -1, -1, false, false, 0, 0, 0};
+}
+inline Step heap_push(std::int64_t key) { return pq_push(key, 2); }
+inline Step heap_pop_min() { return pq_pop_min(2); }
+inline Step sl_push(std::int64_t key) { return pq_push(key, 3); }
+inline Step sl_pop_min() { return pq_pop_min(3); }
+
+/// Inline step capacity: scripts up to this length never heap-allocate.
+/// Sized for the scenario suite's largest script (order-book cross-match,
+/// 4 steps) — single-op requests waste three slots, which is still smaller
+/// than the PR 5 Pending's range vector was.
+inline constexpr std::size_t kInlineSteps = 4;
+
+/// Hard upper bound on script length, compile-time.  The runtime limit is
+/// `ServiceConfig::max_steps` (knob OTB_SVC_MAX_STEPS, default 16) and may
+/// be set anywhere in [1, kMaxStepsLimit].
+inline constexpr std::size_t kMaxStepsLimit = 64;
+
+/// An atomic script of typed steps plus the request deadline.
+struct Request {
+  SmallVec<Step, kInlineSteps> steps;
+  std::uint64_t deadline_ns = 0;  // absolute (now_ns clock); 0 = no deadline
+
+  Request() = default;
+  /// Single-op convenience: `svc.submit(map_get(7))`.
+  Request(Step s) { steps.push_back(s); }  // NOLINT(google-explicit-constructor)
+  Request(std::initializer_list<Step> script) {
+    for (const Step& s : script) steps.push_back(s);
+  }
+
+  /// Fluent script building: `Request(pop).then(put)`.
+  Request& then(Step s) {
+    steps.push_back(s);
+    return *this;
+  }
+  Request& with_deadline(std::uint64_t ns) {
+    deadline_ns = ns;
+    return *this;
+  }
+};
+
+/// Per-step outcome.  `ran` distinguishes "executed and reported false"
+/// from "never reached because an earlier guard aborted the script".
+struct StepResult {
+  bool ran = false;
+  bool ok = false;
+  std::int64_t value = 0;
+};
+
+/// One in-flight request: the script itself plus the completion cell the
 /// worker fills.  Completed exactly once; `status` is the publication flag
 /// (release store + notify), so readers that observed a terminal status may
 /// read every other field without further synchronisation.
@@ -91,10 +264,16 @@ struct Pending {
   std::uint64_t enqueue_ns = 0;
   std::uint64_t complete_ns = 0;
 
-  // Results (valid once status is terminal).
+  // Results (valid once status is terminal).  `ok` aggregates the script:
+  // true iff every step ran and reported true.  `value` is the result
+  // value of the last step that ran (for single-op requests: the op's
+  // result, exactly as before).  `results` has one entry per step.
   bool ok = false;
-  bool failed = false;  // op had no registered target structure
   std::int64_t value = 0;
+  SmallVec<StepResult, kInlineSteps> results;
+  // Range output, shared by every kRange step of the script in step order;
+  // each range step's result value is its own pair count, so a client can
+  // segment the vector (docs/SERVICE.md "Range results").
   std::vector<std::pair<std::int64_t, std::int64_t>> range_out;
 
   std::atomic<SvcStatus> status{SvcStatus::kPending};
@@ -190,6 +369,9 @@ class ResponseFuture {
   // Results — call only after wait()/done() reported a terminal status.
   bool ok() const { return p_->ok; }
   std::int64_t value() const { return p_->value; }
+  /// Per-step outcomes (size == the script's step count once kOk/kFailed).
+  std::size_t step_count() const { return p_->results.size(); }
+  const StepResult& step(std::size_t i) const { return p_->results[i]; }
   const std::vector<std::pair<std::int64_t, std::int64_t>>& range() const {
     return p_->range_out;
   }

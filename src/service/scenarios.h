@@ -1,0 +1,224 @@
+// Realistic multi-structure scenarios over the service plane's script API.
+//
+// Each scenario owns a small fleet of heterogeneous OTB structures,
+// registers them in a `Targets` table, and exposes its domain operations as
+// `Request` script builders — the whole point being that every operation
+// which spans structures is ONE atomic boosted transaction (PAPER.md §1's
+// composability pitch made concrete).  Examples, the load bench and the
+// tier-2 stress drivers all build scripts through these helpers so the
+// three layers exercise byte-identical requests.
+//
+//   JobScheduler  — skip-list PQ of ready jobs + lease map.  claim() pops
+//                   the most urgent job and leases it in one transaction
+//                   (result binding: the put's key comes from the pop);
+//                   release() returns a lease to the ready queue.  The
+//                   cross-structure invariant: a job is NEVER in both the
+//                   free queue and the lease map.
+//   SessionStore  — session map + TTL map sharing the key space.  create()
+//                   installs the session and its TTL entry atomically;
+//                   expire() removes both, guarded so only one sweeper
+//                   wins.  Invariant: keys(sessions) == keys(ttl) at every
+//                   quiescent point, and within any script the per-step
+//                   results agree (both present or both absent).
+//   OrderBook     — ask PQ + bid PQ (prices negated so min == best bid) +
+//                   order map.  place_ask()/place_bid() insert the resting
+//                   order and its book entry atomically; match() crosses
+//                   the best ask against the best bid with `expect` guards,
+//                   so a match commits only against the exact pair of
+//                   orders the caller observed — the optimistic-CAS shape
+//                   of a real matching engine.  Invariant: the order map is
+//                   exactly the union of the two queues.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "otb/otb_list_map.h"
+#include "otb/otb_skiplist_pq.h"
+#include "otb/runtime.h"
+#include "service/request.h"
+#include "service/service.h"
+
+namespace otb::service::scenarios {
+
+/// Drain a skip-list PQ into a sorted vector (sequential, post-stress
+/// audits only — the PQ has no snapshot accessor by design).
+inline std::vector<std::int64_t> drain_pq_unsafe(tx::OtbSkipListPQ& pq) {
+  std::vector<std::int64_t> out;
+  tx::atomically([&](tx::Transaction& t) {
+    out.clear();  // the attempt may be a retry
+    std::int64_t k = 0;
+    while (pq.remove_min(t, &k)) out.push_back(k);
+  });
+  return out;
+}
+
+// ---- job scheduler ---------------------------------------------------------
+
+class JobScheduler {
+ public:
+  JobScheduler() {
+    free_id_ = targets_.add_sl_pq(&free_);
+    lease_id_ = targets_.add_map(&leases_);
+  }
+
+  Targets& targets() { return targets_; }
+  StructureId free_id() const { return free_id_; }
+  StructureId lease_id() const { return lease_id_; }
+
+  /// Seed a ready job (before the service starts).
+  bool seed_job(std::int64_t job) { return free_.add_seq(job); }
+
+  /// Claim the most urgent ready job for `worker`: atomically pop the free
+  /// queue's minimum and lease THAT job (binding: the put's key is step
+  /// 0's result).  Guard: an empty queue aborts the script — nothing is
+  /// leased.  On kOk with ok(): value() == put value, step(0).value is the
+  /// claimed job id.
+  Request claim(std::int64_t worker) const {
+    return Request{pq_pop_min(free_id_).require(),
+                   map_put(0, worker, lease_id_).key_from_step(0)};
+  }
+
+  /// Return a leased job to the ready queue.  Guard: releasing a job that
+  /// is not leased aborts (ok() false, nothing pushed) — so claim/release
+  /// can never duplicate a job into both structures.
+  Request release(std::int64_t job) const {
+    return Request{map_erase(job, lease_id_).require(),
+                   pq_push(job, free_id_)};
+  }
+
+  /// Who holds `job`?  (Single-op read.)
+  Request holder(std::int64_t job) const {
+    return Request{map_get(job, lease_id_)};
+  }
+
+  tx::OtbSkipListPQ& free_queue() { return free_; }
+  tx::OtbListMap& leases() { return leases_; }
+
+ private:
+  tx::OtbSkipListPQ free_;
+  tx::OtbListMap leases_;
+  Targets targets_;
+  StructureId free_id_ = 0;
+  StructureId lease_id_ = 0;
+};
+
+// ---- session store ---------------------------------------------------------
+
+class SessionStore {
+ public:
+  SessionStore() {
+    session_id_ = targets_.add_map(&sessions_);
+    ttl_id_ = targets_.add_map(&ttl_);
+  }
+
+  Targets& targets() { return targets_; }
+  StructureId session_id() const { return session_id_; }
+  StructureId ttl_id() const { return ttl_id_; }
+
+  /// Install a session and its TTL-index entry in one transaction.  The
+  /// TTL index is keyed by expiry RANK (a time-ordered key that must be
+  /// unique per live session — drivers use `rank = bucket * stride + sid`)
+  /// and maps back to the session id, so expiry sweeps are key-range scans
+  /// over time.  Both puts are insert-or-assign; their oks agree iff the
+  /// invariant held before the script — the stress driver asserts exactly
+  /// that.
+  Request create(std::int64_t sid, std::int64_t data,
+                 std::int64_t expiry_rank) const {
+    return Request{map_put(sid, data, session_id_),
+                   map_put(expiry_rank, sid, ttl_id_)};
+  }
+
+  /// Atomically expire one session found by a scan.  The TTL erase is the
+  /// guard: when two sweepers race on the same entry, exactly one wins it,
+  /// and the loser's script rolls back without touching the session map
+  /// (which may already hold a re-created session under a new rank).
+  Request expire(std::int64_t expiry_rank, std::int64_t sid) const {
+    return Request{map_erase(expiry_rank, ttl_id_).require(),
+                   map_erase(sid, session_id_)};
+  }
+
+  /// TTL entries with expiry rank inside [lo, hi] — the sweep's read side;
+  /// range pairs are (rank, sid).
+  Request scan_ttl(std::int64_t lo, std::int64_t hi) const {
+    return Request{map_range(lo, hi, ttl_id_)};
+  }
+
+  Request lookup(std::int64_t sid) const {
+    return Request{map_get(sid, session_id_)};
+  }
+
+  tx::OtbListMap& sessions() { return sessions_; }
+  tx::OtbListMap& ttl_index() { return ttl_; }
+
+ private:
+  tx::OtbListMap sessions_;
+  tx::OtbListMap ttl_;
+  Targets targets_;
+  StructureId session_id_ = 0;
+  StructureId ttl_id_ = 0;
+};
+
+// ---- order book ------------------------------------------------------------
+
+class OrderBook {
+ public:
+  OrderBook() {
+    ask_id_ = targets_.add_sl_pq(&asks_);
+    bid_id_ = targets_.add_sl_pq(&bids_);
+    order_id_ = targets_.add_map(&orders_);
+  }
+
+  Targets& targets() { return targets_; }
+  StructureId ask_id() const { return ask_id_; }
+  StructureId bid_id() const { return bid_id_; }
+  StructureId order_id() const { return order_id_; }
+
+  /// Rest an ask at `price` (> 0): queue entry + book entry, atomically.
+  /// The push is the guard — a duplicate price aborts and the book entry
+  /// is never written.
+  Request place_ask(std::int64_t price, std::int64_t qty) const {
+    return Request{pq_push(price, ask_id_).require(),
+                   map_put(price, qty, order_id_)};
+  }
+
+  /// Rest a bid at `price` (> 0).  Bids live under their negated price, so
+  /// the bid queue's minimum is the BEST (highest) bid and the order map's
+  /// negative keys can never collide with ask keys.
+  Request place_bid(std::int64_t price, std::int64_t qty) const {
+    return Request{pq_push(-price, bid_id_).require(),
+                   map_put(-price, qty, order_id_)};
+  }
+
+  /// Best ask / best bid (negated), single-op reads.
+  Request best_ask() const { return Request{pq_min(ask_id_)}; }
+  Request best_bid() const { return Request{pq_min(bid_id_)}; }
+
+  /// Cross `ask_price` against `bid_price`: pop both queue minima with
+  /// `expect` guards — the script commits only if the best ask and best
+  /// bid are still exactly the pair the caller observed — then retire both
+  /// book entries.  Any drift (someone else matched first, a better order
+  /// arrived) aborts the whole script: no half-matched state, no popped
+  /// order that was not the one priced against.
+  Request match(std::int64_t ask_price, std::int64_t bid_price) const {
+    return Request{pq_pop_min(ask_id_).expecting(ask_price),
+                   pq_pop_min(bid_id_).expecting(-bid_price),
+                   map_erase(ask_price, order_id_).require(),
+                   map_erase(-bid_price, order_id_).require()};
+  }
+
+  tx::OtbSkipListPQ& asks() { return asks_; }
+  tx::OtbSkipListPQ& bids() { return bids_; }
+  tx::OtbListMap& orders() { return orders_; }
+
+ private:
+  tx::OtbSkipListPQ asks_;
+  tx::OtbSkipListPQ bids_;
+  tx::OtbListMap orders_;
+  Targets targets_;
+  StructureId ask_id_ = 0;
+  StructureId bid_id_ = 0;
+  StructureId order_id_ = 0;
+};
+
+}  // namespace otb::service::scenarios

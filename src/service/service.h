@@ -1,17 +1,25 @@
 // The in-process transactional service plane (DESIGN.md "Transactional
-// service plane").
+// service plane", docs/SERVICE.md for the request schema).
 //
-// Clients submit typed requests (request.h); sharded bounded MPSC rings
-// (queue.h) buffer them; worker threads drain their own shard and coalesce
-// up to `batch_max` requests into ONE boosted transaction — many
-// fine-grained client operations composed into fewer, larger atomic steps,
-// which is exactly the regime where the commit-sequence fast path and
-// traversal hints pay (per-transaction costs amortise over ops/tx).
+// Clients submit typed requests (request.h) — each an atomic *script* of
+// one or more steps over the service's registered structures; sharded
+// bounded MPSC rings (queue.h) buffer them; worker threads drain their own
+// shard and coalesce up to `batch_max` requests into ONE boosted
+// transaction — many fine-grained client scripts composed into fewer,
+// larger atomic steps, which is exactly the regime where the
+// commit-sequence fast path and traversal hints pay (per-transaction costs
+// amortise over ops/tx).  A script's steps always commit or roll back
+// together, across as many heterogeneous structures as they touch: the
+// boosted transaction host acquires semantic locks in a deterministic
+// global order (structure id, then key — DESIGN.md "Cross-structure lock
+// order"), so composition adds no new deadlock risk.
 //
 // Robustness:
 //   * admission control — a submit against a queue at its high-water mark
 //     completes immediately as kOverloaded; admitted requests therefore see
-//     bounded queueing delay no matter the offered load;
+//     bounded queueing delay no matter the offered load.  Malformed scripts
+//     (unknown slot, incompatible verb, bad binding, too many steps)
+//     complete as kFailed at submit and never consume a queue slot;
 //   * per-request deadlines — a request whose deadline passed while queued
 //     completes as kExpired before it wastes a transaction slot;
 //   * split-retry — a batch that cannot commit within `batch_attempts`
@@ -19,14 +27,23 @@
 //     and each half retried under the capped-jittered Backoff; singletons
 //     retry until they commit or expire, so persistent conflicts degrade
 //     throughput, never results;
+//   * guard handling — a script whose `required`/`expect` guard fails
+//     aborts its transaction.  Inside a coalesced batch the failure may
+//     have been caused by a batchmate's (rolled back) overlay writes, so
+//     the victim is deferred and re-run solo for a clean verdict; only a
+//     SOLO guard failure completes the request (kOk with per-step results
+//     showing where the script stopped — semantically a no-op that
+//     linearises at the failed guard's read);
 //   * stop()/drain — stop() (and SIGTERM via net.h) closes admission, waits
 //     out in-flight submits, then workers drain every queued request to a
 //     terminal status before exiting: no lost completions.
 //
-// Metrics (domain "otb.service", schema otb.metrics/3): svc_* admission /
-// completion counters, queue-depth + batch-size log2 series, and the
-// "service" phase histogram of enqueue-to-completion latency.  The batch
-// transactions themselves keep reporting through "otb.tx" as always.
+// Metrics (domain "otb.service", schema otb.metrics/4): svc_* admission /
+// completion counters (including svc_scripts / svc_script_steps /
+// svc_guard_aborts for the multi-op surface), queue-depth + batch-size
+// log2 series, and the "service" phase histogram of enqueue-to-completion
+// latency.  The batch transactions themselves keep reporting through
+// "otb.tx" as always.
 #pragma once
 
 #include <algorithm>
@@ -60,13 +77,86 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 }
 }  // namespace detail
 
-/// Structures the service serves.  Ops against a null target complete as
-/// kFailed — a service may expose any subset.
+/// The service's structure table: each registered structure occupies one
+/// slot, and a `Step` names its target by slot index (`StructureId`).
+/// A service registers any mix of structures in any order; the canonical
+/// `standard()` layout (map=0, set=1, heap=2, skip-list PQ=3) is what the
+/// step factories in request.h default to.  A null slot stays addressable
+/// but fails validation, so "this service does not expose a set" keeps the
+/// old kFailed semantics.
 struct Targets {
-  tx::OtbListMap* map = nullptr;
-  tx::OtbListSet* set = nullptr;
-  tx::OtbHeapPQ* heap_pq = nullptr;
-  tx::OtbSkipListPQ* sl_pq = nullptr;
+  static constexpr std::size_t kMaxStructures = 16;
+
+  struct Slot {
+    StructureKind kind = StructureKind::kMap;
+    void* ptr = nullptr;
+  };
+
+  Slot slots[kMaxStructures] = {};
+  std::size_t count = 0;
+
+  StructureId add_map(tx::OtbListMap* m) { return add(StructureKind::kMap, m); }
+  StructureId add_set(tx::OtbListSet* s) { return add(StructureKind::kSet, s); }
+  StructureId add_heap_pq(tx::OtbHeapPQ* q) {
+    return add(StructureKind::kHeapPq, q);
+  }
+  StructureId add_sl_pq(tx::OtbSkipListPQ* q) {
+    return add(StructureKind::kSlPq, q);
+  }
+
+  /// Canonical four-slot layout matching request.h's factory defaults.
+  /// Null pointers register empty slots (addressable, never valid).
+  static Targets standard(tx::OtbListMap* map = nullptr,
+                          tx::OtbListSet* set = nullptr,
+                          tx::OtbHeapPQ* heap_pq = nullptr,
+                          tx::OtbSkipListPQ* sl_pq = nullptr) {
+    Targets t;
+    t.add_map(map);
+    t.add_set(set);
+    t.add_heap_pq(heap_pq);
+    t.add_sl_pq(sl_pq);
+    return t;
+  }
+
+  /// Slot exists, holds a structure, and the verb fits its kind.
+  bool valid_step(const Step& s) const {
+    if (s.structure >= count) return false;
+    const Slot& slot = slots[s.structure];
+    if (slot.ptr == nullptr) return false;
+    switch (slot.kind) {
+      case StructureKind::kMap:
+        return s.verb == Verb::kGet || s.verb == Verb::kPut ||
+               s.verb == Verb::kErase || s.verb == Verb::kContains ||
+               s.verb == Verb::kRange;
+      case StructureKind::kSet:
+        return s.verb == Verb::kAdd || s.verb == Verb::kRemove ||
+               s.verb == Verb::kContains;
+      case StructureKind::kHeapPq:
+      case StructureKind::kSlPq:
+        return s.verb == Verb::kPush || s.verb == Verb::kPopMin ||
+               s.verb == Verb::kMin;
+    }
+    return false;
+  }
+
+  tx::OtbListMap* map(StructureId id) const {
+    return static_cast<tx::OtbListMap*>(slots[id].ptr);
+  }
+  tx::OtbListSet* set(StructureId id) const {
+    return static_cast<tx::OtbListSet*>(slots[id].ptr);
+  }
+  tx::OtbHeapPQ* heap_pq(StructureId id) const {
+    return static_cast<tx::OtbHeapPQ*>(slots[id].ptr);
+  }
+  tx::OtbSkipListPQ* sl_pq(StructureId id) const {
+    return static_cast<tx::OtbSkipListPQ*>(slots[id].ptr);
+  }
+
+ private:
+  StructureId add(StructureKind k, void* p) {
+    slots[count] = Slot{k, p};
+    return static_cast<StructureId>(count++);
+  }
 };
 
 struct ServiceConfig {
@@ -75,6 +165,7 @@ struct ServiceConfig {
   std::size_t queue_capacity = 1024;  // per shard, rounded up to 2^k
   std::size_t high_water = 0;         // per shard; 0 = queue_capacity
   unsigned batch_attempts = 4;        // tx attempts before a batch splits
+  std::size_t max_steps = 16;         // script length admission cap
   std::uint64_t default_deadline_ns = 0;  // applied when a request has none
 
   /// Test hook, run INSIDE every batch transaction just before commit.
@@ -89,7 +180,7 @@ struct ServiceConfig {
   /// Defaults overridable from the environment (docs/KNOBS.md):
   /// OTB_SERVICE_WORKERS, OTB_SERVICE_BATCH_MAX, OTB_SERVICE_QUEUE_CAP,
   /// OTB_SERVICE_HIGH_WATER, OTB_SERVICE_BATCH_ATTEMPTS,
-  /// OTB_SERVICE_DEADLINE_MS.
+  /// OTB_SVC_MAX_STEPS, OTB_SERVICE_DEADLINE_MS.
   static ServiceConfig from_env() {
     ServiceConfig cfg;
     cfg.workers = static_cast<unsigned>(
@@ -102,6 +193,8 @@ struct ServiceConfig {
         detail::env_u64("OTB_SERVICE_HIGH_WATER", cfg.high_water));
     cfg.batch_attempts = static_cast<unsigned>(
         detail::env_u64("OTB_SERVICE_BATCH_ATTEMPTS", cfg.batch_attempts));
+    cfg.max_steps = static_cast<std::size_t>(
+        detail::env_u64("OTB_SVC_MAX_STEPS", cfg.max_steps));
     cfg.default_deadline_ns =
         detail::env_u64("OTB_SERVICE_DEADLINE_MS", 0) * 1'000'000ull;
     return cfg;
@@ -166,16 +259,24 @@ class Service {
   }
 
   /// Submit one request.  Always returns a valid future; admission failures
-  /// (high-water or stopped service) complete it as kOverloaded before
-  /// returning.  Safe from any number of producer threads.
+  /// complete it before returning — kFailed for a malformed script (the
+  /// structured replacement for the old silent per-op failure), kOverloaded
+  /// for a queue at high water or a stopped service.  Safe from any number
+  /// of producer threads.
   ResponseFuture submit(Request req) {
     Pending* p = new Pending;
     if (req.deadline_ns == 0 && cfg_.default_deadline_ns != 0) {
       req.deadline_ns = now_ns() + cfg_.default_deadline_ns;
     }
-    p->req = req;
+    const std::size_t n_steps = req.steps.size();
+    p->req = std::move(req);
     p->enqueue_ns = now_ns();
     ResponseFuture fut(p);
+    if (!validate_script(p->req)) {
+      sink_->add(metrics::CounterId::kSvcFailed);
+      complete(p, SvcStatus::kFailed);
+      return fut;
+    }
     submits_in_flight_.fetch_add(1, std::memory_order_seq_cst);
     const bool admitted =
         accepting_.load(std::memory_order_seq_cst) && queue_.try_push(p);
@@ -186,20 +287,62 @@ class Service {
       return fut;
     }
     sink_->add(metrics::CounterId::kSvcEnqueued);
+    sink_->add(metrics::CounterId::kSvcScriptSteps, n_steps);
+    if (n_steps > 1) sink_->add(metrics::CounterId::kSvcScripts);
     return fut;
   }
 
   const ServiceConfig& config() const { return cfg_; }
+  const Targets& targets() const { return targets_; }
   metrics::MetricsSink& metrics_sink() { return *sink_; }
   std::size_t queue_size() const { return queue_.total_size(); }
 
  private:
+  /// Thrown by apply() when a script's guard fails: the enclosing batch
+  /// transaction must roll back (atomically nothing happened).  Not a
+  /// TxAbort — guard failure is a semantic outcome, not contention.
+  struct ScriptAbort {
+    Pending* victim;
+  };
+
+  enum class BatchOutcome : std::uint8_t {
+    kCommitted,    // whole batch committed, complete everyone kOk
+    kBudgetSpent,  // attempt budget exhausted on aborts — caller splits
+    kGuardAbort,   // one script's guard failed — caller defers the victim
+  };
+
   static ServiceConfig sanitise(ServiceConfig cfg) {
     if (cfg.workers == 0) cfg.workers = 1;
     if (cfg.batch_max == 0) cfg.batch_max = 1;
     if (cfg.queue_capacity < 2) cfg.queue_capacity = 2;
     if (cfg.batch_attempts == 0) cfg.batch_attempts = 1;
+    if (cfg.max_steps == 0) cfg.max_steps = 1;
+    if (cfg.max_steps > kMaxStepsLimit) cfg.max_steps = kMaxStepsLimit;
     return cfg;
+  }
+
+  /// Admission-time script validation: structural problems complete as
+  /// kFailed before the request consumes a queue slot, so the worker path
+  /// never sees a malformed step — there is no per-op "failed" state any
+  /// more (SvcStatus is the single source of truth).
+  bool validate_script(const Request& req) const {
+    if (req.steps.empty() || req.steps.size() > cfg_.max_steps) return false;
+    for (std::size_t i = 0; i < req.steps.size(); ++i) {
+      const Step& s = req.steps[i];
+      if (!targets_.valid_step(s)) return false;
+      // Bindings may only reference an earlier step of the same script.
+      if (s.key_from < -1 ||
+          (s.key_from >= 0 &&
+           static_cast<std::size_t>(s.key_from) >= i)) {
+        return false;
+      }
+      if (s.value_from < -1 ||
+          (s.value_from >= 0 &&
+           static_cast<std::size_t>(s.value_from) >= i)) {
+        return false;
+      }
+    }
+    return true;
   }
 
   void worker_loop(unsigned shard) {
@@ -266,38 +409,75 @@ class Service {
       }
     }
     if (live.size() > 1) {
-      // Key-sort the batch (stable: same-key requests keep arrival order,
-      // preserving read-after-write for a pipelining client whose ops
-      // landed in one batch).  Concurrent requests carry no cross-key
-      // ordering obligation, and ascending keys turn the batch's structure
-      // traversals into short hint-relative hops instead of full walks
-      // from the head — the locality that makes coalescing pay.
+      // Key-sort the batch by each script's FIRST step key (stable:
+      // same-key requests keep arrival order, preserving read-after-write
+      // for a pipelining client whose ops landed in one batch).  Concurrent
+      // requests carry no cross-key ordering obligation, and ascending keys
+      // turn the batch's structure traversals into short hint-relative hops
+      // instead of full walks from the head — the locality that makes
+      // coalescing pay.  Multi-step scripts only benefit from their lead
+      // step; their tails touch other structures anyway.
       std::stable_sort(live.begin(), live.end(),
                        [](const Pending* a, const Pending* b) {
-                         return a->req.key < b->req.key;
+                         return a->req.steps[0].key < b->req.steps[0].key;
                        });
     }
     if (!live.empty()) run_or_split(live);
   }
 
   void run_or_split(std::vector<Pending*>& batch) {
+    std::vector<Pending*> deferred;
+    run_batch(batch, deferred);
+    // Guard-abort victims re-run SOLO: inside the coalesced batch their
+    // guard may have tripped over a batchmate's rolled-back overlay writes
+    // (e.g. another script popped the only element this attempt), which is
+    // not a real outcome.  Solo, the verdict is clean — commit or genuine
+    // guard failure — and run_batch completes them inline either way, so
+    // this loop never grows `deferred`.
+    for (std::size_t i = 0; i < deferred.size(); ++i) {
+      std::vector<Pending*> solo{deferred[i]};
+      run_batch(solo, deferred);
+    }
+  }
+
+  void run_batch(std::vector<Pending*>& batch,
+                 std::vector<Pending*>& deferred) {
     Backoff backoff(Backoff::kDefaultCap);
     for (;;) {
-      if (try_batch_tx(batch)) {
-        sink_->add(metrics::CounterId::kSvcBatches);
-        sink_->record_batch_size(batch.size());
-        const std::uint64_t done = now_ns();
-        for (Pending* p : batch) {
-          if (p->failed) {
-            sink_->add(metrics::CounterId::kSvcFailed);
-            complete(p, SvcStatus::kFailed);
-          } else {
+      Pending* victim = nullptr;
+      switch (try_batch_tx(batch, &victim)) {
+        case BatchOutcome::kCommitted: {
+          sink_->add(metrics::CounterId::kSvcBatches);
+          sink_->record_batch_size(batch.size());
+          const std::uint64_t done = now_ns();
+          for (Pending* p : batch) {
             sink_->record_phase(metrics::Phase::kService,
                                 done - p->enqueue_ns);
             complete(p, SvcStatus::kOk);
           }
+          return;
         }
-        return;
+        case BatchOutcome::kGuardAbort: {
+          if (batch.size() == 1) {
+            // Solo guard failure is definitive: the script linearises as a
+            // read-only no-op at the failed guard, and the per-step results
+            // (filled by apply before it threw) tell the client where it
+            // stopped.  Completed here so the batch-size ledger identity
+            // (enqueued == batch totals + expired) still holds.
+            sink_->add(metrics::CounterId::kSvcGuardAborts);
+            sink_->add(metrics::CounterId::kSvcBatches);
+            sink_->record_batch_size(1);
+            sink_->record_phase(metrics::Phase::kService,
+                                now_ns() - victim->enqueue_ns);
+            complete(victim, SvcStatus::kOk);
+            return;
+          }
+          batch.erase(std::find(batch.begin(), batch.end(), victim));
+          deferred.push_back(victim);
+          continue;  // reduced batch retries with a fresh attempt budget
+        }
+        case BatchOutcome::kBudgetSpent:
+          break;
       }
       // Attempt budget spent without a commit.
       sink_->add(metrics::CounterId::kSvcBatchSplits);
@@ -306,8 +486,8 @@ class Service {
         std::vector<Pending*> right(batch.begin() + half, batch.end());
         batch.resize(half);
         backoff.pause();
-        run_or_split(batch);  // depth ≤ log2(batch_max)
-        run_or_split(right);
+        run_batch(batch, deferred);  // depth ≤ log2(batch_max)
+        run_batch(right, deferred);
         return;
       }
       // Singleton: re-check its deadline, then keep retrying — conflicts
@@ -323,12 +503,15 @@ class Service {
   }
 
   /// Run every request of `batch` in one transaction, retrying up to
-  /// cfg_.batch_attempts times.  Returns false when the budget is spent
-  /// (caller splits).  Accounting flows through the standard otb.tx sink —
-  /// batch transactions are ordinary boosted transactions.  This is
-  /// tx::atomically's loop with a bounded attempt count; like it, non-abort
-  /// exceptions still abandon held state before escaping.
-  bool try_batch_tx(std::vector<Pending*>& batch) {
+  /// cfg_.batch_attempts times.  Returns kBudgetSpent when the budget is
+  /// exhausted (caller splits) and kGuardAbort with `*victim` set when a
+  /// script's guard failed (the attempt rolls back without consuming
+  /// budget; the caller decides the victim's fate).  Accounting flows
+  /// through the standard otb.tx sink — batch transactions are ordinary
+  /// boosted transactions.  This is tx::atomically's loop with a bounded
+  /// attempt count; like it, non-abort exceptions still abandon held state
+  /// before escaping.
+  BatchOutcome try_batch_tx(std::vector<Pending*>& batch, Pending** victim) {
     metrics::MetricsSink& tx_sink = tx::metrics_sink();
     Backoff backoff(Backoff::kDefaultCap);
     tx::Transaction t;
@@ -340,7 +523,13 @@ class Service {
         t.commit();
         tx_sink.record_attempt(t.tally(), /*committed=*/true,
                                metrics::AbortReason::kNone);
-        return true;
+        return BatchOutcome::kCommitted;
+      } catch (const ScriptAbort& sa) {
+        t.abandon();
+        tx_sink.record_attempt(t.tally(), /*committed=*/false,
+                               metrics::AbortReason::kExplicit);
+        *victim = sa.victim;
+        return BatchOutcome::kGuardAbort;
       } catch (const TxAbort& abort) {
         t.abandon();
         tx_sink.record_attempt(t.tally(), /*committed=*/false, abort.reason);
@@ -352,69 +541,132 @@ class Service {
         throw;
       }
     }
-    return false;
+    return BatchOutcome::kBudgetSpent;
   }
 
-  /// One client request inside the batch transaction.  Results land
-  /// directly in the Pending cell: only this worker touches it until the
+  /// One client script inside the batch transaction.  Steps run in order;
+  /// bindings read earlier steps' result values; a failed guard fills the
+  /// remaining results as not-run and throws ScriptAbort.  Results land
+  /// directly in the Pending cell (rebuilt from scratch on every attempt —
+  /// an attempt may be a retry): only this worker touches it until the
   /// completing status store publishes them.
   void apply(tx::Transaction& t, Pending* p) {
     const Request& r = p->req;
-    switch (r.op) {
-      case Op::kMapGet:
-        if (targets_.map == nullptr) break;
-        p->value = 0;
-        p->ok = targets_.map->get(t, r.key, &p->value);
-        return;
-      case Op::kMapPut:
-        if (targets_.map == nullptr) break;
-        p->ok = targets_.map->put(t, r.key, r.value);
-        return;
-      case Op::kMapErase:
-        if (targets_.map == nullptr) break;
-        p->ok = targets_.map->erase(t, r.key);
-        return;
-      case Op::kMapRange:
-        if (targets_.map == nullptr) break;
-        p->range_out.clear();  // this attempt may be a retry
-        targets_.map->range(t, r.key, r.value, &p->range_out);
-        p->value = static_cast<std::int64_t>(p->range_out.size());
-        p->ok = true;
-        return;
-      case Op::kSetAdd:
-        if (targets_.set == nullptr) break;
-        p->ok = targets_.set->add(t, r.key);
-        return;
-      case Op::kSetRemove:
-        if (targets_.set == nullptr) break;
-        p->ok = targets_.set->remove(t, r.key);
-        return;
-      case Op::kSetContains:
-        if (targets_.set == nullptr) break;
-        p->ok = targets_.set->contains(t, r.key);
-        return;
-      case Op::kHeapPush:
-        if (targets_.heap_pq == nullptr) break;
-        targets_.heap_pq->add(t, r.key);
-        p->ok = true;
-        return;
-      case Op::kHeapPopMin:
-        if (targets_.heap_pq == nullptr) break;
-        p->value = 0;
-        p->ok = targets_.heap_pq->remove_min(t, &p->value);
-        return;
-      case Op::kSlPush:
-        if (targets_.sl_pq == nullptr) break;
-        p->ok = targets_.sl_pq->add(t, r.key);
-        return;
-      case Op::kSlPopMin:
-        if (targets_.sl_pq == nullptr) break;
-        p->value = 0;
-        p->ok = targets_.sl_pq->remove_min(t, &p->value);
-        return;
+    p->results.clear();
+    p->results.reserve(r.steps.size());
+    p->range_out.clear();
+    p->ok = true;
+    p->value = 0;
+    for (std::size_t i = 0; i < r.steps.size(); ++i) {
+      const Step& s = r.steps[i];
+      const std::int64_t key =
+          s.key_from >= 0 ? p->results[s.key_from].value : s.key;
+      const std::int64_t value =
+          s.value_from >= 0 ? p->results[s.value_from].value : s.value;
+      StepResult res;
+      res.ran = true;
+      switch (targets_.slots[s.structure].kind) {
+        case StructureKind::kMap: {
+          tx::OtbListMap* m = targets_.map(s.structure);
+          switch (s.verb) {
+            case Verb::kGet:
+              res.ok = m->get(t, key, &res.value);
+              break;
+            case Verb::kPut:
+              res.ok = m->put(t, key, value);
+              res.value = value;
+              break;
+            case Verb::kErase:
+              res.ok = m->erase(t, key);
+              res.value = key;
+              break;
+            case Verb::kContains:
+              res.ok = m->contains(t, key);
+              res.value = key;
+              break;
+            case Verb::kRange:
+              // range() appends and returns its own pair count, so each
+              // range step of the script owns a contiguous segment of
+              // range_out sized by its result value.
+              res.value = static_cast<std::int64_t>(
+                  m->range(t, key, value, &p->range_out));
+              res.ok = true;
+              break;
+            default:
+              break;  // unreachable: validate_script rejected it
+          }
+          break;
+        }
+        case StructureKind::kSet: {
+          tx::OtbListSet* st = targets_.set(s.structure);
+          switch (s.verb) {
+            case Verb::kAdd:
+              res.ok = st->add(t, key);
+              break;
+            case Verb::kRemove:
+              res.ok = st->remove(t, key);
+              break;
+            case Verb::kContains:
+              res.ok = st->contains(t, key);
+              break;
+            default:
+              break;  // unreachable: validate_script rejected it
+          }
+          res.value = key;
+          break;
+        }
+        case StructureKind::kHeapPq: {
+          tx::OtbHeapPQ* q = targets_.heap_pq(s.structure);
+          switch (s.verb) {
+            case Verb::kPush:
+              q->add(t, key);
+              res.ok = true;
+              res.value = key;
+              break;
+            case Verb::kPopMin:
+              res.ok = q->remove_min(t, &res.value);
+              break;
+            case Verb::kMin:
+              res.ok = q->min(t, &res.value);
+              break;
+            default:
+              break;  // unreachable: validate_script rejected it
+          }
+          break;
+        }
+        case StructureKind::kSlPq: {
+          tx::OtbSkipListPQ* q = targets_.sl_pq(s.structure);
+          switch (s.verb) {
+            case Verb::kPush:
+              res.ok = q->add(t, key);
+              res.value = key;
+              break;
+            case Verb::kPopMin:
+              res.ok = q->remove_min(t, &res.value);
+              break;
+            case Verb::kMin:
+              res.ok = q->min(t, &res.value);
+              break;
+            default:
+              break;  // unreachable: validate_script rejected it
+          }
+          break;
+        }
+      }
+      p->results.push_back(res);
+      p->value = res.value;
+      if (!res.ok) p->ok = false;
+      const bool guard_failed =
+          (s.required && !res.ok) ||
+          (s.has_expect && (!res.ok || res.value != s.expect));
+      if (guard_failed) {
+        for (std::size_t j = i + 1; j < r.steps.size(); ++j) {
+          p->results.push_back(StepResult{});  // ran = false
+        }
+        p->ok = false;
+        throw ScriptAbort{p};
+      }
     }
-    p->ok = false;
-    p->failed = true;
   }
 
   Targets targets_;

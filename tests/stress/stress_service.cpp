@@ -22,7 +22,6 @@
 namespace otb {
 namespace {
 
-using service::Op;
 using service::Request;
 using service::ResponseFuture;
 using service::Service;
@@ -50,13 +49,13 @@ auto make_service_map_worker(Service& svc) {
     Request req;
     switch (op) {
       case OpKind::kPut:
-        req = {Op::kMapPut, key, value};
+        req = Request{service::map_put(key, value)};
         break;
       case OpKind::kErase:
-        req = {Op::kMapErase, key};
+        req = Request{service::map_erase(key)};
         break;
       default:
-        req = {Op::kMapGet, key};
+        req = Request{service::map_get(key)};
         break;
     }
     ResponseFuture fut = submit_admitted(svc, req);
@@ -89,8 +88,7 @@ TEST(ServiceStress, HistoriesThroughServiceAreLinearizable) {
                  std::string(" fast_path=") + (fast ? "on" : "off") +
                  std::string(" hints=") + (hints ? "on" : "off"));
     tx::OtbListMap map;
-    service::Targets targets;
-    targets.map = &map;
+    service::Targets targets = service::Targets::standard(&map);
     metrics::MetricsSink case_sink;  // per-case ledger, not the global sink
     ServiceConfig cfg;
     cfg.metrics = &case_sink;

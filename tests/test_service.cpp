@@ -1,12 +1,17 @@
-// Tier-1 tests of the transactional service plane: request round-trips
-// over every registered structure (including transactional range), the
-// failure edges ISSUE'd for the subsystem — queue-full rejection, deadline
-// expiry while queued, batch split-retry under injected aborts, and
-// stop()-while-loaded drain with no lost completions — plus service
-// metrics accounting and a loopback smoke of the binary TCP adapter.
+// Tier-1 tests of the transactional service plane: script round-trips over
+// every registered structure (including transactional range), multi-op
+// atomic scripts with result bindings and guards, admission-time script
+// validation, the failure edges ISSUE'd for the subsystem — queue-full
+// rejection, deadline expiry while queued, batch split-retry under
+// injected aborts, and stop()-while-loaded drain with no lost completions
+// — plus service metrics accounting, enum vocabulary exhaustiveness, and a
+// loopback smoke of the binary TCP adapter in both wire versions.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,13 +28,28 @@ namespace otb {
 namespace {
 
 using metrics::CounterId;
-using service::Op;
 using service::Request;
 using service::ResponseFuture;
 using service::Service;
 using service::ServiceConfig;
+using service::Step;
+using service::StructureKind;
 using service::SvcStatus;
 using service::Targets;
+using service::Verb;
+
+using service::heap_pop_min;
+using service::heap_push;
+using service::map_contains;
+using service::map_erase;
+using service::map_get;
+using service::map_put;
+using service::map_range;
+using service::set_add;
+using service::set_contains;
+using service::set_remove;
+using service::sl_pop_min;
+using service::sl_push;
 
 std::uint64_t counter(const metrics::MetricsSink& sink, CounterId id) {
   return sink.snapshot().counters[static_cast<std::size_t>(id)];
@@ -39,12 +59,7 @@ std::uint64_t counter(const metrics::MetricsSink& sink, CounterId id) {
 class ServiceTest : public ::testing::Test {
  protected:
   Targets targets() {
-    Targets t;
-    t.map = &map_;
-    t.set = &set_;
-    t.heap_pq = &heap_;
-    t.sl_pq = &slpq_;
-    return t;
+    return Targets::standard(&map_, &set_, &heap_, &slpq_);
   }
 
   ServiceConfig config() {
@@ -67,39 +82,39 @@ TEST_F(ServiceTest, RoundTripsEveryOp) {
   Service svc(targets(), config());
   svc.start();
 
-  EXPECT_TRUE(svc.submit({Op::kMapPut, 10, 100}).wait() == SvcStatus::kOk);
-  EXPECT_TRUE(svc.submit({Op::kMapPut, 20, 200}).wait() == SvcStatus::kOk);
-  ResponseFuture get = svc.submit({Op::kMapGet, 10});
+  EXPECT_TRUE(svc.submit(map_put(10, 100)).wait() == SvcStatus::kOk);
+  EXPECT_TRUE(svc.submit(map_put(20, 200)).wait() == SvcStatus::kOk);
+  ResponseFuture get = svc.submit(map_get(10));
   EXPECT_EQ(get.wait(), SvcStatus::kOk);
   EXPECT_TRUE(get.ok());
   EXPECT_EQ(get.value(), 100);
 
-  ResponseFuture erase = svc.submit({Op::kMapErase, 10});
+  ResponseFuture erase = svc.submit(map_erase(10));
   EXPECT_EQ(erase.wait(), SvcStatus::kOk);
   EXPECT_TRUE(erase.ok());
-  ResponseFuture miss = svc.submit({Op::kMapGet, 10});
+  ResponseFuture miss = svc.submit(map_get(10));
   EXPECT_EQ(miss.wait(), SvcStatus::kOk);
   EXPECT_FALSE(miss.ok());
 
-  ResponseFuture add = svc.submit({Op::kSetAdd, 7});
+  ResponseFuture add = svc.submit(set_add(7));
   EXPECT_EQ(add.wait(), SvcStatus::kOk);
   EXPECT_TRUE(add.ok());
-  ResponseFuture has = svc.submit({Op::kSetContains, 7});
+  ResponseFuture has = svc.submit(set_contains(7));
   EXPECT_EQ(has.wait(), SvcStatus::kOk);
   EXPECT_TRUE(has.ok());
-  ResponseFuture rm = svc.submit({Op::kSetRemove, 7});
+  ResponseFuture rm = svc.submit(set_remove(7));
   EXPECT_EQ(rm.wait(), SvcStatus::kOk);
   EXPECT_TRUE(rm.ok());
 
-  EXPECT_EQ(svc.submit({Op::kHeapPush, 5}).wait(), SvcStatus::kOk);
-  EXPECT_EQ(svc.submit({Op::kHeapPush, 3}).wait(), SvcStatus::kOk);
-  ResponseFuture pop = svc.submit({Op::kHeapPopMin, 0});
+  EXPECT_EQ(svc.submit(heap_push(5)).wait(), SvcStatus::kOk);
+  EXPECT_EQ(svc.submit(heap_push(3)).wait(), SvcStatus::kOk);
+  ResponseFuture pop = svc.submit(heap_pop_min());
   EXPECT_EQ(pop.wait(), SvcStatus::kOk);
   EXPECT_TRUE(pop.ok());
   EXPECT_EQ(pop.value(), 3);
 
-  EXPECT_EQ(svc.submit({Op::kSlPush, 9}).wait(), SvcStatus::kOk);
-  ResponseFuture spop = svc.submit({Op::kSlPopMin, 0});
+  EXPECT_EQ(svc.submit(sl_push(9)).wait(), SvcStatus::kOk);
+  ResponseFuture spop = svc.submit(sl_pop_min());
   EXPECT_EQ(spop.wait(), SvcStatus::kOk);
   EXPECT_TRUE(spop.ok());
   EXPECT_EQ(spop.value(), 9);
@@ -109,14 +124,170 @@ TEST_F(ServiceTest, RoundTripsEveryOp) {
   EXPECT_GT(counter(sink_, CounterId::kSvcBatches), 0u);
 }
 
+// ---- multi-op scripts ------------------------------------------------------
+
+TEST_F(ServiceTest, ScriptSpansHeterogeneousStructuresAtomically) {
+  Service svc(targets(), config());
+  svc.start();
+  // Seed the skip-list PQ, then atomically pop its minimum and record it in
+  // the map under the popped key (result binding) while tagging the set.
+  ASSERT_EQ(svc.submit(sl_push(42)).wait(), SvcStatus::kOk);
+  ASSERT_EQ(svc.submit(sl_push(17)).wait(), SvcStatus::kOk);
+  ResponseFuture fut = svc.submit(
+      Request{sl_pop_min().require(),
+              map_put(0, 999).key_from_step(0),
+              set_add(7)});
+  ASSERT_EQ(fut.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(fut.ok());
+  ASSERT_EQ(fut.step_count(), 3u);
+  EXPECT_EQ(fut.step(0).value, 17);  // popped the minimum
+  EXPECT_TRUE(fut.step(1).ok);
+  EXPECT_TRUE(fut.step(2).ok);
+  // The put landed under the POPPED key, not the literal 0.
+  ResponseFuture probe = svc.submit(map_get(17));
+  ASSERT_EQ(probe.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(probe.ok());
+  EXPECT_EQ(probe.value(), 999);
+  ResponseFuture probe0 = svc.submit(map_get(0));
+  ASSERT_EQ(probe0.wait(), SvcStatus::kOk);
+  EXPECT_FALSE(probe0.ok());
+  svc.stop();
+}
+
+TEST_F(ServiceTest, GuardAbortRollsBackWholeScript) {
+  Service svc(targets(), config());
+  svc.start();
+  // The PQ is empty: the required pop fails, so the puts after it must not
+  // reach the map — atomically nothing happened.
+  ResponseFuture fut = svc.submit(
+      Request{map_put(1, 11), sl_pop_min().require(), map_put(2, 22)});
+  ASSERT_EQ(fut.wait(), SvcStatus::kOk);
+  EXPECT_FALSE(fut.ok());
+  ASSERT_EQ(fut.step_count(), 3u);
+  EXPECT_TRUE(fut.step(0).ran);
+  EXPECT_TRUE(fut.step(0).ok);     // the attempt's put "succeeded"...
+  EXPECT_TRUE(fut.step(1).ran);
+  EXPECT_FALSE(fut.step(1).ok);    // ...but the guard failed here
+  EXPECT_FALSE(fut.step(2).ran);   // and nothing after it executed
+  // ...and none of it committed.
+  ResponseFuture p1 = svc.submit(map_get(1));
+  ASSERT_EQ(p1.wait(), SvcStatus::kOk);
+  EXPECT_FALSE(p1.ok());
+  svc.stop();
+  EXPECT_EQ(counter(sink_, CounterId::kSvcGuardAborts), 1u);
+}
+
+TEST_F(ServiceTest, ExpectGuardIsCompareAndPop) {
+  Service svc(targets(), config());
+  svc.start();
+  ASSERT_EQ(svc.submit(sl_push(5)).wait(), SvcStatus::kOk);
+  // Wrong expectation: pops would return 5, caller insists on 4 — abort.
+  ResponseFuture miss =
+      svc.submit(Request{sl_pop_min().expecting(4), map_erase(5)});
+  ASSERT_EQ(miss.wait(), SvcStatus::kOk);
+  EXPECT_FALSE(miss.ok());
+  // The 5 must still be there (the pop rolled back)...
+  ResponseFuture hit =
+      svc.submit(Request{sl_pop_min().expecting(5)});
+  ASSERT_EQ(hit.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), 5);
+  // ...and now it is gone.
+  ResponseFuture empty = svc.submit(sl_pop_min());
+  ASSERT_EQ(empty.wait(), SvcStatus::kOk);
+  EXPECT_FALSE(empty.ok());
+  svc.stop();
+}
+
+TEST_F(ServiceTest, GuardAbortInsideCoalescedBatchGetsSoloVerdict) {
+  ServiceConfig cfg = config();
+  cfg.workers = 1;
+  cfg.batch_max = 8;
+  Service svc(targets(), cfg);
+  // Pre-load one batch before start(): one PQ element, then two scripts
+  // competing for it, plus filler.  Coalesced into one transaction, one
+  // script's required pop fails against the other's — the victim must be
+  // deferred and re-run solo, where exactly one wins and one gets a clean
+  // guard failure (never a completion from inside an aborted batch).
+  std::vector<ResponseFuture> futs;
+  futs.push_back(svc.submit(sl_push(1)));
+  futs.push_back(svc.submit(Request{sl_pop_min().require(), set_add(100)}));
+  futs.push_back(svc.submit(Request{sl_pop_min().require(), set_add(200)}));
+  for (int i = 0; i < 4; ++i) futs.push_back(svc.submit(map_put(i, i)));
+  svc.start();
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait(), SvcStatus::kOk);
+  }
+  const int winners = (futs[1].ok() ? 1 : 0) + (futs[2].ok() ? 1 : 0);
+  EXPECT_EQ(winners, 1);
+  EXPECT_TRUE(futs[0].ok());
+  for (std::size_t i = 3; i < futs.size(); ++i) EXPECT_TRUE(futs[i].ok());
+  svc.stop();
+  // Ledger: every admitted request is accounted to exactly one batch.
+  const metrics::SinkSnapshot s = sink_.snapshot();
+  EXPECT_EQ(s.batch_size.total + s.counter(CounterId::kSvcExpired),
+            s.counter(CounterId::kSvcEnqueued));
+}
+
+// ---- admission-time validation ---------------------------------------------
+
+TEST_F(ServiceTest, MalformedScriptsFailAtSubmit) {
+  Service svc(targets(), config());
+  svc.start();
+  // Empty script.
+  EXPECT_EQ(svc.submit(Request{}).wait(), SvcStatus::kFailed);
+  // Verb incompatible with the slot's kind (map slot, PQ verb).
+  Step bad = map_get(1);
+  bad.verb = Verb::kPopMin;
+  EXPECT_EQ(svc.submit(Request{bad}).wait(), SvcStatus::kFailed);
+  // Unknown slot.
+  Step out_of_range = map_get(1, /*sid=*/9);
+  EXPECT_EQ(svc.submit(Request{out_of_range}).wait(), SvcStatus::kFailed);
+  // Forward binding (step 0 cannot bind to itself or later).
+  EXPECT_EQ(svc.submit(Request{map_get(1).key_from_step(0)}).wait(),
+            SvcStatus::kFailed);
+  EXPECT_EQ(
+      svc.submit(Request{map_put(1, 1), map_get(2).key_from_step(5)}).wait(),
+      SvcStatus::kFailed);
+  // Over the script-length cap.
+  ServiceConfig tight = config();
+  tight.max_steps = 2;
+  Service svc2(targets(), tight);
+  svc2.start();
+  EXPECT_EQ(
+      svc2.submit(Request{map_get(1), map_get(2), map_get(3)}).wait(),
+      SvcStatus::kFailed);
+  EXPECT_EQ(svc2.submit(Request{map_get(1), map_get(2)}).wait(),
+            SvcStatus::kOk);
+  svc2.stop();
+  svc.stop();
+  EXPECT_EQ(counter(sink_, CounterId::kSvcFailed), 6u);
+  // Failed-at-submit requests never enter the enqueue ledger.
+  const metrics::SinkSnapshot s = sink_.snapshot();
+  EXPECT_EQ(s.batch_size.total + s.counter(CounterId::kSvcExpired),
+            s.counter(CounterId::kSvcEnqueued));
+}
+
+TEST_F(ServiceTest, UnregisteredTargetFails) {
+  Targets only_map = Targets::standard(&map_);
+  ServiceConfig cfg = config();
+  Service svc(only_map, cfg);
+  svc.start();
+  ResponseFuture f = svc.submit(heap_push(1));
+  EXPECT_EQ(f.wait(), SvcStatus::kFailed);
+  svc.stop();
+  EXPECT_EQ(counter(sink_, CounterId::kSvcFailed), 1u);
+}
+
+// ---- range overlay edge cases through the service API ----------------------
+
 TEST_F(ServiceTest, RangeReturnsSortedWindowWithOverlay) {
   Service svc(targets(), config());
   svc.start();
   for (std::int64_t k = 0; k < 20; k += 2) {
-    ASSERT_EQ(svc.submit({Op::kMapPut, k, k * 10}).wait(), SvcStatus::kOk);
+    ASSERT_EQ(svc.submit(map_put(k, k * 10)).wait(), SvcStatus::kOk);
   }
-  // key = lo, value = hi (inclusive).
-  ResponseFuture r = svc.submit({Op::kMapRange, 4, 11});
+  ResponseFuture r = svc.submit(map_range(4, 11));
   ASSERT_EQ(r.wait(), SvcStatus::kOk);
   const auto& pairs = r.range();
   ASSERT_EQ(pairs.size(), 4u);  // 4, 6, 8, 10
@@ -128,17 +299,63 @@ TEST_F(ServiceTest, RangeReturnsSortedWindowWithOverlay) {
   svc.stop();
 }
 
-TEST_F(ServiceTest, UnregisteredTargetFails) {
-  Targets only_map;
-  only_map.map = &map_;
-  ServiceConfig cfg = config();
-  Service svc(only_map, cfg);
+TEST_F(ServiceTest, RangeSeesSameScriptEraseAndPut) {
+  Service svc(targets(), config());
   svc.start();
-  ResponseFuture f = svc.submit({Op::kHeapPush, 1});
-  EXPECT_EQ(f.wait(), SvcStatus::kFailed);
+  for (std::int64_t k = 0; k < 10; ++k) {
+    ASSERT_EQ(svc.submit(map_put(k, k * 10)).wait(), SvcStatus::kOk);
+  }
+  // One script: erase 4, overwrite 6, insert 15, then range over [3, 16].
+  // The range must observe THIS script's own write-set overlay: no 4, new
+  // value at 6, and the fresh 15.
+  ResponseFuture fut = svc.submit(Request{map_erase(4).require(),
+                                          map_put(6, 606),
+                                          map_put(15, 150),
+                                          map_range(3, 16)});
+  ASSERT_EQ(fut.wait(), SvcStatus::kOk);
+  // Top-level ok() is the AND of step oks and the overwrite-put reports
+  // ok == false (key 6 was present), so check the steps individually.
+  ASSERT_EQ(fut.step_count(), 4u);
+  EXPECT_TRUE(fut.step(0).ok);   // erase found 4
+  EXPECT_FALSE(fut.step(1).ok);  // put 6 overwrote
+  EXPECT_TRUE(fut.step(2).ok);   // put 15 inserted
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(fut.step(i).ran);
+  const auto& pairs = fut.range();
+  EXPECT_EQ(fut.step(3).value, static_cast<std::int64_t>(pairs.size()));
+  std::set<std::int64_t> keys;
+  for (const auto& [k, v] : pairs) keys.insert(k);
+  EXPECT_EQ(keys.count(4), 0u);   // erased-in-same-tx key is invisible
+  EXPECT_EQ(keys.count(15), 1u);  // put-then-range sees the new key
+  for (const auto& [k, v] : pairs) {
+    if (k == 6) EXPECT_EQ(v, 606);  // overwritten value, not the old one
+  }
+  // keys 3..16 present: 3,5,6,7,8,9,15 (0..9 seeded minus 4, plus 15).
+  EXPECT_EQ(pairs.size(), 7u);
   svc.stop();
-  EXPECT_EQ(counter(sink_, CounterId::kSvcFailed), 1u);
 }
+
+TEST_F(ServiceTest, EmptyRangeBoundsReturnNothing) {
+  Service svc(targets(), config());
+  svc.start();
+  ASSERT_EQ(svc.submit(map_put(5, 50)).wait(), SvcStatus::kOk);
+  // lo > hi is a valid, empty window — not an error.
+  ResponseFuture fut = svc.submit(map_range(9, 3));
+  ASSERT_EQ(fut.wait(), SvcStatus::kOk);
+  EXPECT_TRUE(fut.ok());
+  EXPECT_EQ(fut.value(), 0);
+  EXPECT_TRUE(fut.range().empty());
+  // Two ranges in one script segment range_out by each step's pair count.
+  ResponseFuture two =
+      svc.submit(Request{map_range(9, 3), map_range(0, 10)});
+  ASSERT_EQ(two.wait(), SvcStatus::kOk);
+  EXPECT_EQ(two.step(0).value, 0);
+  EXPECT_EQ(two.step(1).value, 1);
+  ASSERT_EQ(two.range().size(), 1u);
+  EXPECT_EQ(two.range()[0].first, 5);
+  svc.stop();
+}
+
+// ---- robustness edges (unchanged semantics from PR 5) ----------------------
 
 TEST_F(ServiceTest, QueueFullRejectsWithOverloaded) {
   ServiceConfig cfg = config();
@@ -150,10 +367,10 @@ TEST_F(ServiceTest, QueueFullRejectsWithOverloaded) {
   // reject instantly instead of blocking the producer.
   std::vector<ResponseFuture> admitted;
   for (int i = 0; i < 4; ++i) {
-    admitted.push_back(svc.submit({Op::kMapPut, i, i}));
+    admitted.push_back(svc.submit(map_put(i, i)));
     EXPECT_EQ(admitted.back().status(), SvcStatus::kPending);
   }
-  ResponseFuture rejected = svc.submit({Op::kMapPut, 99, 99});
+  ResponseFuture rejected = svc.submit(map_put(99, 99));
   EXPECT_EQ(rejected.status(), SvcStatus::kOverloaded);
   EXPECT_EQ(counter(sink_, CounterId::kSvcRejected), 1u);
   EXPECT_EQ(counter(sink_, CounterId::kSvcEnqueued), 4u);
@@ -169,10 +386,10 @@ TEST_F(ServiceTest, DeadlineExpiresWhileQueued) {
   Service svc(targets(), cfg);
   // Queue with no worker running, let the deadline lapse, then start: the
   // worker must expire the stale request without running its transaction.
-  Request doomed{Op::kMapPut, 1, 1};
+  Request doomed = map_put(1, 1);
   doomed.deadline_ns = now_ns() + 1'000'000;  // 1ms
   ResponseFuture f = svc.submit(doomed);
-  ResponseFuture healthy = svc.submit({Op::kMapPut, 2, 2});
+  ResponseFuture healthy = svc.submit(map_put(2, 2));
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   svc.start();
   EXPECT_EQ(f.wait(), SvcStatus::kExpired);
@@ -180,7 +397,7 @@ TEST_F(ServiceTest, DeadlineExpiresWhileQueued) {
   svc.stop();
   EXPECT_EQ(counter(sink_, CounterId::kSvcExpired), 1u);
   // The expired request must not have reached the map.
-  ResponseFuture probe = svc.submit({Op::kMapGet, 1});
+  ResponseFuture probe = svc.submit(map_get(1));
   EXPECT_EQ(probe.status(), SvcStatus::kOverloaded);  // stopped service
 }
 
@@ -197,7 +414,7 @@ TEST_F(ServiceTest, InjectedAbortsSplitBatchesAndStillComplete) {
   Service svc(targets(), cfg);
   // Queue before start so the worker wakes to one full batch.
   std::vector<ResponseFuture> futs;
-  for (int i = 0; i < 8; ++i) futs.push_back(svc.submit({Op::kMapPut, i, i}));
+  for (int i = 0; i < 8; ++i) futs.push_back(svc.submit(map_put(i, i)));
   svc.start();
   for (auto& f : futs) EXPECT_EQ(f.wait(), SvcStatus::kOk);
   svc.stop();
@@ -209,7 +426,7 @@ TEST_F(ServiceTest, InjectedAbortsSplitBatchesAndStillComplete) {
   Service svc2(targets(), cfg2);
   svc2.start();
   for (int i = 0; i < 8; ++i) {
-    ResponseFuture g = svc2.submit({Op::kMapGet, i});
+    ResponseFuture g = svc2.submit(map_get(i));
     ASSERT_EQ(g.wait(), SvcStatus::kOk);
     EXPECT_TRUE(g.ok());
     EXPECT_EQ(g.value(), i);
@@ -232,8 +449,7 @@ TEST_F(ServiceTest, StopWhileLoadedDrainsEveryRequest) {
   for (int t = 0; t < kProducers; ++t) {
     producers.emplace_back([&, t] {
       for (int i = 0; i < kPerProducer; ++i) {
-        futs[t].push_back(
-            svc.submit({Op::kMapPut, t * kPerProducer + i, i}));
+        futs[t].push_back(svc.submit(map_put(t * kPerProducer + i, i)));
       }
     });
   }
@@ -259,32 +475,81 @@ TEST_F(ServiceTest, ServiceMetricsSeriesArePopulated) {
   Service svc(targets(), config());
   svc.start();
   std::vector<ResponseFuture> futs;
-  for (int i = 0; i < 32; ++i) futs.push_back(svc.submit({Op::kMapPut, i, i}));
+  for (int i = 0; i < 32; ++i) futs.push_back(svc.submit(map_put(i, i)));
+  // Two multi-step scripts feed the script counters.
+  futs.push_back(svc.submit(Request{map_put(100, 1), set_add(100)}));
+  futs.push_back(svc.submit(Request{map_put(101, 1), set_add(101), sl_push(101)}));
   for (auto& f : futs) ASSERT_EQ(f.wait(), SvcStatus::kOk);
   svc.stop();
   const metrics::SinkSnapshot s = sink_.snapshot();
   EXPECT_GT(s.batch_size.count, 0u);
-  EXPECT_EQ(s.batch_size.total, 32u);  // every admitted request in a batch
+  EXPECT_EQ(s.batch_size.total, 34u);  // every admitted request in a batch
   EXPECT_GT(s.queue_depth.count, 0u);
   const metrics::PhaseSnapshot& ph = s.phase(metrics::Phase::kService);
-  EXPECT_EQ(ph.count, 32u);
+  EXPECT_EQ(ph.count, 34u);
   EXPECT_GT(ph.total_ns, 0u);
+  EXPECT_EQ(s.counter(CounterId::kSvcScripts), 2u);
+  EXPECT_EQ(s.counter(CounterId::kSvcScriptSteps), 32u + 2u + 3u);
 }
 
 TEST_F(ServiceTest, FireAndForgetFuturesDoNotLeakOrCrash) {
   Service svc(targets(), config());
   svc.start();
   for (int i = 0; i < 64; ++i) {
-    svc.submit({Op::kMapPut, i, i});  // future dropped immediately
+    svc.submit(map_put(i, i));  // future dropped immediately
   }
   svc.stop();  // drain touches every Pending exactly once
-  ResponseFuture probe = svc.submit({Op::kMapGet, 0});
+  ResponseFuture probe = svc.submit(map_get(0));
   EXPECT_EQ(probe.status(), SvcStatus::kOverloaded);
+}
+
+// ---- vocabulary exhaustiveness ---------------------------------------------
+
+// The switches in to_string(Verb) / to_string(StructureKind) /
+// to_string(SvcStatus) have no default case, so -Werror=switch (OTB_WERROR)
+// already fails the BUILD when an enumerator is added without a name.
+// These tests close the runtime half: every enumerator in [0, kCount) must
+// produce a distinct, non-"?" name — a reordered or duplicated case shows
+// up here.
+TEST(ServiceVocabulary, VerbNamesAreExhaustiveAndDistinct) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < service::kVerbCount; ++i) {
+    const char* name = to_string(static_cast<Verb>(i));
+    EXPECT_STRNE(name, "?") << "Verb " << i << " has no name";
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate Verb name " << name;
+  }
+  EXPECT_STREQ(to_string(static_cast<Verb>(service::kVerbCount)), "?");
+}
+
+TEST(ServiceVocabulary, StructureKindNamesAreExhaustiveAndDistinct) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < service::kStructureKindCount; ++i) {
+    const char* name = to_string(static_cast<StructureKind>(i));
+    EXPECT_STRNE(name, "?") << "StructureKind " << i << " has no name";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate StructureKind name " << name;
+  }
+  EXPECT_STREQ(
+      to_string(static_cast<StructureKind>(service::kStructureKindCount)),
+      "?");
+}
+
+TEST(ServiceVocabulary, SvcStatusNamesAreExhaustiveAndDistinct) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < service::kSvcStatusCount; ++i) {
+    const char* name = to_string(static_cast<SvcStatus>(i));
+    EXPECT_STRNE(name, "?") << "SvcStatus " << i << " has no name";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate SvcStatus name " << name;
+  }
+  EXPECT_STREQ(to_string(static_cast<SvcStatus>(service::kSvcStatusCount)),
+               "?");
 }
 
 #if defined(__linux__)
 
-// Minimal blocking client for the loopback smoke test.
+// Minimal blocking client for the loopback smoke test; speaks both frame
+// versions.
 class NetClient {
  public:
   explicit NetClient(std::uint16_t port) {
@@ -304,8 +569,9 @@ class NetClient {
   }
   bool ok() const { return fd_ >= 0; }
 
-  void send_request(std::uint64_t id, Op op, std::int64_t key,
-                    std::int64_t value, std::uint32_t deadline_ms = 0) {
+  void send_request_v1(std::uint64_t id, service::LegacyWireOp op,
+                       std::int64_t key, std::int64_t value,
+                       std::uint32_t deadline_ms = 0) {
     std::vector<std::uint8_t> buf;
     service::wire::put<std::uint32_t>(buf, service::kNetRequestFrameLen);
     service::wire::put<std::uint64_t>(buf, id);
@@ -317,11 +583,48 @@ class NetClient {
               static_cast<ssize_t>(buf.size()));
   }
 
+  void send_request_v2(std::uint64_t id, const Request& req,
+                       std::uint32_t deadline_ms = 0) {
+    std::vector<std::uint8_t> buf;
+    const std::size_t n = req.steps.size();
+    service::wire::put<std::uint32_t>(
+        buf, static_cast<std::uint32_t>(service::kNetWireV2HeaderLen +
+                                        n * service::kNetWireStepLen));
+    service::wire::put<std::uint8_t>(buf, service::kNetWireV2);
+    service::wire::put<std::uint8_t>(buf, static_cast<std::uint8_t>(n));
+    service::wire::put<std::uint32_t>(buf, deadline_ms);
+    service::wire::put<std::uint64_t>(buf, id);
+    for (const Step& s : req.steps) {
+      service::wire::put<std::uint8_t>(buf, s.structure);
+      service::wire::put<std::uint8_t>(buf, static_cast<std::uint8_t>(s.verb));
+      service::wire::put<std::uint8_t>(
+          buf, static_cast<std::uint8_t>((s.required ? 1 : 0) |
+                                         (s.has_expect ? 2 : 0)));
+      service::wire::put<std::uint8_t>(buf,
+                                       static_cast<std::uint8_t>(s.key_from));
+      service::wire::put<std::uint8_t>(
+          buf, static_cast<std::uint8_t>(s.value_from));
+      service::wire::put<std::int64_t>(buf, s.key);
+      service::wire::put<std::int64_t>(buf, s.value);
+      service::wire::put<std::int64_t>(buf, s.expect);
+    }
+    ASSERT_EQ(::send(fd_, buf.data(), buf.size(), 0),
+              static_cast<ssize_t>(buf.size()));
+  }
+
+  struct StepEcho {
+    bool ran = false;
+    bool ok = false;
+    std::int64_t value = 0;
+  };
+
   struct Response {
     std::uint64_t id = 0;
     SvcStatus status = SvcStatus::kPending;
     bool ok = false;
+    bool v2 = false;
     std::int64_t value = 0;
+    std::vector<StepEcho> steps;
     std::vector<std::pair<std::int64_t, std::int64_t>> range;
   };
 
@@ -332,18 +635,49 @@ class NetClient {
     const auto len = service::wire::get<std::uint32_t>(hdr);
     std::vector<std::uint8_t> body(len);
     if (!read_exact(body.data(), len)) return r;
-    r.id = service::wire::get<std::uint64_t>(body.data());
-    r.status = static_cast<SvcStatus>(body[8]);
-    r.ok = body[9] != 0;
-    r.value = service::wire::get<std::int64_t>(body.data() + 10);
-    const auto n = service::wire::get<std::uint32_t>(body.data() + 18);
+    std::size_t at = 0;
+    // A v1 response body starts with the id's low bytes; a v2 body starts
+    // with the version byte, which can collide with a small v1 id — so the
+    // test states which framing it expects instead of sniffing.
+    if (expect_v2_) {
+      EXPECT_EQ(body[0], service::kNetWireV2);
+      r.v2 = true;
+      at = 1;
+      r.id = service::wire::get<std::uint64_t>(body.data() + at);
+      at += 8;
+      r.status = static_cast<SvcStatus>(body[at++]);
+      r.ok = body[at++] != 0;
+      const std::uint8_t nsteps = body[at++];
+      for (std::uint8_t i = 0; i < nsteps; ++i) {
+        StepEcho e;
+        e.ran = body[at++] != 0;
+        e.ok = body[at++] != 0;
+        e.value = service::wire::get<std::int64_t>(body.data() + at);
+        at += 8;
+        r.steps.push_back(e);
+      }
+    } else {
+      r.id = service::wire::get<std::uint64_t>(body.data());
+      r.status = static_cast<SvcStatus>(body[8]);
+      r.ok = body[9] != 0;
+      r.value = service::wire::get<std::int64_t>(body.data() + 10);
+      at = 18;
+    }
+    const auto n = service::wire::get<std::uint32_t>(body.data() + at);
+    at += 4;
     for (std::uint32_t i = 0; i < n; ++i) {
       r.range.emplace_back(
-          service::wire::get<std::int64_t>(body.data() + 22 + i * 16),
-          service::wire::get<std::int64_t>(body.data() + 30 + i * 16));
+          service::wire::get<std::int64_t>(body.data() + at),
+          service::wire::get<std::int64_t>(body.data() + at + 8));
+      at += 16;
     }
     return r;
   }
+
+  /// Tell read_response whether the next frame should be v2 (the version
+  /// byte of a v2 frame can collide with a v1 id's low byte, so the test
+  /// states its expectation instead of guessing).
+  void expect_v2(bool v) { expect_v2_ = v; }
 
  private:
   bool read_exact(std::uint8_t* out, std::size_t n) {
@@ -357,6 +691,7 @@ class NetClient {
   }
 
   int fd_ = -1;
+  bool expect_v2_ = false;
 };
 
 TEST_F(ServiceTest, NetAdapterLoopbackRoundTrip) {
@@ -370,25 +705,60 @@ TEST_F(ServiceTest, NetAdapterLoopbackRoundTrip) {
   NetClient client(server.bound_port());
   ASSERT_TRUE(client.ok());
 
-  client.send_request(1, Op::kMapPut, 5, 50);
+  // Legacy v1 clients keep working bit-for-bit.
+  client.send_request_v1(1, service::LegacyWireOp::kMapPut, 5, 50);
   NetClient::Response r1 = client.read_response();
   EXPECT_EQ(r1.id, 1u);
   EXPECT_EQ(r1.status, SvcStatus::kOk);
 
-  client.send_request(2, Op::kMapGet, 5, 0);
+  client.send_request_v1(2, service::LegacyWireOp::kMapGet, 5, 0);
   NetClient::Response r2 = client.read_response();
   EXPECT_EQ(r2.id, 2u);
   EXPECT_TRUE(r2.ok);
   EXPECT_EQ(r2.value, 50);
 
-  client.send_request(3, Op::kMapPut, 6, 60);
+  client.send_request_v1(3, service::LegacyWireOp::kMapPut, 6, 60);
   (void)client.read_response();
-  client.send_request(4, Op::kMapRange, 5, 6);
+  client.send_request_v1(4, service::LegacyWireOp::kMapRange, 5, 6);
   NetClient::Response r4 = client.read_response();
   EXPECT_EQ(r4.id, 4u);
   ASSERT_EQ(r4.range.size(), 2u);
   EXPECT_EQ(r4.range[0].second, 50);
   EXPECT_EQ(r4.range[1].second, 60);
+
+  // v2 on the SAME connection: a multi-op script with a binding — pop the
+  // PQ minimum, record it in the map — and per-step results echoed back.
+  client.send_request_v1(5, service::LegacyWireOp::kSlPush, 30, 0);
+  (void)client.read_response();
+  client.expect_v2(true);
+  client.send_request_v2(
+      6, Request{sl_pop_min().require(), map_put(0, 777).key_from_step(0)});
+  NetClient::Response r6 = client.read_response();
+  EXPECT_TRUE(r6.v2);
+  EXPECT_EQ(r6.id, 6u);
+  EXPECT_EQ(r6.status, SvcStatus::kOk);
+  EXPECT_TRUE(r6.ok);
+  ASSERT_EQ(r6.steps.size(), 2u);
+  EXPECT_TRUE(r6.steps[0].ran);
+  EXPECT_EQ(r6.steps[0].value, 30);
+  EXPECT_TRUE(r6.steps[1].ok);
+
+  // A malformed v2 script is a SEMANTIC failure: kFailed response, the
+  // connection survives.
+  Step bad = map_get(1, /*sid=*/9);
+  client.send_request_v2(7, Request{bad});
+  NetClient::Response r7 = client.read_response();
+  EXPECT_TRUE(r7.v2);
+  EXPECT_EQ(r7.id, 7u);
+  EXPECT_EQ(r7.status, SvcStatus::kFailed);
+  EXPECT_TRUE(r7.steps.empty());
+
+  client.expect_v2(false);
+  client.send_request_v1(8, service::LegacyWireOp::kMapGet, 30, 0);
+  NetClient::Response r8 = client.read_response();
+  EXPECT_EQ(r8.id, 8u);
+  EXPECT_TRUE(r8.ok);
+  EXPECT_EQ(r8.value, 777);
 
   server.request_stop();
   serve.join();

@@ -38,6 +38,17 @@
 //   --key-range=K             map key universe              (default 256)
 //   --seed=S                  arrival/keystream seed        (default 42)
 //   --metrics-json=PATH       dump metrics registry on exit
+//   --wal-dir=PATH            durable WAL directory, empty=off (default off)
+//   --wal-fsync=M             off|group|always              (default group)
+//   --ckpt-ms=N               checkpoint interval, 0=never  (default 0)
+//   --recover                 replay --wal-dir before serving; exits with
+//                             the documented recovery code (docs/DURABILITY.md)
+//                             if the log or checkpoint is corrupt
+//
+// The crash-recovery CI job drives the kill/restart cycle: run with
+// --wal-dir under load, SIGKILL at a random point, rerun with --recover
+// on the same directory, and require the replayed service to serve a
+// second measured phase with a clean metrics dump.
 //
 // --script-len > 1 turns each kv request into an N-step atomic script over
 // the same key distribution — the composition-overhead axis charted in
@@ -93,6 +104,10 @@ struct Flags {
   unsigned deadline_ms = 0;
   std::int64_t key_range = 256;
   std::uint64_t seed = 42;
+  std::string wal_dir;
+  std::string wal_fsync = "group";
+  unsigned ckpt_ms = 0;
+  bool recover = false;
 };
 
 bool parse_flag(const char* arg, const char* name, std::string& out) {
@@ -120,6 +135,10 @@ Flags parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--deadline-ms", v)) f.deadline_ms = std::stoul(v);
     else if (parse_flag(argv[i], "--key-range", v)) f.key_range = std::stol(v);
     else if (parse_flag(argv[i], "--seed", v)) f.seed = std::stoull(v);
+    else if (parse_flag(argv[i], "--wal-dir", v)) f.wal_dir = v;
+    else if (parse_flag(argv[i], "--wal-fsync", v)) f.wal_fsync = v;
+    else if (parse_flag(argv[i], "--ckpt-ms", v)) f.ckpt_ms = std::stoul(v);
+    else if (std::strcmp(argv[i], "--recover") == 0) f.recover = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -154,6 +173,7 @@ Request next_kv_request(otb::Xorshift& rng, const Flags& f) {
 struct Workload {
   otb::service::Targets targets;
   RequestGen gen;
+  std::function<void()> seed;  // deterministic baseline (recovery re-runs it)
   std::unique_ptr<otb::tx::OtbListMap> map;  // kv only
   std::unique_ptr<otb::service::scenarios::JobScheduler> sched;
   std::unique_ptr<otb::service::scenarios::SessionStore> store;
@@ -162,17 +182,24 @@ struct Workload {
 
 Workload make_workload(const Flags& f) {
   Workload w;
+  w.seed = [] {};
   const auto range = static_cast<std::uint64_t>(f.key_range);
   if (f.scenario == "kv") {
     w.map = std::make_unique<otb::tx::OtbListMap>();
-    for (std::int64_t k = 0; k < f.key_range; k += 2) w.map->put_seq(k, k);
+    auto* map = w.map.get();
+    w.seed = [map, &f] {
+      for (std::int64_t k = 0; k < f.key_range; k += 2) map->put_seq(k, k);
+    };
     w.targets = otb::service::Targets::standard(w.map.get());
     w.gen = [&f](otb::Xorshift& rng) { return next_kv_request(rng, f); };
   } else if (f.scenario == "scheduler") {
     // Claims race releases over a seeded job pool; guard aborts (empty
     // queue, job not leased) are benign contention outcomes.
     w.sched = std::make_unique<otb::service::scenarios::JobScheduler>();
-    for (std::int64_t j = 1; j <= f.key_range; ++j) w.sched->seed_job(j);
+    auto* sched0 = w.sched.get();
+    w.seed = [sched0, &f] {
+      for (std::int64_t j = 1; j <= f.key_range; ++j) sched0->seed_job(j);
+    };
     w.targets = w.sched->targets();
     auto* sched = w.sched.get();
     w.gen = [sched, range](otb::Xorshift& rng) {
@@ -351,7 +378,32 @@ int main(int argc, char** argv) {
   cfg.batch_max = f.batch_max;
   cfg.queue_capacity = f.queue_cap;
   cfg.high_water = f.high_water;
+  cfg.wal_dir = f.wal_dir;
+  cfg.wal_checkpoint_ms = f.ckpt_ms;
+  if (!otb::service::parse_wal_fsync(f.wal_fsync.c_str(), &cfg.wal_fsync)) {
+    std::fprintf(stderr, "bad --wal-fsync: %s (off|group|always)\n",
+                 f.wal_fsync.c_str());
+    return 2;
+  }
   Service svc(w.targets, cfg);
+  if (f.recover) {
+    // Structures start empty; recovery re-seeds through the same closure
+    // the fresh run used, then replays the log tail on top.
+    const otb::service::RecoveryReport r = svc.recover(w.seed);
+    std::printf(
+        "recover status=%s checkpoint_seq=%llu last_seq=%llu records=%llu "
+        "ops=%llu segments=%llu truncated_tail=%d detail=\"%s\"\n",
+        std::string(otb::service::to_string(r.status)).c_str(),
+        static_cast<unsigned long long>(r.checkpoint_seq),
+        static_cast<unsigned long long>(r.last_seq),
+        static_cast<unsigned long long>(r.records_replayed),
+        static_cast<unsigned long long>(r.ops_replayed),
+        static_cast<unsigned long long>(r.segments_scanned),
+        r.truncated_tail ? 1 : 0, r.detail.c_str());
+    if (!r.ok()) return otb::service::recovery_exit_code(r.status);
+  } else {
+    w.seed();
+  }
   svc.start();
 
   const std::uint64_t t0 = now_ns();
@@ -367,7 +419,8 @@ int main(int argc, char** argv) {
       "mode=%s scenario=%s script_len=%u workers=%u clients=%u batch_max=%u "
       "rate=%.0f window=%u "
       "deadline_ms=%u duration_s=%.2f requests=%llu ok=%llu overloaded=%llu "
-      "expired=%llu failed=%llu ok_per_sec=%.0f p50_us=%.1f p99_us=%.1f\n",
+      "expired=%llu failed=%llu ok_per_sec=%.0f p50_us=%.1f p99_us=%.1f "
+      "wal=%s\n",
       f.mode.c_str(), f.scenario.c_str(), f.script_len, f.workers, f.clients,
       f.batch_max, f.rate, f.window,
       f.deadline_ms, secs, static_cast<unsigned long long>(total),
@@ -376,6 +429,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(t.expired),
       static_cast<unsigned long long>(t.failed),
       secs > 0 ? double(t.ok) / secs : 0.0, double(p50) * 1e-3,
-      double(p99) * 1e-3);
+      double(p99) * 1e-3,
+      f.wal_dir.empty()
+          ? "off"
+          : std::string(otb::service::to_string(cfg.wal_fsync)).c_str());
   return t.ok == 0 ? 1 : 0;  // a load run that commits nothing is broken
 }

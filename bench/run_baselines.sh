@@ -2,7 +2,7 @@
 # Record-and-compare performance baseline runner: executes the Chapter-3
 # figure harnesses (fig3.3-3.7) and the micro_ops suite at fixed thread
 # counts and durations, validates every --metrics-json dump with the strict
-# otb.metrics/3 checker, and merges the dumps into one baseline file
+# otb.metrics/5 checker, and merges the dumps into one baseline file
 # (BENCH_otb_baseline.json at the repo root by default).
 #
 # By default the output is a record: absolute numbers are machine-bound, so
@@ -88,6 +88,24 @@ else
   echo "error: $BENCH_DIR/load_service not built" >&2
   exit 2
 fi
+
+# WAL durability overhead: the same closed-loop single-step workload with
+# the write-ahead log under group commit and fsync-per-record
+# (docs/DURABILITY.md); load_service_s1 above is the wal-off arm.  The
+# log lives in a tmpdir that dies with the run; the s1-vs-wal_group
+# delta is the group-commit cost the EXPERIMENTS.md durability row
+# tracks, and wal_always bounds it from above.
+for mode in group always; do
+  name="load_service_wal_$mode"
+  echo "== $name (closed loop, ms=$OTB_BENCH_MS, fsync=$mode)"
+  "$BENCH_DIR/load_service" --mode=closed --script-len=1 \
+    --duration-ms="$OTB_BENCH_MS" --clients=2 --workers=2 \
+    --window=128 --batch-max=16 --key-range=256 \
+    --wal-dir="$TMP/wal_$mode" --wal-fsync="$mode" \
+    --metrics-json="$TMP/$name.json" > "$TMP/$name.out"
+  "$CHECK" --validate "$TMP/$name.json" otb.service otb.tx > /dev/null
+  run_names+=("$name")
+done
 
 # micro_ops: transactional micro-latencies plus the validation-scaling
 # sweep (the sweep's fast/full counters land in the otb.tx domain).

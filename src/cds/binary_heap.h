@@ -42,6 +42,9 @@ class BinaryHeap {
 
   void clear() noexcept { data_.clear(); }
 
+  /// The heap array in storage order (a valid heap, not sorted).
+  const std::vector<Key>& contents() const noexcept { return data_; }
+
  private:
   void sift_up(std::size_t i) {
     while (i > 0) {

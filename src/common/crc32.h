@@ -1,0 +1,41 @@
+// Software CRC-32 (ISO-HDLC polynomial 0xEDB88320, the zlib/PNG variant),
+// table-driven, one byte per step.  Used by the service write-ahead log to
+// detect torn and corrupted records (docs/DURABILITY.md); throughput is not
+// critical there — a WAL record is a few dozen bytes and the append path is
+// dominated by write(2)/fsync(2).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace otb {
+
+namespace detail {
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 of `len` bytes at `data`; `seed` chains incremental updates
+/// (pass a previous result to continue it).
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace otb

@@ -1,8 +1,8 @@
 // JSON export/import for snapshots.
 //
-// Schema ("otb.metrics/4"):
+// Schema ("otb.metrics/5"):
 //   {
-//     "schema": "otb.metrics/4",
+//     "schema": "otb.metrics/5",
 //     "domains": {
 //       "stm.NOrec": {
 //         "counters": { "commits": 12, "attempts": 14, ... },   // all ids
@@ -11,7 +11,8 @@
 //           "attempt":    { "count": 14, "total_ns": 9001, "log2_buckets": [..40..] },
 //           "validation": { ... },
 //           "commit":     { ... },
-//           "service":    { ... }
+//           "service":    { ... },
+//           "wal_fsync":  { ... }
 //         },
 //         "traversals":  { "count": 9, "total_steps": 120, "log2_buckets": [..40..] },
 //         "queue_depth": { "count": 3, "total": 17, "log2_buckets": [..40..] },
@@ -26,6 +27,8 @@
 // enqueue-to-completion phase, and the "queue_depth" / "batch_size" series.
 // /4 over /3: the multi-op script surface — svc_scripts / svc_script_steps /
 // svc_guard_aborts counters (see snapshot.h for their ledger relations).
+// /5 over /4: the durability surface — wal_appends / wal_fsyncs / wal_bytes
+// counters and the "wal_fsync" phase histogram (docs/DURABILITY.md).
 //
 // The importer is deliberately strict — every counter/reason/phase key must
 // be present and no unknown keys are allowed — which is exactly what the
@@ -43,7 +46,7 @@
 
 namespace otb::metrics {
 
-inline constexpr std::string_view kJsonSchemaId = "otb.metrics/4";
+inline constexpr std::string_view kJsonSchemaId = "otb.metrics/5";
 
 namespace detail {
 

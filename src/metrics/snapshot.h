@@ -51,9 +51,16 @@ enum class CounterId : unsigned {
   kSvcScripts,
   kSvcScriptSteps,
   kSvcGuardAborts,
+  // Durability surface (schema otb.metrics/5): wal_appends counts commit
+  // records written to the write-ahead log, wal_bytes the bytes those
+  // records occupy on disk (headers included), wal_fsyncs the fsync(2)
+  // calls issued by the group-commit policy (docs/DURABILITY.md).
+  kWalAppends,
+  kWalFsyncs,
+  kWalBytes,
 };
 
-inline constexpr std::size_t kCounterCount = 22;
+inline constexpr std::size_t kCounterCount = 25;
 
 constexpr std::string_view to_string(CounterId id) {
   switch (id) {
@@ -101,6 +108,12 @@ constexpr std::string_view to_string(CounterId id) {
       return "svc_script_steps";
     case CounterId::kSvcGuardAborts:
       return "svc_guard_aborts";
+    case CounterId::kWalAppends:
+      return "wal_appends";
+    case CounterId::kWalFsyncs:
+      return "wal_fsyncs";
+    case CounterId::kWalBytes:
+      return "wal_bytes";
   }
   return "?";
 }
@@ -117,9 +130,12 @@ enum class Phase : unsigned {
   // Service-plane enqueue-to-completion latency: what a client of the
   // request path experiences, queueing included (domain "otb.service").
   kService,
+  // Write-ahead-log fsync latency: one sample per fsync(2) issued by the
+  // group-commit policy (domain "otb.service", docs/DURABILITY.md).
+  kWalFsync,
 };
 
-inline constexpr std::size_t kPhaseCount = 4;
+inline constexpr std::size_t kPhaseCount = 5;
 
 constexpr std::string_view to_string(Phase p) {
   switch (p) {
@@ -131,6 +147,8 @@ constexpr std::string_view to_string(Phase p) {
       return "commit";
     case Phase::kService:
       return "service";
+    case Phase::kWalFsync:
+      return "wal_fsync";
   }
   return "?";
 }

@@ -189,9 +189,12 @@ class OtbDs {
   /// The same id doubles as the structure's rank in the GLOBAL cross-
   /// structure lock-acquisition order: a host that pre-commits multiple
   /// structures does so in ascending structure_id(), and each structure's
-  /// own pre_commit locks its keys in ascending key order, so the combined
-  /// (structure id, key) order is total across the process (DESIGN.md
-  /// "Cross-structure lock order").
+  /// own pre_commit locks its keys in one fixed order (the list structures
+  /// use descending key order — their on_commit publication walk requires
+  /// higher keys first), so the combined (structure id, key-order) is total
+  /// across the process (DESIGN.md "Cross-structure lock order").  Locks
+  /// are try-acquired with abort-and-retry, so the order matters for
+  /// livelock avoidance, not deadlock freedom.
   std::uint64_t structure_id() const { return hint_id_; }
 
  protected:

@@ -70,6 +70,10 @@ class OtbHeapPQ final : public OtbDs {
   std::size_t size_unsafe() const { return heap_.size(); }
   void add_seq(Key key) { heap_.add(key); }
 
+  /// Quiescent-only copy of the heap contents (storage order, not sorted):
+  /// the checkpoint path captures it while the service workers are paused.
+  std::vector<Key> snapshot_unsafe() const { return heap_.contents(); }
+
   // ---- OTB-DS protocol ----------------------------------------------------
 
   std::unique_ptr<OtbDsDesc> make_desc() const override {

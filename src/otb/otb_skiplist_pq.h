@@ -95,6 +95,9 @@ class OtbSkipListPQ final : public OtbDs {
   bool add_seq(Key key) { return set_.add_seq(key); }
   std::size_t size_unsafe() const { return set_.size_unsafe(); }
 
+  /// Quiescent-only ascending copy of the live keys (checkpoint path).
+  std::vector<Key> snapshot_unsafe() const { return set_.snapshot_unsafe(); }
+
   // ---- OTB-DS protocol: delegate to the nested set descriptor -------------
 
   std::unique_ptr<OtbDsDesc> make_desc() const override {

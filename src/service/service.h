@@ -36,22 +36,36 @@
 //     linearises at the failed guard's read);
 //   * stop()/drain — stop() (and SIGTERM via net.h) closes admission, waits
 //     out in-flight submits, then workers drain every queued request to a
-//     terminal status before exiting: no lost completions.
+//     terminal status before exiting: no lost completions;
+//   * durability (opt-in, docs/DURABILITY.md) — with `wal_dir` set, every
+//     committed batch appends its semantic write-set to a per-shard
+//     write-ahead log (wal.h) stamped by a global commit clock; under the
+//     group fsync policy a batch's requests are acknowledged only after
+//     the one fsync covering the whole drained batch, so acknowledged =>
+//     durable.  A checkpoint thread periodically pauses the workers at a
+//     batch boundary, snapshots every registered structure, rotates the
+//     log, and compacts (recovery.h); recover() rebuilds state from the
+//     last checkpoint plus the replayed log tail before start().
 //
-// Metrics (domain "otb.service", schema otb.metrics/4): svc_* admission /
+// Metrics (domain "otb.service", schema otb.metrics/5): svc_* admission /
 // completion counters (including svc_scripts / svc_script_steps /
-// svc_guard_aborts for the multi-op surface), queue-depth + batch-size
-// log2 series, and the "service" phase histogram of enqueue-to-completion
-// latency.  The batch transactions themselves keep reporting through
-// "otb.tx" as always.
+// svc_guard_aborts for the multi-op surface), wal_* durability counters,
+// queue-depth + batch-size log2 series, and the "service" / "wal_fsync"
+// phase histograms.  The batch transactions themselves keep reporting
+// through "otb.tx" as always.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -60,13 +74,12 @@
 #include "common/tx_abort.h"
 #include "metrics/registry.h"
 #include "metrics/sink.h"
-#include "otb/otb_heap_pq.h"
-#include "otb/otb_list_map.h"
-#include "otb/otb_list_set.h"
-#include "otb/otb_skiplist_pq.h"
 #include "otb/runtime.h"
 #include "service/queue.h"
+#include "service/recovery.h"
 #include "service/request.h"
+#include "service/targets.h"
+#include "service/wal.h"
 
 namespace otb::service {
 
@@ -77,87 +90,8 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 }
 }  // namespace detail
 
-/// The service's structure table: each registered structure occupies one
-/// slot, and a `Step` names its target by slot index (`StructureId`).
-/// A service registers any mix of structures in any order; the canonical
-/// `standard()` layout (map=0, set=1, heap=2, skip-list PQ=3) is what the
-/// step factories in request.h default to.  A null slot stays addressable
-/// but fails validation, so "this service does not expose a set" keeps the
-/// old kFailed semantics.
-struct Targets {
-  static constexpr std::size_t kMaxStructures = 16;
-
-  struct Slot {
-    StructureKind kind = StructureKind::kMap;
-    void* ptr = nullptr;
-  };
-
-  Slot slots[kMaxStructures] = {};
-  std::size_t count = 0;
-
-  StructureId add_map(tx::OtbListMap* m) { return add(StructureKind::kMap, m); }
-  StructureId add_set(tx::OtbListSet* s) { return add(StructureKind::kSet, s); }
-  StructureId add_heap_pq(tx::OtbHeapPQ* q) {
-    return add(StructureKind::kHeapPq, q);
-  }
-  StructureId add_sl_pq(tx::OtbSkipListPQ* q) {
-    return add(StructureKind::kSlPq, q);
-  }
-
-  /// Canonical four-slot layout matching request.h's factory defaults.
-  /// Null pointers register empty slots (addressable, never valid).
-  static Targets standard(tx::OtbListMap* map = nullptr,
-                          tx::OtbListSet* set = nullptr,
-                          tx::OtbHeapPQ* heap_pq = nullptr,
-                          tx::OtbSkipListPQ* sl_pq = nullptr) {
-    Targets t;
-    t.add_map(map);
-    t.add_set(set);
-    t.add_heap_pq(heap_pq);
-    t.add_sl_pq(sl_pq);
-    return t;
-  }
-
-  /// Slot exists, holds a structure, and the verb fits its kind.
-  bool valid_step(const Step& s) const {
-    if (s.structure >= count) return false;
-    const Slot& slot = slots[s.structure];
-    if (slot.ptr == nullptr) return false;
-    switch (slot.kind) {
-      case StructureKind::kMap:
-        return s.verb == Verb::kGet || s.verb == Verb::kPut ||
-               s.verb == Verb::kErase || s.verb == Verb::kContains ||
-               s.verb == Verb::kRange;
-      case StructureKind::kSet:
-        return s.verb == Verb::kAdd || s.verb == Verb::kRemove ||
-               s.verb == Verb::kContains;
-      case StructureKind::kHeapPq:
-      case StructureKind::kSlPq:
-        return s.verb == Verb::kPush || s.verb == Verb::kPopMin ||
-               s.verb == Verb::kMin;
-    }
-    return false;
-  }
-
-  tx::OtbListMap* map(StructureId id) const {
-    return static_cast<tx::OtbListMap*>(slots[id].ptr);
-  }
-  tx::OtbListSet* set(StructureId id) const {
-    return static_cast<tx::OtbListSet*>(slots[id].ptr);
-  }
-  tx::OtbHeapPQ* heap_pq(StructureId id) const {
-    return static_cast<tx::OtbHeapPQ*>(slots[id].ptr);
-  }
-  tx::OtbSkipListPQ* sl_pq(StructureId id) const {
-    return static_cast<tx::OtbSkipListPQ*>(slots[id].ptr);
-  }
-
- private:
-  StructureId add(StructureKind k, void* p) {
-    slots[count] = Slot{k, p};
-    return static_cast<StructureId>(count++);
-  }
-};
+// Targets (the slot registry) lives in targets.h so the durability layer
+// can address slots without pulling in the whole service plane.
 
 struct ServiceConfig {
   unsigned workers = 2;               // drain threads (= queue shards)
@@ -167,6 +101,14 @@ struct ServiceConfig {
   unsigned batch_attempts = 4;        // tx attempts before a batch splits
   std::size_t max_steps = 16;         // script length admission cap
   std::uint64_t default_deadline_ns = 0;  // applied when a request has none
+
+  /// Durability (docs/DURABILITY.md).  A non-empty wal_dir enables the
+  /// write-ahead log: committed batches append commit records there, and
+  /// recover() replays them after a crash.  wal_checkpoint_ms > 0 starts
+  /// the background checkpoint thread (snapshot + log compaction).
+  std::string wal_dir;
+  WalFsync wal_fsync = WalFsync::kGroup;
+  unsigned wal_checkpoint_ms = 0;  // 0 = no checkpoint thread
 
   /// Test hook, run INSIDE every batch transaction just before commit.
   /// Throwing TxAbort (the same explicit-abort channel the abort-taxonomy
@@ -180,7 +122,8 @@ struct ServiceConfig {
   /// Defaults overridable from the environment (docs/KNOBS.md):
   /// OTB_SERVICE_WORKERS, OTB_SERVICE_BATCH_MAX, OTB_SERVICE_QUEUE_CAP,
   /// OTB_SERVICE_HIGH_WATER, OTB_SERVICE_BATCH_ATTEMPTS,
-  /// OTB_SVC_MAX_STEPS, OTB_SERVICE_DEADLINE_MS.
+  /// OTB_SVC_MAX_STEPS, OTB_SERVICE_DEADLINE_MS, OTB_WAL_DIR,
+  /// OTB_WAL_FSYNC, OTB_WAL_CKPT_MS.
   static ServiceConfig from_env() {
     ServiceConfig cfg;
     cfg.workers = static_cast<unsigned>(
@@ -197,6 +140,17 @@ struct ServiceConfig {
         detail::env_u64("OTB_SVC_MAX_STEPS", cfg.max_steps));
     cfg.default_deadline_ns =
         detail::env_u64("OTB_SERVICE_DEADLINE_MS", 0) * 1'000'000ull;
+    if (const char* d = std::getenv("OTB_WAL_DIR")) cfg.wal_dir = d;
+    if (const char* m = std::getenv("OTB_WAL_FSYNC")) {
+      if (!parse_wal_fsync(m, &cfg.wal_fsync)) {
+        std::fprintf(stderr,
+                     "otb service: OTB_WAL_FSYNC=%s unknown (always/group/off)"
+                     ", keeping %s\n",
+                     m, std::string(to_string(cfg.wal_fsync)).c_str());
+      }
+    }
+    cfg.wal_checkpoint_ms = static_cast<unsigned>(
+        detail::env_u64("OTB_WAL_CKPT_MS", cfg.wal_checkpoint_ms));
     return cfg;
   }
 };
@@ -209,22 +163,75 @@ class Service {
         queue_(cfg_.workers, cfg_.queue_capacity, cfg_.high_water),
         sink_(cfg_.metrics != nullptr
                   ? cfg_.metrics
-                  : &metrics::Registry::global().sink("otb.service")) {}
+                  : &metrics::Registry::global().sink("otb.service")) {
+    if (!cfg_.wal_dir.empty()) {
+      wal_ = std::make_unique<Wal>(
+          WalOptions{cfg_.wal_dir, cfg_.wal_fsync, cfg_.workers, sink_});
+    }
+  }
 
   ~Service() { stop(); }
 
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
+  /// Rebuild state from the WAL directory: the last checkpoint (or, when
+  /// none exists, the caller's `seed_baseline` closure — the SAME
+  /// deterministic pre-seeding the crashed run performed before start())
+  /// plus the replayed log tail.  Must run before start(), on the empty
+  /// registered structures.  On success the commit clock resumes from the
+  /// last replayed stamp, so the restarted service appends a continuation
+  /// of the same totally ordered history.
+  RecoveryReport recover(const std::function<void()>& seed_baseline = {}) {
+    RecoveryReport r;
+    if (wal_ == nullptr) {
+      if (seed_baseline) seed_baseline();
+      return r;  // kNoState: durability is off
+    }
+    if (started_.load(std::memory_order_acquire)) {
+      r.status = RecoveryStatus::kIoError;
+      r.detail = "recover() must run before start()";
+      return r;
+    }
+    r = recover_into(cfg_.wal_dir, targets_, seed_baseline);
+    if (r.ok()) {
+      wal_->clock().store(r.last_seq, std::memory_order_release);
+      recovered_ = true;
+    }
+    return r;
+  }
+
   /// Launch the worker threads.  Separate from the constructor so tests can
   /// pre-load queues (admission and deadline behaviour without racing a
   /// drain) before any worker runs.
   void start() {
     if (started_.exchange(true)) return;
+    if (wal_ != nullptr && !wal_->is_open()) {
+      if (!recovered_ && Wal::dir_has_state(cfg_.wal_dir)) {
+        // Appending a fresh clock's stamps over an unrecovered log would
+        // corrupt it (duplicate stamps); this is a programming error, not
+        // a runtime condition, so refuse loudly.
+        std::fprintf(stderr,
+                     "otb service: WAL dir %s holds state; call recover() "
+                     "before start()\n",
+                     cfg_.wal_dir.c_str());
+        std::abort();
+      }
+      std::string err;
+      if (!wal_->open_for_append(&err)) {
+        std::fprintf(stderr, "otb service: cannot open WAL: %s\n",
+                     err.c_str());
+        std::abort();
+      }
+    }
     running_.store(true, std::memory_order_release);
     workers_.reserve(cfg_.workers);
     for (unsigned w = 0; w < cfg_.workers; ++w) {
       workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+    if (wal_ != nullptr && cfg_.wal_checkpoint_ms != 0) {
+      ckpt_stop_.store(false, std::memory_order_release);
+      ckpt_thread_ = std::thread([this] { checkpoint_loop(); });
     }
   }
 
@@ -239,6 +246,10 @@ class Service {
     while (submits_in_flight_.load(std::memory_order_seq_cst) != 0) {
       cpu_relax();
     }
+    if (ckpt_thread_.joinable()) {
+      ckpt_stop_.store(true, std::memory_order_release);
+      ckpt_thread_.join();
+    }
     if (started_.load(std::memory_order_acquire)) {
       running_.store(false, std::memory_order_release);
       queue_.wake_all();
@@ -252,6 +263,11 @@ class Service {
       // drains (admitted requests still complete, running on this thread).
       for (unsigned s = 0; s < queue_.shard_count(); ++s) drain_shard(s);
     }
+    // Flush and close the log, releasing the directory's single-owner
+    // lock: a stopped service no longer owns the directory, so recovery
+    // (or a successor process) may open it.  start() re-opens and
+    // re-acquires.
+    if (wal_ != nullptr) wal_->close_all();
   }
 
   bool accepting() const {
@@ -292,10 +308,52 @@ class Service {
     return fut;
   }
 
+  /// Take a checkpoint right now (also what the background thread does):
+  /// pause the workers at a batch boundary, snapshot every registered
+  /// structure + rotate the log, resume, then durably write the snapshot,
+  /// repoint the manifest, and prune obsolete segments.  False when
+  /// durability is off or an I/O step failed (the previous checkpoint
+  /// stays in force either way).
+  bool checkpoint_now() {
+    Wal* wal = active_wal();
+    if (wal == nullptr) return false;
+    std::vector<CheckpointSlot> slots;
+    std::uint64_t seq = 0;
+    std::vector<std::uint64_t> live(cfg_.workers, 0);
+    {
+      std::unique_lock<std::shared_mutex> pause(pause_);
+      // Quiescent: every worker is between batches, so every commit with
+      // stamp <= the clock is fully applied and no commit is in flight.
+      seq = wal->clock().load(std::memory_order_acquire);
+      capture_slots(&slots);
+      std::string err;
+      if (!wal->rotate_all(&err)) {
+        std::fprintf(stderr, "otb service: checkpoint rotate failed: %s\n",
+                     err.c_str());
+        return false;
+      }
+      for (unsigned s = 0; s < cfg_.workers; ++s) {
+        live[s] = wal->current_segment(s);
+      }
+    }
+    // Off the critical path: workers are running again.
+    std::string err;
+    if (!write_checkpoint(cfg_.wal_dir, seq, slots, &err)) {
+      std::fprintf(stderr, "otb service: checkpoint write failed: %s\n",
+                   err.c_str());
+      return false;
+    }
+    prune_obsolete(cfg_.wal_dir, live, checkpoint_file_name(seq));
+    return true;
+  }
+
   const ServiceConfig& config() const { return cfg_; }
   const Targets& targets() const { return targets_; }
   metrics::MetricsSink& metrics_sink() { return *sink_; }
   std::size_t queue_size() const { return queue_.total_size(); }
+  /// The write-ahead log (null when durability is off); tests read the
+  /// commit clock and segment positions through it.
+  Wal* wal() { return wal_.get(); }
 
  private:
   /// Thrown by apply() when a script's guard fails: the enclosing batch
@@ -368,7 +426,7 @@ class Service {
         continue;
       }
       sink_->record_queue_depth(depth);
-      execute_batch(batch);
+      execute_batch(shard, batch);
     }
     // Drain sweep: stop() guarantees no push starts after running_ clears,
     // but pushes admitted before it may still sit in the ring.
@@ -386,17 +444,26 @@ class Service {
         batch.push_back(p);
       }
       if (batch.empty()) return;
-      execute_batch(batch);
+      execute_batch(shard, batch);
     }
   }
 
   /// Execute one batch: expire stale requests, run the rest in a single
-  /// boosted transaction, split on repeated failure.
-  void execute_batch(std::vector<Pending*>& batch) {
+  /// boosted transaction, split on repeated failure.  With durability on,
+  /// the whole cycle runs under the checkpoint pause lock (shared side),
+  /// and — under the group fsync policy — kOk acknowledgements are
+  /// deferred to the single fsync at the end, so one disk flush covers
+  /// every record the drained batch produced (commits, splits, and solo
+  /// guard-abort re-runs included): acknowledged => durable.
+  void execute_batch(unsigned shard, std::vector<Pending*>& batch) {
+    std::shared_lock<std::shared_mutex> pause(pause_, std::defer_lock);
+    if (wal_ != nullptr) pause.lock();
     // Per-thread scratch: one batch is in flight per worker, and the
     // split recursion never re-enters execute_batch.
     static thread_local std::vector<Pending*> live;
+    static thread_local std::vector<Pending*> acks;
     live.clear();
+    acks.clear();
     live.reserve(batch.size());
     const std::uint64_t now = now_ns();
     for (Pending* p : batch) {
@@ -422,12 +489,24 @@ class Service {
                          return a->req.steps[0].key < b->req.steps[0].key;
                        });
     }
-    if (!live.empty()) run_or_split(live);
+    if (!live.empty()) run_or_split(shard, live, acks);
+    if (!acks.empty()) {
+      // The group-commit flush: every dirty shard log, not just ours —
+      // this drain's commits (and the values its reads returned) may
+      // depend on records another worker appended but has not yet synced.
+      active_wal()->sync_all();
+      const std::uint64_t done = now_ns();
+      for (Pending* p : acks) {
+        sink_->record_phase(metrics::Phase::kService, done - p->enqueue_ns);
+        complete(p, SvcStatus::kOk);
+      }
+    }
   }
 
-  void run_or_split(std::vector<Pending*>& batch) {
+  void run_or_split(unsigned shard, std::vector<Pending*>& batch,
+                    std::vector<Pending*>& acks) {
     std::vector<Pending*> deferred;
-    run_batch(batch, deferred);
+    run_batch(shard, batch, deferred, acks);
     // Guard-abort victims re-run SOLO: inside the coalesced batch their
     // guard may have tripped over a batchmate's rolled-back overlay writes
     // (e.g. another script popped the only element this attempt), which is
@@ -436,19 +515,39 @@ class Service {
     // this loop never grows `deferred`.
     for (std::size_t i = 0; i < deferred.size(); ++i) {
       std::vector<Pending*> solo{deferred[i]};
-      run_batch(solo, deferred);
+      run_batch(shard, solo, deferred, acks);
     }
   }
 
-  void run_batch(std::vector<Pending*>& batch,
-                 std::vector<Pending*>& deferred) {
+  void run_batch(unsigned shard, std::vector<Pending*>& batch,
+                 std::vector<Pending*>& deferred,
+                 std::vector<Pending*>& acks) {
     Backoff backoff(Backoff::kDefaultCap);
+    // stop()-before-start() drains on the stopping thread with the log
+    // never opened; those batches run undurable (the service never started,
+    // so the acknowledged=>durable contract never began).
+    Wal* wal = active_wal();
+    if (wal != nullptr && !wal->is_open()) wal = nullptr;
+    std::vector<WalOp> redo;
     for (;;) {
       Pending* victim = nullptr;
-      switch (try_batch_tx(batch, &victim)) {
+      switch (try_batch_tx(shard, batch, &victim,
+                           wal != nullptr ? &redo : nullptr)) {
         case BatchOutcome::kCommitted: {
           sink_->add(metrics::CounterId::kSvcBatches);
           sink_->record_batch_size(batch.size());
+          if (wal != nullptr && wal->options().fsync == WalFsync::kGroup) {
+            // The record (if any) was appended by the commit hook; ack
+            // only after the drain-wide sync_all in execute_batch.
+            // Read-only batches defer too: a read may have observed a
+            // write another shard has appended but not yet fsynced, and
+            // acknowledging the value before that record is durable would
+            // leak a state the recovered service never had.
+            acks.insert(acks.end(), batch.begin(), batch.end());
+            return;
+          }
+          // Always-fsync (the commit hook synced before the locks
+          // released) or durability off: acknowledge immediately.
           const std::uint64_t done = now_ns();
           for (Pending* p : batch) {
             sink_->record_phase(metrics::Phase::kService,
@@ -467,6 +566,13 @@ class Service {
             sink_->add(metrics::CounterId::kSvcGuardAborts);
             sink_->add(metrics::CounterId::kSvcBatches);
             sink_->record_batch_size(1);
+            if (wal != nullptr &&
+                wal->options().fsync == WalFsync::kGroup) {
+              // The guard's verdict is an observation of state that may
+              // depend on not-yet-synced records: ack after the flush.
+              acks.push_back(victim);
+              return;
+            }
             sink_->record_phase(metrics::Phase::kService,
                                 now_ns() - victim->enqueue_ns);
             complete(victim, SvcStatus::kOk);
@@ -486,8 +592,8 @@ class Service {
         std::vector<Pending*> right(batch.begin() + half, batch.end());
         batch.resize(half);
         backoff.pause();
-        run_batch(batch, deferred);  // depth ≤ log2(batch_max)
-        run_batch(right, deferred);
+        run_batch(shard, batch, deferred, acks);  // depth ≤ log2(batch_max)
+        run_batch(shard, right, deferred, acks);
         return;
       }
       // Singleton: re-check its deadline, then keep retrying — conflicts
@@ -511,14 +617,38 @@ class Service {
   /// boosted transactions.  This is tx::atomically's loop with a bounded
   /// attempt count; like it, non-abort exceptions still abandon held state
   /// before escaping.
-  BatchOutcome try_batch_tx(std::vector<Pending*>& batch, Pending** victim) {
+  BatchOutcome try_batch_tx(unsigned shard, std::vector<Pending*>& batch,
+                            Pending** victim, std::vector<WalOp>* redo) {
     metrics::MetricsSink& tx_sink = tx::metrics_sink();
     Backoff backoff(Backoff::kDefaultCap);
     tx::Transaction t;
+    // The WAL append runs from the commit hook — inside commit(), after the
+    // stamp is drawn and BEFORE the semantic locks release.  That ordering
+    // is what makes cross-shard group commit sound: by the time any
+    // dependent transaction can read this batch's writes, its record is in
+    // the log stream, so the dependent's pre-ack sync_all() covers it.
+    struct AppendCtx {
+      Service* svc;
+      unsigned shard;
+      std::vector<WalOp>* redo;
+    } ctx{this, shard, redo};
+    if (redo != nullptr) {
+      t.set_commit_clock(&active_wal()->clock());
+      t.set_commit_hook(
+          [](void* arg, std::uint64_t stamp) {
+            auto* c = static_cast<AppendCtx*>(arg);
+            if (!c->redo->empty()) {
+              c->svc->active_wal()->append(c->shard, stamp, c->redo->data(),
+                                           c->redo->size());
+            }
+          },
+          &ctx);
+    }
     for (unsigned attempt = 0; attempt < cfg_.batch_attempts; ++attempt) {
       t.begin_attempt();
+      if (redo != nullptr) redo->clear();
       try {
-        for (Pending* p : batch) apply(t, p);
+        for (Pending* p : batch) apply(t, p, redo);
         if (cfg_.batch_fault_hook) cfg_.batch_fault_hook(batch.size());
         t.commit();
         tx_sink.record_attempt(t.tally(), /*committed=*/true,
@@ -550,7 +680,14 @@ class Service {
   /// directly in the Pending cell (rebuilt from scratch on every attempt —
   /// an attempt may be a retry): only this worker touches it until the
   /// completing status store publishes them.
-  void apply(tx::Transaction& t, Pending* p) {
+  ///
+  /// With durability on (`redo` non-null), every effective mutation is
+  /// appended to the attempt's redo buffer with its binding-resolved key
+  /// and value: puts and heap pushes always, conditional mutations only
+  /// when they took effect, pop_min with the key it popped (so replay can
+  /// cross-check), reads never.  The buffer becomes the batch's WAL record
+  /// if this attempt commits.
+  void apply(tx::Transaction& t, Pending* p, std::vector<WalOp>* redo) {
     const Request& r = p->req;
     p->results.clear();
     p->results.reserve(r.steps.size());
@@ -575,10 +712,16 @@ class Service {
             case Verb::kPut:
               res.ok = m->put(t, key, value);
               res.value = value;
+              if (redo != nullptr) {
+                redo->push_back(WalOp{s.structure, Verb::kPut, key, value});
+              }
               break;
             case Verb::kErase:
               res.ok = m->erase(t, key);
               res.value = key;
+              if (redo != nullptr && res.ok) {
+                redo->push_back(WalOp{s.structure, Verb::kErase, key, 0});
+              }
               break;
             case Verb::kContains:
               res.ok = m->contains(t, key);
@@ -602,9 +745,15 @@ class Service {
           switch (s.verb) {
             case Verb::kAdd:
               res.ok = st->add(t, key);
+              if (redo != nullptr && res.ok) {
+                redo->push_back(WalOp{s.structure, Verb::kAdd, key, 0});
+              }
               break;
             case Verb::kRemove:
               res.ok = st->remove(t, key);
+              if (redo != nullptr && res.ok) {
+                redo->push_back(WalOp{s.structure, Verb::kRemove, key, 0});
+              }
               break;
             case Verb::kContains:
               res.ok = st->contains(t, key);
@@ -622,9 +771,15 @@ class Service {
               q->add(t, key);
               res.ok = true;
               res.value = key;
+              if (redo != nullptr) {
+                redo->push_back(WalOp{s.structure, Verb::kPush, key, 0});
+              }
               break;
             case Verb::kPopMin:
               res.ok = q->remove_min(t, &res.value);
+              if (redo != nullptr && res.ok) {
+                redo->push_back(WalOp{s.structure, Verb::kPopMin, res.value, 0});
+              }
               break;
             case Verb::kMin:
               res.ok = q->min(t, &res.value);
@@ -640,9 +795,15 @@ class Service {
             case Verb::kPush:
               res.ok = q->add(t, key);
               res.value = key;
+              if (redo != nullptr && res.ok) {
+                redo->push_back(WalOp{s.structure, Verb::kPush, key, 0});
+              }
               break;
             case Verb::kPopMin:
               res.ok = q->remove_min(t, &res.value);
+              if (redo != nullptr && res.ok) {
+                redo->push_back(WalOp{s.structure, Verb::kPopMin, res.value, 0});
+              }
               break;
             case Verb::kMin:
               res.ok = q->min(t, &res.value);
@@ -669,10 +830,72 @@ class Service {
     }
   }
 
+  /// The WAL once it is appendable.  Null before start() opens it (a
+  /// stop()-before-start drain therefore completes requests without
+  /// logging: the service never ran, nothing was acknowledged as durable).
+  Wal* active_wal() const {
+    return wal_ != nullptr && wal_->is_open() ? wal_.get() : nullptr;
+  }
+
+  /// Copy every registered structure's contents (checkpoint pause only —
+  /// the snapshot_unsafe accessors need quiescence).
+  void capture_slots(std::vector<CheckpointSlot>* out) const {
+    for (std::size_t i = 0; i < targets_.count; ++i) {
+      const Targets::Slot& slot = targets_.slots[i];
+      if (slot.ptr == nullptr) continue;
+      CheckpointSlot cs;
+      cs.slot = static_cast<StructureId>(i);
+      cs.kind = slot.kind;
+      const StructureId id = cs.slot;
+      switch (slot.kind) {
+        case StructureKind::kMap:
+          cs.entries = targets_.map(id)->snapshot_unsafe();
+          break;
+        case StructureKind::kSet:
+          for (std::int64_t k : targets_.set(id)->snapshot_unsafe()) {
+            cs.entries.emplace_back(k, 0);
+          }
+          break;
+        case StructureKind::kHeapPq:
+          for (std::int64_t k : targets_.heap_pq(id)->snapshot_unsafe()) {
+            cs.entries.emplace_back(k, 0);
+          }
+          break;
+        case StructureKind::kSlPq:
+          for (std::int64_t k : targets_.sl_pq(id)->snapshot_unsafe()) {
+            cs.entries.emplace_back(k, 0);
+          }
+          break;
+      }
+      out->push_back(std::move(cs));
+    }
+  }
+
+  void checkpoint_loop() {
+    set_this_thread_name("svc/ckpt");
+    const auto interval = std::chrono::milliseconds(cfg_.wal_checkpoint_ms);
+    auto next = std::chrono::steady_clock::now() + interval;
+    while (!ckpt_stop_.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() >= next) {
+        checkpoint_now();
+        next = std::chrono::steady_clock::now() + interval;
+      }
+      // Short sleep slices keep stop() latency bounded without a CV.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
   Targets targets_;
   ServiceConfig cfg_;
   ShardedQueue queue_;
   metrics::MetricsSink* sink_;
+  std::unique_ptr<Wal> wal_;
+  // Checkpoint pause point: workers hold the shared side per drained
+  // batch; checkpoint_now takes it exclusively to reach quiescence.
+  std::shared_mutex pause_;
+  std::thread ckpt_thread_;
+  std::atomic<bool> ckpt_stop_{false};
+  bool recovered_ = false;
   std::vector<std::thread> workers_;
   // Admission opens at construction (not start()) so tests can pre-load
   // queues before any worker runs; only stop() closes it.

@@ -1,0 +1,98 @@
+// The service's structure table (split out of service.h so the durability
+// layer — wal.h / recovery.h — can address slots without pulling in the
+// whole service plane).
+#pragma once
+
+#include <cstddef>
+
+#include "otb/otb_heap_pq.h"
+#include "otb/otb_list_map.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_pq.h"
+#include "service/request.h"
+
+namespace otb::service {
+
+/// The service's structure table: each registered structure occupies one
+/// slot, and a `Step` names its target by slot index (`StructureId`).
+/// A service registers any mix of structures in any order; the canonical
+/// `standard()` layout (map=0, set=1, heap=2, skip-list PQ=3) is what the
+/// step factories in request.h default to.  A null slot stays addressable
+/// but fails validation, so "this service does not expose a set" keeps the
+/// old kFailed semantics.
+struct Targets {
+  static constexpr std::size_t kMaxStructures = 16;
+
+  struct Slot {
+    StructureKind kind = StructureKind::kMap;
+    void* ptr = nullptr;
+  };
+
+  Slot slots[kMaxStructures] = {};
+  std::size_t count = 0;
+
+  StructureId add_map(tx::OtbListMap* m) { return add(StructureKind::kMap, m); }
+  StructureId add_set(tx::OtbListSet* s) { return add(StructureKind::kSet, s); }
+  StructureId add_heap_pq(tx::OtbHeapPQ* q) {
+    return add(StructureKind::kHeapPq, q);
+  }
+  StructureId add_sl_pq(tx::OtbSkipListPQ* q) {
+    return add(StructureKind::kSlPq, q);
+  }
+
+  /// Canonical four-slot layout matching request.h's factory defaults.
+  /// Null pointers register empty slots (addressable, never valid).
+  static Targets standard(tx::OtbListMap* map = nullptr,
+                          tx::OtbListSet* set = nullptr,
+                          tx::OtbHeapPQ* heap_pq = nullptr,
+                          tx::OtbSkipListPQ* sl_pq = nullptr) {
+    Targets t;
+    t.add_map(map);
+    t.add_set(set);
+    t.add_heap_pq(heap_pq);
+    t.add_sl_pq(sl_pq);
+    return t;
+  }
+
+  /// Slot exists, holds a structure, and the verb fits its kind.
+  bool valid_step(const Step& s) const {
+    if (s.structure >= count) return false;
+    const Slot& slot = slots[s.structure];
+    if (slot.ptr == nullptr) return false;
+    switch (slot.kind) {
+      case StructureKind::kMap:
+        return s.verb == Verb::kGet || s.verb == Verb::kPut ||
+               s.verb == Verb::kErase || s.verb == Verb::kContains ||
+               s.verb == Verb::kRange;
+      case StructureKind::kSet:
+        return s.verb == Verb::kAdd || s.verb == Verb::kRemove ||
+               s.verb == Verb::kContains;
+      case StructureKind::kHeapPq:
+      case StructureKind::kSlPq:
+        return s.verb == Verb::kPush || s.verb == Verb::kPopMin ||
+               s.verb == Verb::kMin;
+    }
+    return false;
+  }
+
+  tx::OtbListMap* map(StructureId id) const {
+    return static_cast<tx::OtbListMap*>(slots[id].ptr);
+  }
+  tx::OtbListSet* set(StructureId id) const {
+    return static_cast<tx::OtbListSet*>(slots[id].ptr);
+  }
+  tx::OtbHeapPQ* heap_pq(StructureId id) const {
+    return static_cast<tx::OtbHeapPQ*>(slots[id].ptr);
+  }
+  tx::OtbSkipListPQ* sl_pq(StructureId id) const {
+    return static_cast<tx::OtbSkipListPQ*>(slots[id].ptr);
+  }
+
+ private:
+  StructureId add(StructureKind k, void* p) {
+    slots[count] = Slot{k, p};
+    return static_cast<StructureId>(count++);
+  }
+};
+
+}  // namespace otb::service

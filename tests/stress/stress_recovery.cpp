@@ -1,0 +1,524 @@
+// Tier-2 crash-injection harness for the durability layer (ROADMAP item 3).
+//
+// Each round forks a child that runs a durable service (group-commit WAL)
+// under concurrent client load.  Every client journals each operation to
+// plain O_APPEND files: a `submitted` line before submit() and an `acked`
+// line only after the future resolves kOk.  The parent SIGKILLs the child
+// at a random point mid-load, recovers the WAL directory into fresh
+// structures, and checks crash consistency:
+//
+//   - acked => durable: every acknowledged operation's effect is present
+//     (group commit fsyncs the shard log before any kOk completes);
+//   - in-flight ops (submitted, never acked) may have landed or not —
+//     each is enumerated as {absent, applied-ok, applied-failed} and the
+//     per-key history must linearize (Wing–Gong, MapKeySpec) under at
+//     least one choice, with synthetic final reads of the recovered state
+//     pinning what actually survived;
+//   - whole-object PQ conservation: acked pushes minus acked pops must
+//     survive (modulo in-flight pops), and the recovered queue can hold
+//     nothing that was never submitted;
+//   - the log keeps working after a crash: Service::recover() + start()
+//     on the recovered state accepts new writes, and a final recovery
+//     sees them.
+//
+// Scale: OTB_STRESS_SCALE multiplies the number of crash rounds.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/platform.h"
+#include "otb/otb_heap_pq.h"
+#include "otb/otb_list_map.h"
+#include "service/recovery.h"
+#include "service/service.h"
+#include "verify/lin_check.h"
+#include "verify/spec.h"
+#include "verify/stress.h"
+
+namespace otb {
+namespace {
+
+using service::RecoveryReport;
+using service::RecoveryStatus;
+using service::Request;
+using service::Service;
+using service::ServiceConfig;
+using service::SvcStatus;
+using service::Targets;
+using service::WalFsync;
+using verify::Event;
+using verify::History;
+using verify::LinResult;
+using verify::LinStatus;
+using verify::MapKeySpec;
+using verify::OpKind;
+
+constexpr unsigned kMapClients = 3;
+constexpr unsigned kPqClients = 1;
+constexpr std::int64_t kSharedKeys = 8;     // keys [0,8) contended by all
+constexpr std::int64_t kOwnKeys = 16;       // per-thread private range
+constexpr std::int64_t kOwnBase = 64;       // thread t owns [64*(t+1), +16)
+constexpr std::int64_t kSeedBase = 900;     // baseline rows, value == key
+constexpr std::int64_t kSeedCount = 8;
+
+void seed_baseline(tx::OtbListMap& map) {
+  for (std::int64_t k = kSeedBase; k < kSeedBase + kSeedCount; ++k) {
+    map.put_seq(k, k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Op journal: one `submitted` and one `acked` file shared by all client
+// threads, one write() per line (atomic under O_APPEND).  A SIGKILL can at
+// worst tear the final line of each file; the parser drops an unterminated
+// tail and rejects any other damage.
+
+struct Journal {
+  int submitted = -1;
+  int acked = -1;
+};
+
+void journal_line(int fd, const std::string& line) {
+  if (::write(fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    std::fprintf(stderr, "stress_recovery child: journal write failed\n");
+    ::_exit(40);
+  }
+}
+
+struct SubmittedOp {
+  std::uint64_t id = 0;
+  char op = '?';  // 'P' map put, 'E' map erase, 'Q' pq push, 'O' pq pop
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+  std::uint64_t invoke_ns = 0;
+};
+
+struct AckedOp {
+  std::uint64_t id = 0;
+  char st = '?';  // 'k' completed kOk, 'x' cancelled (rejected at admission)
+  bool ok = false;
+  std::int64_t value = 0;
+  std::uint64_t response_ns = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Child: durable service + client threads, runs until SIGKILLed.
+
+[[noreturn]] void run_child(const std::string& wal_dir,
+                            const std::string& log_dir) {
+  Journal j;
+  j.submitted = ::open((log_dir + "/submitted").c_str(),
+                       O_WRONLY | O_CREAT | O_APPEND, 0644);
+  j.acked = ::open((log_dir + "/acked").c_str(),
+                   O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (j.submitted < 0 || j.acked < 0) ::_exit(41);
+
+  static tx::OtbListMap map;
+  static tx::OtbHeapPQ heap;
+  seed_baseline(map);
+
+  metrics::MetricsSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_max = 4;
+  cfg.queue_capacity = 4096;
+  cfg.metrics = &sink;
+  cfg.wal_dir = wal_dir;
+  cfg.wal_fsync = WalFsync::kGroup;
+  Service svc(Targets::standard(&map, nullptr, &heap), cfg);
+  svc.start();
+
+  auto client = [&](unsigned tid, bool pq) {
+    std::mt19937_64 rng(0xc4a5'0000u + tid);
+    for (std::uint64_t seq = 0;; ++seq) {
+      const std::uint64_t id = tid * 1'000'000ull + seq;
+      SubmittedOp op;
+      op.id = id;
+      if (pq) {
+        // Mostly pushes of globally-unique keys, occasional pops.
+        if (rng() % 8 == 0) {
+          op.op = 'O';
+        } else {
+          op.op = 'Q';
+          op.key = static_cast<std::int64_t>(id) + 1'000'000;
+        }
+      } else if (rng() % 4 == 0) {
+        // Contended shared key: real cross-thread concurrency per key.
+        // Gets are in the mix because an acknowledged read is a durability
+        // obligation too — the value it returned must exist in the
+        // recovered state's history (group commit syncs all shards before
+        // acking reads for exactly this reason).
+        const std::uint64_t pick = rng() % 6;
+        op.op = pick < 3 ? 'P' : (pick < 4 ? 'E' : 'G');
+        op.key = static_cast<std::int64_t>(rng() % kSharedKeys);
+        op.value = static_cast<std::int64_t>(id);
+      } else {
+        const std::uint64_t pick = rng() % 10;
+        op.op = pick < 6 ? 'P' : (pick < 8 ? 'E' : 'G');
+        op.key = kOwnBase * (tid + 1) + static_cast<std::int64_t>(rng() % kOwnKeys);
+        op.value = static_cast<std::int64_t>(id);
+      }
+      op.invoke_ns = now_ns();
+      journal_line(j.submitted,
+                   "s " + std::to_string(op.id) + " " + op.op + " " +
+                       std::to_string(op.key) + " " + std::to_string(op.value) +
+                       " " + std::to_string(op.invoke_ns) + "\n");
+      Request req;
+      switch (op.op) {
+        case 'P': req = Request(service::map_put(op.key, op.value)); break;
+        case 'E': req = Request(service::map_erase(op.key)); break;
+        case 'G': req = Request(service::map_get(op.key)); break;
+        case 'Q': req = Request(service::heap_push(op.key)); break;
+        case 'O': req = Request(service::heap_pop_min()); break;
+      }
+      service::ResponseFuture fut = svc.submit(req);
+      const SvcStatus st = fut.wait();
+      if (st == SvcStatus::kOverloaded) {
+        // Never executed; journal the cancellation so the op is not
+        // mistaken for in-flight (in-flight must be <= 1 per thread).
+        journal_line(j.acked, "a " + std::to_string(id) + " x 0 0 0\n");
+        continue;
+      }
+      if (st != SvcStatus::kOk) ::_exit(42);
+      journal_line(j.acked, "a " + std::to_string(id) + " k " +
+                                std::to_string(fut.ok() ? 1 : 0) + " " +
+                                std::to_string(fut.value()) + " " +
+                                std::to_string(now_ns()) + "\n");
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (unsigned t = 0; t < kMapClients; ++t) {
+    clients.emplace_back(client, t, false);
+  }
+  for (unsigned t = 0; t < kPqClients; ++t) {
+    clients.emplace_back(client, kMapClients + t, true);
+  }
+  for (auto& c : clients) c.join();  // unreachable: SIGKILL ends the child
+  ::_exit(43);
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side journal parsing.
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::string bytes;
+  EXPECT_TRUE(service::recovery_detail::read_file(path, &bytes));
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (bytes[i] == '\n') {
+      lines.push_back(bytes.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  // An unterminated tail is the one legal torn write (SIGKILL mid-line).
+  return lines;
+}
+
+bool parse_submitted(const std::string& line, SubmittedOp* out) {
+  unsigned long long id = 0, invoke = 0;
+  long long key = 0, value = 0;
+  char op = '?', trail = '\0';
+  if (std::sscanf(line.c_str(), "s %llu %c %lld %lld %llu%c", &id, &op, &key,
+                  &value, &invoke, &trail) != 5) {
+    return false;
+  }
+  *out = SubmittedOp{id, op, key, value, invoke};
+  return true;
+}
+
+bool parse_acked(const std::string& line, AckedOp* out) {
+  unsigned long long id = 0, response = 0;
+  int ok = 0;
+  long long value = 0;
+  char st = '?', trail = '\0';
+  if (std::sscanf(line.c_str(), "a %llu %c %d %lld %llu%c", &id, &st, &ok,
+                  &value, &response, &trail) != 5) {
+    return false;
+  }
+  *out = AckedOp{id, st, ok != 0, value, response};
+  return true;
+}
+
+OpKind map_kind(char op) { return op == 'P' ? OpKind::kPut : OpKind::kErase; }
+
+// ---------------------------------------------------------------------------
+// Per-key Wing–Gong check with in-flight enumeration.  Keys are checked
+// independently (MapKeySpec is per-key decomposable); every in-flight op on
+// the key is tried as {absent, applied-ok, applied-not-ok}, and at least
+// one assignment must linearize against the acked events + a final read of
+// the recovered state.
+
+bool key_history_consistent(History base, std::vector<Event> inflight,
+                            const MapKeySpec::State& init, std::string* why) {
+  const std::size_t n = inflight.size();
+  if (n > 6) {  // window-1 clients: can't happen
+    *why = "too many in-flight ops (" + std::to_string(n) + ")";
+    return false;
+  }
+  std::string last_detail;
+  for (std::uint64_t mask = 0; mask < (1ull << (2 * n)); ++mask) {
+    History h = base;
+    bool skip = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned choice = (mask >> (2 * i)) & 3u;  // 0 absent, 1 ok, 2 !ok
+      if (choice == 3u) { skip = true; break; }
+      if (choice == 0u) continue;
+      Event e = inflight[i];
+      e.ok = choice == 1u;
+      h.push_back(e);
+    }
+    if (skip) continue;
+    verify::WingGongChecker<MapKeySpec> checker(MapKeySpec{});
+    const LinResult r = checker.check_from(h, init);
+    if (r.status == LinStatus::kLinearizable) return true;
+    last_detail = r.detail;
+  }
+  *why = last_detail.empty() ? "no linearization" : last_detail;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+
+class RecoveryStress : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/otb_stress_recovery_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ASSERT_EQ(::mkdir((dir_ + "/logs").c_str(), 0755), 0);
+  }
+
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  std::string dir_;
+};
+
+void run_crash_round(const std::string& wal_dir, const std::string& log_dir,
+                     std::uint64_t seed) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) run_child(wal_dir, log_dir);  // never returns
+
+  // Let the child ack real work, then kill it at a jittered point so each
+  // round tears the log somewhere new.
+  struct stat st{};
+  const std::uint64_t deadline = now_ns() + 10'000'000'000ull;
+  while (::stat((log_dir + "/acked").c_str(), &st) != 0 || st.st_size < 2048) {
+    if (now_ns() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::mt19937_64 rng(seed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50 + rng() % 250));
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "child exited on its own with status " << status;
+
+  // Parse the journals (torn final lines are legal, nothing else is).
+  std::map<std::uint64_t, SubmittedOp> submitted;
+  std::map<std::uint64_t, AckedOp> acked;
+  for (const std::string& line : read_lines(log_dir + "/submitted")) {
+    SubmittedOp op;
+    ASSERT_TRUE(parse_submitted(line, &op)) << line;
+    submitted[op.id] = op;
+  }
+  for (const std::string& line : read_lines(log_dir + "/acked")) {
+    AckedOp a;
+    ASSERT_TRUE(parse_acked(line, &a)) << line;
+    ASSERT_TRUE(submitted.count(a.id)) << "ack without submit: " << a.id;
+    acked[a.id] = a;
+  }
+  ASSERT_GT(acked.size(), 0u) << "child never acknowledged any operation";
+
+  // Window-1 clients: per thread, only the last submitted op may lack an
+  // ack.  (An op acked by the service but killed before the journal write
+  // is indistinguishable from in-flight — the enumeration below covers it.)
+  std::map<std::uint64_t, std::uint64_t> last_unacked_per_thread;
+  for (const auto& [id, op] : submitted) {
+    if (acked.count(id)) continue;
+    const std::uint64_t tid = id / 1'000'000ull;
+    ASSERT_EQ(last_unacked_per_thread.count(tid), 0u)
+        << "thread " << tid << " has >1 in-flight op";
+    last_unacked_per_thread[tid] = id;
+    for (const auto& [id2, op2] : submitted) {
+      if (id2 / 1'000'000ull == tid) {
+        ASSERT_LE(id2, id) << "unacked op " << id << " is not thread-final";
+      }
+    }
+  }
+
+  // Recover into fresh structures with the identical baseline closure.
+  tx::OtbListMap map;
+  tx::OtbHeapPQ heap;
+  Targets targets = Targets::standard(&map, nullptr, &heap);
+  const RecoveryReport report =
+      service::recover_into(wal_dir, targets, [&map] { seed_baseline(map); });
+  ASSERT_EQ(report.status, RecoveryStatus::kOk) << report.detail;
+  EXPECT_GT(report.records_replayed, 0u);
+
+  std::map<std::int64_t, std::int64_t> recovered;
+  for (const auto& [k, v] : map.snapshot_unsafe()) recovered[k] = v;
+
+  // --- Map: per-key Wing–Gong over acked + enumerated in-flight + final
+  // read of the recovered value.
+  std::uint64_t t_end = 0;
+  for (const auto& [id, a] : acked) t_end = std::max(t_end, a.response_ns);
+  for (const auto& [id, op] : submitted) t_end = std::max(t_end, op.invoke_ns);
+  t_end += 1;
+
+  std::map<std::int64_t, History> by_key;
+  std::map<std::int64_t, std::vector<Event>> inflight_by_key;
+  for (const auto& [id, op] : submitted) {
+    if (op.op != 'P' && op.op != 'E' && op.op != 'G') continue;
+    Event e;
+    e.op = op.op == 'G' ? OpKind::kGet : map_kind(op.op);
+    e.key = op.key;
+    e.value = op.value;
+    e.invoke_ns = op.invoke_ns;
+    const auto it = acked.find(id);
+    if (it == acked.end()) {
+      // An in-flight get imposes nothing (no result reached the client);
+      // in-flight mutations may have landed and are enumerated.
+      if (op.op == 'G') continue;
+      e.response_ns = t_end;  // may have landed any time before the crash
+      inflight_by_key[op.key].push_back(e);
+    } else if (it->second.st == 'k') {
+      e.ok = it->second.ok;
+      if (op.op == 'G') e.value = it->second.value;  // the observed value
+      e.response_ns = it->second.response_ns;
+      by_key[op.key].push_back(e);
+    }  // 'x' = rejected at admission: never executed, not part of history
+  }
+  std::set<std::int64_t> keys;
+  for (const auto& [k, h] : by_key) keys.insert(k);
+  for (const auto& [k, h] : inflight_by_key) keys.insert(k);
+  for (const auto& [k, v] : recovered) keys.insert(k);
+  for (std::int64_t k = kSeedBase; k < kSeedBase + kSeedCount; ++k) {
+    keys.insert(k);
+  }
+
+  for (const std::int64_t key : keys) {
+    if (key >= 1'000'000) continue;  // PQ key space
+    History h = by_key[key];
+    Event fin;
+    fin.op = OpKind::kGet;
+    fin.key = key;
+    const auto rec = recovered.find(key);
+    fin.ok = rec != recovered.end();
+    fin.value = fin.ok ? rec->second : 0;
+    fin.invoke_ns = t_end + 1;
+    fin.response_ns = t_end + 2;
+    h.push_back(fin);
+    MapKeySpec::State init;
+    if (key >= kSeedBase && key < kSeedBase + kSeedCount) {
+      init.present = true;
+      init.value = key;
+    }
+    std::string why;
+    EXPECT_TRUE(key_history_consistent(h, inflight_by_key[key], init, &why))
+        << "key " << key << " not prefix-consistent after crash: " << why;
+  }
+
+  // --- PQ: whole-object conservation.  acked pushes minus acked pops must
+  // survive modulo in-flight pops; nothing unsubmitted may appear.
+  std::set<std::int64_t> pushed_acked, pushed_any, popped;
+  std::size_t inflight_pops = 0, inflight_pushes = 0;
+  for (const auto& [id, op] : submitted) {
+    if (op.op == 'Q') {
+      pushed_any.insert(op.key);
+      const auto it = acked.find(id);
+      if (it != acked.end() && it->second.st == 'k') pushed_acked.insert(op.key);
+      if (it == acked.end()) ++inflight_pushes;
+    } else if (op.op == 'O') {
+      const auto it = acked.find(id);
+      if (it == acked.end()) {
+        ++inflight_pops;
+      } else if (it->second.st == 'k' && it->second.ok) {
+        popped.insert(it->second.value);
+      }
+    }
+  }
+  std::set<std::int64_t> surviving;
+  for (const std::int64_t k : heap.snapshot_unsafe()) {
+    EXPECT_TRUE(pushed_any.count(k)) << "recovered PQ holds unsubmitted " << k;
+    surviving.insert(k);
+  }
+  for (const std::int64_t k : popped) {
+    EXPECT_TRUE(pushed_any.count(k)) << "popped key never pushed: " << k;
+    EXPECT_FALSE(surviving.count(k)) << "acked-popped key survived: " << k;
+  }
+  std::size_t lost = 0;
+  for (const std::int64_t k : pushed_acked) {
+    if (!surviving.count(k) && !popped.count(k)) ++lost;
+  }
+  EXPECT_LE(lost, inflight_pops)
+      << lost << " acked pushes vanished with only " << inflight_pops
+      << " in-flight pops";
+
+  // --- Continuation: the recovered state serves and stays durable.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.wal_dir = wal_dir;
+  {
+    tx::OtbListMap map2;
+    tx::OtbHeapPQ heap2;
+    Service svc(Targets::standard(&map2, nullptr, &heap2), cfg);
+    ASSERT_TRUE(
+        svc.recover([&map2] { seed_baseline(map2); }).ok());
+    svc.start();
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(svc.submit(Request(service::map_put(5000 + i, i))).wait(),
+                SvcStatus::kOk);
+    }
+    svc.stop();
+  }
+  tx::OtbListMap map3;
+  tx::OtbHeapPQ heap3;
+  Targets t3 = Targets::standard(&map3, nullptr, &heap3);
+  ASSERT_TRUE(
+      service::recover_into(wal_dir, t3, [&map3] { seed_baseline(map3); }).ok());
+  std::map<std::int64_t, std::int64_t> final_map;
+  for (const auto& [k, v] : map3.snapshot_unsafe()) final_map[k] = v;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(final_map.count(5000 + i));
+    EXPECT_EQ(final_map[5000 + i], i);
+  }
+}
+
+TEST_F(RecoveryStress, AckedHistorySurvivesSigkill) {
+  const std::uint64_t rounds = 2 * verify::stress_scale();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    SCOPED_TRACE("round " + std::to_string(r));
+    const std::string wal = dir_ + "/wal" + std::to_string(r);
+    const std::string logs = dir_ + "/logs/r" + std::to_string(r);
+    ASSERT_EQ(::mkdir(wal.c_str(), 0755), 0);
+    ASSERT_EQ(::mkdir(logs.c_str(), 0755), 0);
+    run_crash_round(wal, logs, verify::stress_seed(0xdead'0000u + r));
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace otb

@@ -1,0 +1,584 @@
+// Tier-1 tests of the durability layer (service/wal.h + recovery.h):
+// record encode/decode round-trips, torn-tail truncation vs mid-log
+// corruption (fail closed), checkpoint + manifest compaction, commit-clock
+// stamp merging across shards, and recover-then-serve equivalence — a
+// recovered service is indistinguishable from one that never crashed.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/sink.h"
+#include "otb/otb_heap_pq.h"
+#include "otb/otb_list_map.h"
+#include "otb/otb_list_set.h"
+#include "otb/otb_skiplist_pq.h"
+#include "service/recovery.h"
+#include "service/service.h"
+#include "service/wal.h"
+
+namespace otb {
+namespace {
+
+using metrics::CounterId;
+using service::CheckpointSlot;
+using service::RecoveryReport;
+using service::RecoveryStatus;
+using service::Request;
+using service::Service;
+using service::ServiceConfig;
+using service::Targets;
+using service::Verb;
+using service::Wal;
+using service::WalFsync;
+using service::WalOp;
+using service::WalOptions;
+using service::WalRecord;
+using service::WalScan;
+
+using service::heap_push;
+using service::map_erase;
+using service::map_put;
+using service::set_add;
+using service::sl_push;
+
+/// Fresh temp directory per test; removed with its contents on teardown.
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/otb_wal_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  std::string read_file(const std::string& name) {
+    std::string out;
+    EXPECT_TRUE(service::recovery_detail::read_file(dir_ + "/" + name, &out));
+    return out;
+  }
+
+  void write_file(const std::string& name, const std::string& data) {
+    std::FILE* f = std::fopen((dir_ + "/" + name).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+  }
+
+  bool exists(const std::string& name) {
+    struct stat st{};
+    return ::stat((dir_ + "/" + name).c_str(), &st) == 0;
+  }
+
+  std::string dir_;
+};
+
+std::vector<WalOp> sample_ops() {
+  return {WalOp{0, Verb::kPut, 7, 70}, WalOp{1, Verb::kAdd, 8, 0},
+          WalOp{2, Verb::kPush, 9, 0}, WalOp{0, Verb::kErase, -3, 0},
+          WalOp{3, Verb::kPopMin, 5, 0}};
+}
+
+TEST_F(WalTest, EncodeDecodeRoundTrip) {
+  std::string buf;
+  const std::vector<WalOp> ops = sample_ops();
+  service::encode_record(42, ops.data(), ops.size(), &buf);
+  service::encode_record(43, ops.data(), 1, &buf);
+  service::encode_record(44, nullptr, 0, &buf);  // read-only record is legal
+
+  const WalScan scan = service::scan_wal_buffer(buf);
+  EXPECT_TRUE(scan.clean);
+  EXPECT_EQ(scan.tail_offset, buf.size());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].seq, 42u);
+  EXPECT_EQ(scan.records[0].ops, ops);
+  EXPECT_EQ(scan.records[1].seq, 43u);
+  ASSERT_EQ(scan.records[1].ops.size(), 1u);
+  EXPECT_EQ(scan.records[1].ops[0], ops[0]);
+  EXPECT_TRUE(scan.records[2].ops.empty());
+}
+
+TEST_F(WalTest, ScanEmptyBufferIsClean) {
+  const WalScan scan = service::scan_wal_buffer("");
+  EXPECT_TRUE(scan.clean);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST_F(WalTest, TornTailStopsAtLastValidBoundary) {
+  std::string buf;
+  const std::vector<WalOp> ops = sample_ops();
+  service::encode_record(1, ops.data(), ops.size(), &buf);
+  const std::size_t boundary = buf.size();
+  service::encode_record(2, ops.data(), ops.size(), &buf);
+  buf.resize(boundary + 11);  // record 2 torn mid-frame
+
+  const WalScan scan = service::scan_wal_buffer(buf);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_FALSE(scan.valid_after_damage);
+  EXPECT_EQ(scan.tail_offset, boundary);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].seq, 1u);
+}
+
+TEST_F(WalTest, BitFlipIsDamageAndLaterValidRecordIsDetected) {
+  std::string buf;
+  const std::vector<WalOp> ops = sample_ops();
+  service::encode_record(1, ops.data(), ops.size(), &buf);
+  const std::size_t boundary = buf.size();
+  service::encode_record(2, ops.data(), ops.size(), &buf);
+  buf[boundary / 2] ^= 0x40;  // flip a bit inside record 1's payload
+
+  const WalScan scan = service::scan_wal_buffer(buf);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_TRUE(scan.valid_after_damage);  // record 2 still parses => corrupt
+  EXPECT_EQ(scan.tail_offset, 0u);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST_F(WalTest, AppendReadBackWithCountersAndRotation) {
+  metrics::MetricsSink sink;
+  Wal wal(WalOptions{dir_, WalFsync::kAlways, 2, &sink});
+  std::string err;
+  ASSERT_TRUE(wal.open_for_append(&err)) << err;
+  const std::vector<WalOp> ops = sample_ops();
+  wal.append(0, 1, ops.data(), ops.size());
+  wal.append(1, 2, ops.data(), 2);
+  ASSERT_TRUE(wal.rotate_all(&err)) << err;
+  wal.append(0, 3, ops.data(), 1);
+  wal.close_all();
+
+  const WalScan s00 =
+      service::scan_wal_buffer(read_file(service::wal_segment_name(0, 0)));
+  const WalScan s01 =
+      service::scan_wal_buffer(read_file(service::wal_segment_name(0, 1)));
+  const WalScan s10 =
+      service::scan_wal_buffer(read_file(service::wal_segment_name(1, 0)));
+  ASSERT_TRUE(s00.clean && s01.clean && s10.clean);
+  ASSERT_EQ(s00.records.size(), 1u);
+  EXPECT_EQ(s00.records[0].ops, ops);
+  ASSERT_EQ(s01.records.size(), 1u);
+  EXPECT_EQ(s01.records[0].seq, 3u);
+  ASSERT_EQ(s10.records.size(), 1u);
+
+  const auto snap = sink.snapshot();
+  EXPECT_EQ(snap.counter(CounterId::kWalAppends), 3u);
+  EXPECT_GE(snap.counter(CounterId::kWalFsyncs), 3u);  // always-mode: per append
+  EXPECT_GT(snap.counter(CounterId::kWalBytes), 0u);
+  EXPECT_EQ(snap.phase(metrics::Phase::kWalFsync).count,
+            snap.counter(CounterId::kWalFsyncs));
+}
+
+TEST_F(WalTest, RecoverNoStateOnMissingOrEmptyDir) {
+  tx::OtbListMap map;
+  Targets t = Targets::standard(&map);
+  RecoveryReport r = service::recover_into(dir_ + "/nonexistent", t);
+  EXPECT_EQ(r.status, RecoveryStatus::kNoState);
+  r = service::recover_into(dir_, t);
+  EXPECT_EQ(r.status, RecoveryStatus::kNoState);
+  EXPECT_TRUE(r.ok());
+}
+
+/// Drive a deterministic script mix through a durable service, stop it,
+/// and return the WAL dir's contents for recovery tests.
+struct DurableRun {
+  std::vector<std::pair<std::int64_t, std::int64_t>> map_state;
+  std::vector<std::int64_t> set_state, heap_state, slpq_state;
+  std::uint64_t clock = 0;
+};
+
+DurableRun run_durable_workload(const std::string& dir, WalFsync mode,
+                                metrics::MetricsSink* sink,
+                                bool checkpoint_midway = false) {
+  tx::OtbListMap map;
+  tx::OtbListSet set;
+  tx::OtbHeapPQ heap;
+  tx::OtbSkipListPQ slpq;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_max = 4;
+  cfg.metrics = sink;
+  cfg.wal_dir = dir;
+  cfg.wal_fsync = mode;
+  Service svc(Targets::standard(&map, &set, &heap, &slpq), cfg);
+  svc.start();
+  std::vector<service::ResponseFuture> futs;
+  for (int i = 0; i < 40; ++i) {
+    futs.push_back(svc.submit(Request(map_put(i % 16, i * 10))));
+    futs.push_back(svc.submit(Request(set_add(i % 8))));
+    futs.push_back(svc.submit(Request(heap_push(100 - i))));
+    futs.push_back(svc.submit(Request(sl_push(200 + i))));
+    if (i % 5 == 0) futs.push_back(svc.submit(Request(map_erase(i % 16))));
+    if (checkpoint_midway && i == 20) {
+      for (auto& f : futs) f.wait();
+      EXPECT_TRUE(svc.checkpoint_now());
+    }
+  }
+  for (auto& f : futs) EXPECT_EQ(f.wait(), service::SvcStatus::kOk);
+  DurableRun out;
+  out.clock = svc.wal()->clock().load();
+  svc.stop();
+  out.map_state = map.snapshot_unsafe();
+  out.set_state = set.snapshot_unsafe();
+  out.heap_state = heap.snapshot_unsafe();
+  std::sort(out.heap_state.begin(), out.heap_state.end());
+  out.slpq_state = slpq.snapshot_unsafe();
+  return out;
+}
+
+void expect_recovered_equal(const DurableRun& ran, const Targets& t) {
+  EXPECT_EQ(service::Targets(t).map(0)->snapshot_unsafe(), ran.map_state);
+  EXPECT_EQ(service::Targets(t).set(1)->snapshot_unsafe(), ran.set_state);
+  auto heap = service::Targets(t).heap_pq(2)->snapshot_unsafe();
+  std::sort(heap.begin(), heap.end());
+  EXPECT_EQ(heap, ran.heap_state);
+  EXPECT_EQ(service::Targets(t).sl_pq(3)->snapshot_unsafe(), ran.slpq_state);
+}
+
+TEST_F(WalTest, RecoverReplaysLogIntoEmptyStructures) {
+  metrics::MetricsSink sink;
+  const DurableRun ran = run_durable_workload(dir_, WalFsync::kGroup, &sink);
+  EXPECT_GT(sink.snapshot().counter(CounterId::kWalAppends), 0u);
+
+  tx::OtbListMap map;
+  tx::OtbListSet set;
+  tx::OtbHeapPQ heap;
+  tx::OtbSkipListPQ slpq;
+  Targets t = Targets::standard(&map, &set, &heap, &slpq);
+  const RecoveryReport r = service::recover_into(dir_, t);
+  ASSERT_EQ(r.status, RecoveryStatus::kOk) << r.detail;
+  EXPECT_EQ(r.last_seq, ran.clock);
+  EXPECT_GT(r.records_replayed, 0u);
+  EXPECT_EQ(r.checkpoint_seq, 0u);  // no checkpoint ran
+  expect_recovered_equal(ran, t);
+}
+
+TEST_F(WalTest, RecoverTruncatesTornTailAndContinues) {
+  metrics::MetricsSink sink;
+  const DurableRun ran = run_durable_workload(dir_, WalFsync::kAlways, &sink);
+  // Tear the end of shard 0's segment: append half a record.
+  std::string torn;
+  const std::vector<WalOp> ops = sample_ops();
+  service::encode_record(9999, ops.data(), ops.size(), &torn);
+  torn.resize(torn.size() / 2);
+  const std::string seg0 = service::wal_segment_name(0, 0);
+  write_file(seg0, read_file(seg0) + torn);
+
+  tx::OtbListMap map;
+  tx::OtbListSet set;
+  tx::OtbHeapPQ heap;
+  tx::OtbSkipListPQ slpq;
+  Targets t = Targets::standard(&map, &set, &heap, &slpq);
+  const RecoveryReport r = service::recover_into(dir_, t);
+  ASSERT_EQ(r.status, RecoveryStatus::kOk) << r.detail;
+  EXPECT_TRUE(r.truncated_tail);
+  expect_recovered_equal(ran, t);
+  // The torn bytes are physically gone: a second recovery is clean.
+  tx::OtbListMap map2;
+  tx::OtbListSet set2;
+  tx::OtbHeapPQ heap2;
+  tx::OtbSkipListPQ slpq2;
+  Targets t2 = Targets::standard(&map2, &set2, &heap2, &slpq2);
+  const RecoveryReport r2 = service::recover_into(dir_, t2);
+  ASSERT_EQ(r2.status, RecoveryStatus::kOk) << r2.detail;
+  EXPECT_FALSE(r2.truncated_tail);
+}
+
+TEST_F(WalTest, RecoverFailsClosedOnMidLogBitFlip) {
+  metrics::MetricsSink sink;
+  run_durable_workload(dir_, WalFsync::kAlways, &sink);
+  const std::string seg0 = service::wal_segment_name(0, 0);
+  std::string bytes = read_file(seg0);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[20] ^= 0x01;  // damage the first record; later records stay valid
+  write_file(seg0, bytes);
+
+  tx::OtbListMap map;
+  tx::OtbListSet set;
+  tx::OtbHeapPQ heap;
+  tx::OtbSkipListPQ slpq;
+  Targets t = Targets::standard(&map, &set, &heap, &slpq);
+  const RecoveryReport r = service::recover_into(dir_, t);
+  EXPECT_EQ(r.status, RecoveryStatus::kCorruptLog);
+}
+
+TEST_F(WalTest, RecoverFailsClosedOnDuplicateStamp) {
+  std::string buf;
+  const std::vector<WalOp> op{WalOp{0, Verb::kPut, 1, 1}};
+  service::encode_record(1, op.data(), 1, &buf);
+  write_file(service::wal_segment_name(0, 0), buf);
+  write_file(service::wal_segment_name(1, 0), buf);  // same stamp, other shard
+
+  tx::OtbListMap map;
+  Targets t = Targets::standard(&map);
+  const RecoveryReport r = service::recover_into(dir_, t);
+  EXPECT_EQ(r.status, RecoveryStatus::kCorruptLog);
+}
+
+TEST_F(WalTest, CheckpointCompactsAndRecoverUsesIt) {
+  metrics::MetricsSink sink;
+  const DurableRun ran =
+      run_durable_workload(dir_, WalFsync::kGroup, &sink,
+                           /*checkpoint_midway=*/true);
+  EXPECT_TRUE(exists("last_checkpoint"));
+  // Compaction: pre-rotation segments are gone.
+  EXPECT_FALSE(exists(service::wal_segment_name(0, 0)));
+  EXPECT_FALSE(exists(service::wal_segment_name(1, 0)));
+
+  tx::OtbListMap map;
+  tx::OtbListSet set;
+  tx::OtbHeapPQ heap;
+  tx::OtbSkipListPQ slpq;
+  Targets t = Targets::standard(&map, &set, &heap, &slpq);
+  const RecoveryReport r = service::recover_into(dir_, t);
+  ASSERT_EQ(r.status, RecoveryStatus::kOk) << r.detail;
+  EXPECT_GT(r.checkpoint_seq, 0u);
+  EXPECT_EQ(r.last_seq, ran.clock);
+  expect_recovered_equal(ran, t);
+}
+
+TEST_F(WalTest, CorruptManifestFailsClosed) {
+  metrics::MetricsSink sink;
+  run_durable_workload(dir_, WalFsync::kGroup, &sink,
+                       /*checkpoint_midway=*/true);
+  std::string manifest = read_file("last_checkpoint");
+  manifest[manifest.size() / 2] ^= 0x10;
+  write_file("last_checkpoint", manifest);
+
+  tx::OtbListMap map;
+  tx::OtbListSet set;
+  tx::OtbHeapPQ heap;
+  tx::OtbSkipListPQ slpq;
+  Targets t = Targets::standard(&map, &set, &heap, &slpq);
+  const RecoveryReport r = service::recover_into(dir_, t);
+  EXPECT_EQ(r.status, RecoveryStatus::kCorruptCheckpoint);
+}
+
+TEST_F(WalTest, CheckpointSlotMismatchFailsClosed) {
+  metrics::MetricsSink sink;
+  run_durable_workload(dir_, WalFsync::kGroup, &sink,
+                       /*checkpoint_midway=*/true);
+  // Recover into a registry whose slot 1 is a map, not a set.
+  tx::OtbListMap map, not_a_set;
+  Targets t;
+  t.add_map(&map);
+  t.add_map(&not_a_set);
+  const RecoveryReport r = service::recover_into(dir_, t);
+  EXPECT_EQ(r.status, RecoveryStatus::kSlotMismatch);
+}
+
+/// Deterministic phase-1 script: one request at a time, so two services
+/// given this history always reach the same state (the racy mixed workload
+/// in run_durable_workload linearizes differently run to run).
+void run_phase1(Service& svc) {
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(svc.submit(Request(map_put(i % 16, i * 10))).wait(),
+              service::SvcStatus::kOk);
+    svc.submit(Request(set_add(i % 8))).wait();
+    svc.submit(Request(heap_push(100 - i))).wait();
+    svc.submit(Request(sl_push(200 + i))).wait();
+    if (i % 5 == 0) svc.submit(Request(map_erase(i % 16))).wait();
+  }
+}
+
+TEST_F(WalTest, RecoverThenServeEquivalence) {
+  // Phase 1 on service A (durable), phase 2 on recovered service B; the
+  // final state must equal running both phases on one never-crashed
+  // service C.
+  metrics::MetricsSink sink;
+  {
+    tx::OtbListMap map_a;
+    tx::OtbListSet set_a;
+    tx::OtbHeapPQ heap_a;
+    tx::OtbSkipListPQ slpq_a;
+    ServiceConfig cfg_a;
+    cfg_a.workers = 2;
+    cfg_a.batch_max = 4;
+    cfg_a.metrics = &sink;
+    cfg_a.wal_dir = dir_;
+    Service a(Targets::standard(&map_a, &set_a, &heap_a, &slpq_a), cfg_a);
+    a.start();
+    run_phase1(a);
+    a.stop();
+  }
+
+  tx::OtbListMap map_b;
+  tx::OtbListSet set_b;
+  tx::OtbHeapPQ heap_b;
+  tx::OtbSkipListPQ slpq_b;
+  ServiceConfig cfg_b;
+  cfg_b.workers = 1;
+  cfg_b.metrics = &sink;
+  cfg_b.wal_dir = dir_;
+  Service b(Targets::standard(&map_b, &set_b, &heap_b, &slpq_b), cfg_b);
+  ASSERT_TRUE(b.recover().ok());
+  b.start();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(b.submit(Request(map_put(1000 + i, i))).wait(),
+              service::SvcStatus::kOk);
+    EXPECT_EQ(b.submit(Request(map_erase(i))).wait(), service::SvcStatus::kOk);
+  }
+  b.stop();
+
+  // Reference: both phases against one in-memory service.
+  tx::OtbListMap map_c;
+  tx::OtbListSet set_c;
+  tx::OtbHeapPQ heap_c;
+  tx::OtbSkipListPQ slpq_c;
+  ServiceConfig cfg_c;
+  cfg_c.workers = 2;
+  cfg_c.batch_max = 4;
+  cfg_c.metrics = &sink;
+  Service c(Targets::standard(&map_c, &set_c, &heap_c, &slpq_c), cfg_c);
+  c.start();
+  run_phase1(c);
+  for (int i = 0; i < 10; ++i) {
+    c.submit(Request(map_put(1000 + i, i))).wait();
+    c.submit(Request(map_erase(i))).wait();
+  }
+  c.stop();
+
+  EXPECT_EQ(map_b.snapshot_unsafe(), map_c.snapshot_unsafe());
+  EXPECT_EQ(set_b.snapshot_unsafe(), set_c.snapshot_unsafe());
+  auto hb = heap_b.snapshot_unsafe();
+  auto hc = heap_c.snapshot_unsafe();
+  std::sort(hb.begin(), hb.end());
+  std::sort(hc.begin(), hc.end());
+  EXPECT_EQ(hb, hc);
+  EXPECT_EQ(slpq_b.snapshot_unsafe(), slpq_c.snapshot_unsafe());
+}
+
+TEST_F(WalTest, CommitClockContinuesAfterRecovery) {
+  metrics::MetricsSink sink;
+  const DurableRun ran = run_durable_workload(dir_, WalFsync::kGroup, &sink);
+
+  tx::OtbListMap map;
+  tx::OtbListSet set;
+  tx::OtbHeapPQ heap;
+  tx::OtbSkipListPQ slpq;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.metrics = &sink;
+  cfg.wal_dir = dir_;
+  Service svc(Targets::standard(&map, &set, &heap, &slpq), cfg);
+  ASSERT_TRUE(svc.recover().ok());
+  EXPECT_EQ(svc.wal()->clock().load(), ran.clock);
+  svc.start();
+  EXPECT_EQ(svc.submit(Request(map_put(1, 2))).wait(), service::SvcStatus::kOk);
+  EXPECT_GT(svc.wal()->clock().load(), ran.clock);
+  svc.stop();
+  // And the continued log still recovers in one piece.
+  tx::OtbListMap map2;
+  tx::OtbListSet set2;
+  tx::OtbHeapPQ heap2;
+  tx::OtbSkipListPQ slpq2;
+  Targets t2 = Targets::standard(&map2, &set2, &heap2, &slpq2);
+  ASSERT_TRUE(service::recover_into(dir_, t2).ok());
+  std::int64_t v = 0;
+  tx::atomically([&](tx::Transaction& t) {
+    EXPECT_TRUE(map2.get(t, 1, &v));
+  });
+  EXPECT_EQ(v, 2);
+}
+
+TEST_F(WalTest, SeedBaselineReplaysOnTop) {
+  // A run whose structures were pre-seeded before start(): the seed is not
+  // in the log, so recovery must re-seed through the baseline closure.
+  {
+    tx::OtbListMap map;
+    map.put_seq(500, 5000);
+    map.put_seq(501, 5001);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.wal_dir = dir_;
+    Service svc(Targets::standard(&map), cfg);
+    svc.start();
+    EXPECT_EQ(svc.submit(Request(map_erase(500))).wait(),
+              service::SvcStatus::kOk);
+    EXPECT_EQ(svc.submit(Request(map_put(502, 5002))).wait(),
+              service::SvcStatus::kOk);
+    svc.stop();
+  }
+  tx::OtbListMap map;
+  Targets t = Targets::standard(&map);
+  const RecoveryReport r = service::recover_into(dir_, t, [&map] {
+    map.put_seq(500, 5000);
+    map.put_seq(501, 5001);
+  });
+  ASSERT_EQ(r.status, RecoveryStatus::kOk) << r.detail;
+  using Pairs = std::vector<std::pair<std::int64_t, std::int64_t>>;
+  EXPECT_EQ(map.snapshot_unsafe(), (Pairs{{501, 5001}, {502, 5002}}));
+}
+
+TEST_F(WalTest, FsyncModeParsingAndNames) {
+  WalFsync m = WalFsync::kGroup;
+  EXPECT_TRUE(service::parse_wal_fsync("always", &m));
+  EXPECT_EQ(m, WalFsync::kAlways);
+  EXPECT_TRUE(service::parse_wal_fsync("off", &m));
+  EXPECT_EQ(m, WalFsync::kOff);
+  EXPECT_TRUE(service::parse_wal_fsync("group", &m));
+  EXPECT_EQ(m, WalFsync::kGroup);
+  EXPECT_FALSE(service::parse_wal_fsync("sometimes", &m));
+  EXPECT_EQ(service::to_string(WalFsync::kGroup), "group");
+  unsigned shard = 0;
+  std::uint64_t seg = 0;
+  EXPECT_TRUE(service::parse_wal_segment_name(
+      service::wal_segment_name(3, 17), &shard, &seg));
+  EXPECT_EQ(shard, 3u);
+  EXPECT_EQ(seg, 17u);
+  EXPECT_FALSE(service::parse_wal_segment_name("last_checkpoint", &shard, &seg));
+  EXPECT_FALSE(service::parse_wal_segment_name("ckpt-1.snap", &shard, &seg));
+}
+
+TEST_F(WalTest, DirectoryLockExcludesConcurrentOwners) {
+  // The <dir>/lock flock makes the directory single-owner: a second
+  // service, or a recovery run racing a live writer, is refused loudly
+  // instead of reading segments mid-append and mis-diagnosing the moving
+  // state as corruption.  flock conflicts across open-file descriptions,
+  // so the single-process test exercises the same kernel check a second
+  // process would hit.
+  Wal wal(WalOptions{dir_, WalFsync::kOff, 1, nullptr});
+  std::string err;
+  ASSERT_TRUE(wal.open_for_append(&err)) << err;
+
+  Wal intruder(WalOptions{dir_, WalFsync::kOff, 1, nullptr});
+  EXPECT_FALSE(intruder.open_for_append(&err));
+  EXPECT_NE(err.find("locked"), std::string::npos) << err;
+
+  tx::OtbListMap map;
+  Targets targets = Targets::standard(&map);
+  RecoveryReport r = service::recover_into(dir_, targets);
+  EXPECT_EQ(r.status, RecoveryStatus::kIoError);
+  EXPECT_NE(r.detail.find("locked"), std::string::npos) << r.detail;
+
+  // Releasing the lock (what stop() and process death both do) clears the
+  // way: the same directory now recovers (empty log => fresh start).
+  wal.close_all();
+  EXPECT_TRUE(service::recover_into(dir_, targets).ok());
+}
+
+TEST_F(WalTest, RecoveryStatusExitCodesAreDistinct) {
+  using service::recovery_exit_code;
+  EXPECT_EQ(recovery_exit_code(RecoveryStatus::kOk), 0);
+  EXPECT_EQ(recovery_exit_code(RecoveryStatus::kNoState), 0);
+  std::vector<int> codes = {
+      recovery_exit_code(RecoveryStatus::kCorruptLog),
+      recovery_exit_code(RecoveryStatus::kCorruptCheckpoint),
+      recovery_exit_code(RecoveryStatus::kSlotMismatch),
+      recovery_exit_code(RecoveryStatus::kIoError)};
+  std::sort(codes.begin(), codes.end());
+  EXPECT_EQ(std::unique(codes.begin(), codes.end()), codes.end());
+  for (int c : codes) EXPECT_GT(c, 2);  // clear of usage/load-error exits
+}
+
+}  // namespace
+}  // namespace otb

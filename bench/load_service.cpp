@@ -36,6 +36,8 @@
 //   --high-water=H            per-shard admission limit     (default C)
 //   --deadline-ms=D           per-request deadline, 0=none  (default 0)
 //   --key-range=K             map key universe              (default 256)
+//   --read-pct=N              kv get share of the mix       (default 60)
+//   --scan-pct=N              kv 16-key range-scan share    (default 0)
 //   --seed=S                  arrival/keystream seed        (default 42)
 //   --metrics-json=PATH       dump metrics registry on exit
 //   --wal-dir=PATH            durable WAL directory, empty=off (default off)
@@ -103,6 +105,8 @@ struct Flags {
   std::size_t high_water = 0;
   unsigned deadline_ms = 0;
   std::int64_t key_range = 256;
+  unsigned read_pct = 60;
+  unsigned scan_pct = 0;
   std::uint64_t seed = 42;
   std::string wal_dir;
   std::string wal_fsync = "group";
@@ -134,6 +138,8 @@ Flags parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--high-water", v)) f.high_water = std::stoul(v);
     else if (parse_flag(argv[i], "--deadline-ms", v)) f.deadline_ms = std::stoul(v);
     else if (parse_flag(argv[i], "--key-range", v)) f.key_range = std::stol(v);
+    else if (parse_flag(argv[i], "--read-pct", v)) f.read_pct = std::stoul(v);
+    else if (parse_flag(argv[i], "--scan-pct", v)) f.scan_pct = std::stoul(v);
     else if (parse_flag(argv[i], "--seed", v)) f.seed = std::stoull(v);
     else if (parse_flag(argv[i], "--wal-dir", v)) f.wal_dir = v;
     else if (parse_flag(argv[i], "--wal-fsync", v)) f.wal_fsync = v;
@@ -144,20 +150,30 @@ Flags parse(int argc, char** argv) {
       std::exit(2);
     }
   }
+  if (f.read_pct + f.scan_pct > 100) {
+    std::fprintf(stderr, "--read-pct + --scan-pct must be <= 100\n");
+    std::exit(2);
+  }
   return f;
 }
 
 /// Request generator: per-client callable producing the next script.
 using RequestGen = std::function<Request(otb::Xorshift&)>;
 
-/// One 60/30/10 get/put/erase step over [0, key_range) — the mixed-read
-/// service mix, unchanged from the PR 5 harness.
+/// One kv step over [0, key_range): --scan-pct 16-key range scans, then
+/// --read-pct gets, with the remainder split 3:1 put:erase.  The defaults
+/// (scan 0, read 60) reproduce the PR 5 harness's 60/30/10 get/put/erase
+/// mix exactly; --read-pct=90 is the read-mostly arm and a high --scan-pct
+/// the scan-heavy arm of the multi-version sweeps (EXPERIMENTS.md).
 otb::service::Step kv_step(otb::Xorshift& rng, const Flags& f) {
   const std::uint64_t pick = rng.next_bounded(100);
   const auto key = static_cast<std::int64_t>(
       rng.next_bounded(static_cast<std::uint64_t>(f.key_range)));
-  if (pick < 60) return map_get(key);
-  if (pick < 90) return map_put(key, key * 3 + 1);
+  if (pick < f.scan_pct) return otb::service::map_range(key, key + 15);
+  if (pick < f.scan_pct + f.read_pct) return map_get(key);
+  const std::uint64_t rest = pick - f.scan_pct - f.read_pct;
+  const unsigned writes = 100 - f.scan_pct - f.read_pct;
+  if (rest < writes - writes / 4) return map_put(key, key * 3 + 1);
   return map_erase(key);
 }
 

@@ -1,5 +1,5 @@
 // metrics_smoke checker: runs micro_ops (path in argv[1]) with
-// --metrics-json and validates the dump against the strict otb.metrics/5
+// --metrics-json and validates the dump against the strict otb.metrics/6
 // parser plus the acceptance invariants — every BM_StmReadWrite algorithm
 // and the standalone OTB runtime must report attempts and commits, the
 // timed domains must carry attempt-phase histograms, and every histogram's
@@ -54,6 +54,7 @@ void check_histograms(const std::string& domain,
   };
   check_series("queue_depth", s.queue_depth);
   check_series("batch_size", s.batch_size);
+  check_series("mv_chain_len", s.mv_chain_len);
 }
 
 void check_domain(const otb::metrics::Snapshot& snap, const std::string& name,
@@ -71,16 +72,36 @@ void check_domain(const otb::metrics::Snapshot& snap, const std::string& name,
   // identity: every admitted request was either executed in a committed
   // batch or expired (rejected requests are never enqueued).
   const bool service_domain = s->counter(CounterId::kSvcEnqueued) != 0 ||
-                              s->counter(CounterId::kSvcBatches) != 0;
+                              s->counter(CounterId::kSvcBatches) != 0 ||
+                              s->counter(CounterId::kSvcReadOnly) != 0;
   if (service_domain) {
-    if (s->counter(CounterId::kSvcEnqueued) == 0) fail(name + ": svc_enqueued == 0");
-    if (s->counter(CounterId::kSvcBatches) == 0) fail(name + ": svc_batches == 0");
+    // A service that served only snapshot-route read-only scripts
+    // legitimately enqueued and batched nothing.
+    const bool read_only_only = s->counter(CounterId::kSvcEnqueued) == 0 &&
+                                s->counter(CounterId::kSvcReadOnly) != 0;
+    if (!read_only_only) {
+      if (s->counter(CounterId::kSvcEnqueued) == 0) fail(name + ": svc_enqueued == 0");
+      if (s->counter(CounterId::kSvcBatches) == 0) fail(name + ": svc_batches == 0");
+    }
     if (s->counter(CounterId::kSvcEnqueued) !=
         s->batch_size.total + s->counter(CounterId::kSvcExpired)) {
       fail(name + ": enqueued " +
            std::to_string(s->counter(CounterId::kSvcEnqueued)) +
            " != batch_size total " + std::to_string(s->batch_size.total) +
            " + expired " + std::to_string(s->counter(CounterId::kSvcExpired)));
+    }
+    // Snapshot-route ledger: read-only scripts bypass the queue entirely,
+    // and each one resolves as exactly one snapshot read or one version
+    // miss (the fallback) — nothing is double-counted or dropped.
+    if (s->counter(CounterId::kSvcReadOnly) !=
+        s->counter(CounterId::kMvSnapshotReads) +
+            s->counter(CounterId::kMvVersionMisses)) {
+      fail(name + ": svc_read_only " +
+           std::to_string(s->counter(CounterId::kSvcReadOnly)) +
+           " != mv_snapshot_reads " +
+           std::to_string(s->counter(CounterId::kMvSnapshotReads)) +
+           " + mv_version_misses " +
+           std::to_string(s->counter(CounterId::kMvVersionMisses)));
     }
   } else {
     if (s->counter(CounterId::kAttempts) == 0) fail(name + ": attempts == 0");
@@ -202,7 +223,9 @@ bool read_baseline(const char* path, BaselineDoc& out) {
 
 /// `metrics_check --compare <old.json> <new.json> [tolerance_pct]`:
 /// record-and-compare perf smoke.  Each (run, domain) pair present in both
-/// baselines is a throughput series — committed transactions normalised by
+/// baselines yields up to two throughput series — committed transactions,
+/// and inline read-only completions (`svc_read_only`, the multi-version
+/// snapshot route) — normalised by
 /// that file's measured duration — and any series dropping by more than
 /// tolerance_pct (default 30, chosen noise-tolerant for shared CI runners)
 /// fails the check.  Low-count series (< 50 commits in the old baseline)
@@ -242,27 +265,39 @@ int compare_baselines(int argc, char** argv) {
       continue;
     }
     for (const auto& [domain, old_s] : old_snap.domains) {
-      const std::uint64_t old_commits =
-          old_s.counter(otb::metrics::CounterId::kCommits);
-      if (old_commits < kMinCommits) continue;  // too noisy to gate on
       const otb::metrics::SinkSnapshot* new_s = new_snap->find(domain);
-      if (new_s == nullptr) {
-        fail(run + "/" + domain + ": domain missing from new baseline");
-        continue;
-      }
-      const double old_rate =
-          double(old_commits) / double(oldb.bench_ms);
-      const double new_rate =
-          double(new_s->counter(otb::metrics::CounterId::kCommits)) /
-          double(newb.bench_ms);
-      const double ratio = new_rate / old_rate;
-      ++compared;
-      std::printf("  %-28s %-12s %10.0f -> %10.0f commits/ms-series  (%.2fx)\n",
-                  run.c_str(), domain.c_str(), old_rate, new_rate, ratio);
-      if (ratio < floor_ratio) {
-        fail(run + "/" + domain + ": throughput regressed to " +
-             std::to_string(ratio) + "x of baseline (floor " +
-             std::to_string(floor_ratio) + "x)");
+      // Two rates per (run, domain), each gated only when the old series
+      // is hot enough: committed transactions (the batched/validated
+      // path), and inline read-only completions (the multi-version
+      // snapshot route — those never commit a transaction, so kCommits
+      // alone would leave the read-mostly rows ungated).
+      const struct {
+        otb::metrics::CounterId id;
+        const char* label;
+      } series[] = {
+          {otb::metrics::CounterId::kCommits, "commits"},
+          {otb::metrics::CounterId::kSvcReadOnly, "ro-reads"},
+      };
+      for (const auto& sr : series) {
+        const std::uint64_t old_count = old_s.counter(sr.id);
+        if (old_count < kMinCommits) continue;  // too noisy to gate on
+        if (new_s == nullptr) {
+          fail(run + "/" + domain + ": domain missing from new baseline");
+          break;
+        }
+        const double old_rate = double(old_count) / double(oldb.bench_ms);
+        const double new_rate =
+            double(new_s->counter(sr.id)) / double(newb.bench_ms);
+        const double ratio = new_rate / old_rate;
+        ++compared;
+        std::printf("  %-28s %-12s %10.0f -> %10.0f %s/ms-series  (%.2fx)\n",
+                    run.c_str(), domain.c_str(), old_rate, new_rate, sr.label,
+                    ratio);
+        if (ratio < floor_ratio) {
+          fail(run + "/" + domain + "/" + sr.label +
+               ": throughput regressed to " + std::to_string(ratio) +
+               "x of baseline (floor " + std::to_string(floor_ratio) + "x)");
+        }
       }
     }
   }

@@ -125,6 +125,52 @@ void BM_OtbListSetValidationSweepMixed20(benchmark::State& state) {
 BENCHMARK(BM_OtbListSetValidationSweepMixed20)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+// Multi-version snapshot-read sweep: the same k-contains read-only
+// transaction on the validated path (atomically: read-set build + per-op
+// validation + commit) and on the snapshot path (snapshot_read:
+// version-chain resolution at a stamp, no read-set, no validation, no
+// commit).  The per-read delta is the MV layer's raw win, independent of
+// the service plane's batching (DESIGN.md "Multi-version snapshot reads").
+// `miss` stays 0 with OTB_MV_VERSIONS > 0 and nothing mutating.
+void mv_read_sweep(benchmark::State& state, bool snapshot) {
+  constexpr std::int64_t kRange = 4096;
+  const std::int64_t ops_per_tx = state.range(0);
+  otb::tx::OtbSkipListSet set;
+  for (std::int64_t k = 0; k < kRange; k += 2) set.add_seq(k);
+  otb::Xorshift rng{13};
+  std::uint64_t misses = 0;
+  for (auto _ : state) {
+    if (snapshot) {
+      const bool ok = otb::tx::snapshot_read([&](otb::tx::SnapshotTx& snap) {
+        for (std::int64_t i = 0; i < ops_per_tx; ++i) {
+          const auto key = std::int64_t(rng.next_bounded(kRange));
+          benchmark::DoNotOptimize(set.contains_at(snap, key));
+        }
+      });
+      if (!ok) ++misses;
+    } else {
+      otb::tx::atomically([&](otb::tx::Transaction& tx) {
+        for (std::int64_t i = 0; i < ops_per_tx; ++i) {
+          const auto key = std::int64_t(rng.next_bounded(kRange));
+          set.contains(tx, key);
+        }
+      });
+    }
+  }
+  state.counters["miss"] = double(misses);
+  state.SetItemsProcessed(state.iterations() * ops_per_tx);
+}
+
+void BM_OtbSkipListSetMvReadValidated(benchmark::State& state) {
+  mv_read_sweep(state, /*snapshot=*/false);
+}
+BENCHMARK(BM_OtbSkipListSetMvReadValidated)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_OtbSkipListSetMvReadSnapshot(benchmark::State& state) {
+  mv_read_sweep(state, /*snapshot=*/true);
+}
+BENCHMARK(BM_OtbSkipListSetMvReadSnapshot)->Arg(1)->Arg(8)->Arg(64);
+
 // Traversal-hint locality sweep: each transaction issues ops_per_tx
 // operations (90% contains / 10% add-remove toggle) with keys drawn
 // uniformly over the whole range, clustered in one random 64-key window per

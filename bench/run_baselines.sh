@@ -2,7 +2,7 @@
 # Record-and-compare performance baseline runner: executes the Chapter-3
 # figure harnesses (fig3.3-3.7) and the micro_ops suite at fixed thread
 # counts and durations, validates every --metrics-json dump with the strict
-# otb.metrics/5 checker, and merges the dumps into one baseline file
+# otb.metrics/6 checker, and merges the dumps into one baseline file
 # (BENCH_otb_baseline.json at the repo root by default).
 #
 # By default the output is a record: absolute numbers are machine-bound, so
@@ -88,6 +88,24 @@ else
   echo "error: $BENCH_DIR/load_service not built" >&2
   exit 2
 fi
+
+# Read-mostly (90/10) and scan-heavy closed loops: the workloads the
+# multi-version snapshot-read path (OTB_MV_VERSIONS, on by default) exists
+# for — read-only scripts execute inline against version chains, so these
+# two series gate the snapshot route's throughput in --compare runs.  The
+# mixed 60/30/10 rows above keep gating the batched write path.
+for mix in "readmostly:--read-pct=90" "scan:--read-pct=40 --scan-pct=50"; do
+  name="load_service_${mix%%:*}"
+  args=${mix#*:}
+  echo "== $name (closed loop, ms=$OTB_BENCH_MS, $args)"
+  # shellcheck disable=SC2086
+  "$BENCH_DIR/load_service" --mode=closed --script-len=1 $args \
+    --duration-ms="$OTB_BENCH_MS" --clients=2 --workers=2 \
+    --window=128 --batch-max=16 --key-range=256 \
+    --metrics-json="$TMP/$name.json" > "$TMP/$name.out"
+  "$CHECK" --validate "$TMP/$name.json" otb.service otb.tx > /dev/null
+  run_names+=("$name")
+done
 
 # WAL durability overhead: the same closed-loop single-step workload with
 # the write-ahead log under group commit and fsync-per-record

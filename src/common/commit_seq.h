@@ -52,8 +52,12 @@ class alignas(kCacheLine) CommitSeq {
   }
 
   /// Called by a committer immediately before its first publication store.
-  void publish_begin() noexcept {
-    begin_.fetch_add(1, std::memory_order_acq_rel);
+  /// Returns the publication's *commit stamp* — the post-increment begin
+  /// count — which doubles as the multi-version timestamp for version
+  /// chains (src/otb/mv.h): any snapshot drawn at a quiescent instant T
+  /// sees exactly the versions with stamp <= T.
+  std::uint64_t publish_begin() noexcept {
+    return begin_.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 
   /// Called by a committer after its last publication store (and after its

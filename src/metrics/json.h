@@ -1,8 +1,8 @@
 // JSON export/import for snapshots.
 //
-// Schema ("otb.metrics/5"):
+// Schema ("otb.metrics/6"):
 //   {
-//     "schema": "otb.metrics/5",
+//     "schema": "otb.metrics/6",
 //     "domains": {
 //       "stm.NOrec": {
 //         "counters": { "commits": 12, "attempts": 14, ... },   // all ids
@@ -16,7 +16,8 @@
 //         },
 //         "traversals":  { "count": 9, "total_steps": 120, "log2_buckets": [..40..] },
 //         "queue_depth": { "count": 3, "total": 17, "log2_buckets": [..40..] },
-//         "batch_size":  { "count": 3, "total": 21, "log2_buckets": [..40..] }
+//         "batch_size":  { "count": 3, "total": 21, "log2_buckets": [..40..] },
+//         "mv_chain_len": { "count": 5, "total": 7, "log2_buckets": [..40..] }
 //       }, ...
 //     }
 //   }
@@ -29,6 +30,9 @@
 // svc_guard_aborts counters (see snapshot.h for their ledger relations).
 // /5 over /4: the durability surface — wal_appends / wal_fsyncs / wal_bytes
 // counters and the "wal_fsync" phase histogram (docs/DURABILITY.md).
+// /6 over /5: the multi-version read surface — mv_snapshot_reads /
+// mv_version_misses / mv_versions_reclaimed / svc_read_only counters and
+// the "mv_chain_len" series (src/otb/mv.h).
 //
 // The importer is deliberately strict — every counter/reason/phase key must
 // be present and no unknown keys are allowed — which is exactly what the
@@ -46,7 +50,7 @@
 
 namespace otb::metrics {
 
-inline constexpr std::string_view kJsonSchemaId = "otb.metrics/5";
+inline constexpr std::string_view kJsonSchemaId = "otb.metrics/6";
 
 namespace detail {
 
@@ -130,6 +134,11 @@ inline void append_sink_json(std::string& out, const SinkSnapshot& s,
   out += "  \"batch_size\": ";
   append_bucketed_json(out, "total", s.batch_size.count, s.batch_size.total,
                        s.batch_size.log2_buckets);
+  out += ",\n";
+  out += indent;
+  out += "  \"mv_chain_len\": ";
+  append_bucketed_json(out, "total", s.mv_chain_len.count, s.mv_chain_len.total,
+                       s.mv_chain_len.log2_buckets);
   out += '\n';
   out += indent;
   out += '}';
@@ -259,6 +268,7 @@ inline bool parse_sink(Parser& p, SinkSnapshot& out) {
   if (!p.consume('{')) return false;
   bool got_counters = false, got_aborts = false, got_phases = false;
   bool got_traversals = false, got_queue_depth = false, got_batch_size = false;
+  bool got_mv_chain_len = false;
   do {
     std::string key;
     if (!p.parse_string(key) || !p.consume(':')) return false;
@@ -309,13 +319,19 @@ inline bool parse_sink(Parser& p, SinkSnapshot& out) {
       if (!parse_bucketed(p, "total", out.batch_size.count,
                           out.batch_size.total, out.batch_size.log2_buckets))
         return false;
+    } else if (key == "mv_chain_len" && !got_mv_chain_len) {
+      got_mv_chain_len = true;
+      if (!parse_bucketed(p, "total", out.mv_chain_len.count,
+                          out.mv_chain_len.total,
+                          out.mv_chain_len.log2_buckets))
+        return false;
     } else {
       return false;
     }
   } while (p.consume(','));
   if (!p.consume('}')) return false;
   return got_counters && got_aborts && got_phases && got_traversals &&
-         got_queue_depth && got_batch_size;
+         got_queue_depth && got_batch_size && got_mv_chain_len;
 }
 
 /// Parse one complete snapshot document (the outer `{"schema": ..,

@@ -54,6 +54,8 @@ class MetricsSink {
     if (d.lock_cas_failures != 0) add(CounterId::kLockCasFailures, d.lock_cas_failures);
     if (d.lock_acquisitions != 0) add(CounterId::kLockAcquisitions, d.lock_acquisitions);
     if (d.lock_spins != 0) add(CounterId::kLockSpins, d.lock_spins);
+    if (d.mv_versions_reclaimed != 0)
+      add(CounterId::kMvVersionsReclaimed, d.mv_versions_reclaimed);
     if (d.ns_total != 0) record_phase(Phase::kAttempt, d.ns_total);
     if (d.ns_validation != 0) record_phase(Phase::kValidation, d.ns_validation);
     if (d.ns_commit != 0) record_phase(Phase::kCommit, d.ns_commit);
@@ -90,6 +92,17 @@ class MetricsSink {
     batch_size_hist_.record(n);
   }
 
+  /// Flush the chain-depth samples one snapshot read accumulated (one
+  /// sample per version-chain resolve; `total` is the summed depths).  The
+  /// count is derived from the bucket row so the two can never drift.
+  void record_mv_chain_slice(
+      std::uint64_t total,
+      const std::array<std::uint64_t, Histogram::kBuckets>& row) noexcept {
+    const std::uint64_t n = mv_chain_hist_.add_buckets(row);
+    if (n != 0) mv_chain_count_.add(n);
+    if (total != 0) mv_chain_total_.add(total);
+  }
+
   std::uint64_t counter(CounterId id) const noexcept {
     return counters_[index(id)].total();
   }
@@ -120,6 +133,9 @@ class MetricsSink {
     s.batch_size.count = batch_size_count_.total();
     s.batch_size.total = batch_size_total_.total();
     s.batch_size.log2_buckets = batch_size_hist_.buckets();
+    s.mv_chain_len.count = mv_chain_count_.total();
+    s.mv_chain_len.total = mv_chain_total_.total();
+    s.mv_chain_len.log2_buckets = mv_chain_hist_.buckets();
     return s;
   }
 
@@ -137,6 +153,9 @@ class MetricsSink {
     batch_size_count_.reset();
     batch_size_total_.reset();
     batch_size_hist_.reset();
+    mv_chain_count_.reset();
+    mv_chain_total_.reset();
+    mv_chain_hist_.reset();
   }
 
  private:
@@ -153,6 +172,9 @@ class MetricsSink {
   Counter batch_size_count_{};
   Counter batch_size_total_{};
   Histogram batch_size_hist_{};
+  Counter mv_chain_count_{};
+  Counter mv_chain_total_{};
+  Histogram mv_chain_hist_{};
 };
 
 }  // namespace otb::metrics

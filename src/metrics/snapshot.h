@@ -58,9 +58,23 @@ enum class CounterId : unsigned {
   kWalAppends,
   kWalFsyncs,
   kWalBytes,
+  // Multi-version read surface (schema otb.metrics/6, src/otb/mv.h):
+  // mv_snapshot_reads counts read-only transactions served entirely from
+  // version chains (no validation, no abort), mv_version_misses the ones
+  // that fell back to the validated path because a chain no longer held an
+  // entry at the snapshot stamp, mv_versions_reclaimed the ring evictions
+  // writers caused while publishing new versions.  svc_read_only (domain
+  // "otb.service") counts scripts the service routed down the snapshot
+  // path: svc_read_only == mv_snapshot_reads + mv_version_misses in any
+  // service domain — these completions bypass the queue, so they are NOT
+  // part of the svc_enqueued ledger.
+  kMvSnapshotReads,
+  kMvVersionMisses,
+  kMvVersionsReclaimed,
+  kSvcReadOnly,
 };
 
-inline constexpr std::size_t kCounterCount = 25;
+inline constexpr std::size_t kCounterCount = 29;
 
 constexpr std::string_view to_string(CounterId id) {
   switch (id) {
@@ -114,6 +128,14 @@ constexpr std::string_view to_string(CounterId id) {
       return "wal_fsyncs";
     case CounterId::kWalBytes:
       return "wal_bytes";
+    case CounterId::kMvSnapshotReads:
+      return "mv_snapshot_reads";
+    case CounterId::kMvVersionMisses:
+      return "mv_version_misses";
+    case CounterId::kMvVersionsReclaimed:
+      return "mv_versions_reclaimed";
+    case CounterId::kSvcReadOnly:
+      return "svc_read_only";
   }
   return "?";
 }
@@ -194,6 +216,9 @@ struct SinkSnapshot {
   TraversalSnapshot traversals{};
   SeriesSnapshot queue_depth{};
   SeriesSnapshot batch_size{};
+  // Version-chain entries inspected per resolve on the snapshot-read path
+  // (1 == newest version matched; mean = total / count).
+  SeriesSnapshot mv_chain_len{};
 
   std::uint64_t counter(CounterId id) const { return counters[index(id)]; }
   std::uint64_t aborts_for(AbortReason r) const { return aborts[index(r)]; }
@@ -221,9 +246,12 @@ struct SinkSnapshot {
     queue_depth.total += o.queue_depth.total;
     batch_size.count += o.batch_size.count;
     batch_size.total += o.batch_size.total;
+    mv_chain_len.count += o.mv_chain_len.count;
+    mv_chain_len.total += o.mv_chain_len.total;
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
       queue_depth.log2_buckets[b] += o.queue_depth.log2_buckets[b];
       batch_size.log2_buckets[b] += o.batch_size.log2_buckets[b];
+      mv_chain_len.log2_buckets[b] += o.mv_chain_len.log2_buckets[b];
     }
     return *this;
   }

@@ -44,6 +44,10 @@ struct TxTally {
   std::uint64_t traversal_steps = 0;
   std::array<std::uint64_t, Histogram::kBuckets> traversal_log2{};
 
+  // Version-chain ring evictions caused by this context's publications
+  // (multi-version layer, src/otb/mv.h) — flushed to kMvVersionsReclaimed.
+  std::uint64_t mv_versions_reclaimed = 0;
+
   // Populated only when Config::collect_timing (or the OTB timing knob) is
   // on; zero deltas are skipped at flush so untimed runs pay nothing.
   std::uint64_t ns_validation = 0;
@@ -72,6 +76,7 @@ struct TxTally {
     traversal_steps += o.traversal_steps;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
       traversal_log2[i] += o.traversal_log2[i];
+    mv_versions_reclaimed += o.mv_versions_reclaimed;
     ns_validation += o.ns_validation;
     ns_commit += o.ns_commit;
     ns_total += o.ns_total;
@@ -102,6 +107,7 @@ struct TxTally {
     d.traversal_steps = traversal_steps - prev.traversal_steps;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
       d.traversal_log2[i] = traversal_log2[i] - prev.traversal_log2[i];
+    d.mv_versions_reclaimed = mv_versions_reclaimed - prev.mv_versions_reclaimed;
     d.ns_validation = ns_validation - prev.ns_validation;
     d.ns_commit = ns_commit - prev.ns_commit;
     d.ns_total = ns_total - prev.ns_total;

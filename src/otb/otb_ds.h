@@ -31,6 +31,7 @@
 #include "common/commit_seq.h"
 #include "common/tx_abort.h"
 #include "metrics/tally.h"
+#include "otb/mv.h"
 
 namespace otb::tx {
 
@@ -73,6 +74,8 @@ struct OtbDsDesc {
   virtual void reset() {
     seq_snapshot = CommitSeq::kNoSnapshot;
     publishing = false;
+    mv_stamp = 0;
+    mv_reclaimed = 0;
   }
 
   /// Commit-sequence begin-count at this descriptor's last successful full
@@ -82,6 +85,15 @@ struct OtbDsDesc {
   /// Set between the owning structure's on_commit/post_commit wrappers while
   /// this transaction's publication window is open.
   bool publishing = false;
+
+  /// Commit stamp of this transaction's publication into the owning
+  /// structure (the publish_begin return value) — the timestamp do_on_commit
+  /// pushes into version chains.  0 outside the publication window.
+  std::uint64_t mv_stamp = 0;
+
+  /// Ring evictions this publication caused (versions "reclaimed" out of
+  /// chains); the host flushes it into kMvVersionsReclaimed.
+  std::uint64_t mv_reclaimed = 0;
 };
 
 /// Result of a gated validation — hosts count kFast/kFull separately
@@ -139,7 +151,7 @@ class OtbDs {
   /// `do_on_commit` when there is anything to publish.
   void on_commit(OtbDsDesc& desc) {
     if (has_writes(desc)) {
-      seq_.publish_begin();
+      desc.mv_stamp = seq_.publish_begin();
       desc.publishing = true;
     }
     do_on_commit(desc);
@@ -176,6 +188,12 @@ class OtbDs {
   virtual std::size_t write_count(const OtbDsDesc& desc) const {
     return has_writes(desc) ? 1 : 0;
   }
+
+  /// Whether the structure offers the multi-version snapshot-read path
+  /// (`*_at(SnapshotTx&, ...)` operations).  Structures with eager effects
+  /// under a global lock (the array heap PQ) cannot, so read-only scripts
+  /// touching them stay on the validated path.
+  virtual bool supports_snapshot_reads() const { return false; }
 
   /// This structure's commit sequence (tests assert on its movement).
   const CommitSeq& commit_seq() const { return seq_; }
@@ -320,7 +338,13 @@ class TxHost {
   }
 
   void on_commit_attached() {
-    for (auto& [ds, desc] : attached_) ds->on_commit(*desc);
+    for (auto& [ds, desc] : attached_) {
+      ds->on_commit(*desc);
+      if (desc->mv_reclaimed != 0) {
+        op_tally().mv_versions_reclaimed += desc->mv_reclaimed;
+        desc->mv_reclaimed = 0;
+      }
+    }
   }
 
   void post_commit_attached() {

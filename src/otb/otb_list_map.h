@@ -27,6 +27,7 @@
 #include "common/epoch.h"
 #include "common/small_vec.h"
 #include "common/spinlock.h"
+#include "otb/mv.h"
 #include "otb/otb_ds.h"
 #include "otb/traversal_hints.h"
 
@@ -41,6 +42,9 @@ class OtbListMap final : public OtbDs {
     head_ = new Node(std::numeric_limits<Key>::min(), 0);
     tail_ = new Node(std::numeric_limits<Key>::max(), 0);
     head_->next.store(tail_, std::memory_order_release);
+    // Stamp-0 version so snapshot walks see the empty map from the start.
+    std::uint64_t unused = 0;
+    mv_push(head_->mv, tail_, 0, unused);
   }
 
   ~OtbListMap() override {
@@ -137,12 +141,17 @@ class OtbListMap final : public OtbDs {
   /// merged with this transaction's pending writes (read-own-writes).
   /// Returns the number of pairs appended to `out`.
   ///
-  /// The whole segment is pinned structurally: one read entry per link from
-  /// the predecessor of lo up to the first node beyond hi, so any
-  /// concurrent insert/erase inside the range invalidates the reader — the
-  /// same rule a single structural read uses, applied link-by-link.  The
-  /// service plane's range requests are the consumer (DESIGN.md
-  /// "Transactional service plane").
+  /// On THIS validated path the whole segment is pinned structurally: one
+  /// read entry per link from the predecessor of lo up to the first node
+  /// beyond hi, so any concurrent insert/erase inside the range invalidates
+  /// the reader — the same rule a single structural read uses, applied
+  /// link-by-link.  That wording is the whole story only when
+  /// `OTB_MV_VERSIONS=0`: with multi-versioning on, read-only range scans
+  /// run through `range_at()` instead, which reads the segment as of a
+  /// snapshot stamp via the version chains — concurrent inserts/erases
+  /// publish *new* versions and no longer invalidate the reader (DESIGN.md
+  /// "Multi-version snapshot reads").  The service plane's range requests
+  /// are the consumer (DESIGN.md "Transactional service plane").
   std::size_t range(TxHost& tx, Key lo, Key hi,
                     std::vector<std::pair<Key, Value>>* out) {
     Desc& desc = this->desc(tx);
@@ -187,16 +196,71 @@ class OtbListMap final : public OtbDs {
     return out->size() - before;
   }
 
+  // ---- snapshot (multi-version) reads ------------------------------------
+
+  /// Lookup as of the snapshot's stamp for this structure — chain walk
+  /// only, no read-set, no locks, no validation.  Throws SnapshotMiss when
+  /// a chain can no longer serve the stamp.
+  bool get_at(SnapshotTx& snap, Key key, Value* out) const {
+    const std::uint64_t t = snap.stamp_for(commit_seq());
+    const Node* c = head_;
+    for (;;) {
+      const Node* nx = mv_next_at(snap, c, t);
+      if (nx->key >= key) {
+        if (nx->key != key) return false;
+        *out = nx->value;  // immutable once constructed: safe to read
+        return true;
+      }
+      c = nx;
+    }
+  }
+
+  bool contains_at(SnapshotTx& snap, Key key) const {
+    Value ignored;
+    return get_at(snap, key, &ignored);
+  }
+
+  /// Range scan as of the snapshot's stamp: every (key, value) with
+  /// lo <= key <= hi that was live at the stamp, in key order.  Concurrent
+  /// inserts/erases publish new versions; they cannot invalidate this walk.
+  std::size_t range_at(SnapshotTx& snap, Key lo, Key hi,
+                       std::vector<std::pair<Key, Value>>* out) const {
+    if (lo > hi) return 0;
+    const std::uint64_t t = snap.stamp_for(commit_seq());
+    const std::size_t before = out->size();
+    const Node* c = head_;
+    // Find the first node with key >= lo as of t, then emit until > hi.
+    for (;;) {
+      const Node* nx = mv_next_at(snap, c, t);
+      if (nx->key >= lo) {
+        c = nx;
+        break;
+      }
+      c = nx;
+    }
+    while (c != tail_ && c->key <= hi) {
+      out->emplace_back(c->key, c->value);
+      c = mv_next_at(snap, c, t);
+    }
+    return out->size() - before;
+  }
+
+  bool supports_snapshot_reads() const override { return true; }
+
   // ---- non-transactional helpers -----------------------------------------
 
   bool put_seq(Key key, Value value) {
     auto [pred, curr] = locate(key);
+    const std::uint64_t ts = commit_seq().begin_count();
+    std::uint64_t unused = 0;
     if (curr->key == key) {
       Node* node = new Node(key, value);
       node->next.store(curr->next.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
       curr->marked.store(true, std::memory_order_relaxed);
       pred->next.store(node, std::memory_order_release);
+      mv_push(node->mv, node->next.load(std::memory_order_relaxed), ts, unused);
+      mv_push(pred->mv, node, ts, unused);
       // Retire (not delete): the traversal-hint cache may still hold this
       // node from an earlier transactional phase on some thread, and the
       // epoch age-gate only protects EBR-reclaimed memory.
@@ -206,6 +270,8 @@ class OtbListMap final : public OtbDs {
     Node* node = new Node(key, value);
     node->next.store(curr, std::memory_order_relaxed);
     pred->next.store(node, std::memory_order_release);
+    mv_push(node->mv, curr, ts, unused);
+    mv_push(pred->mv, node, ts, unused);
     return true;
   }
 
@@ -301,6 +367,8 @@ class OtbListMap final : public OtbDs {
           desc.locked.push_back(node);
           node->next.store(curr, std::memory_order_relaxed);
           pred->next.store(node, std::memory_order_release);
+          mv_push(node->mv, curr, desc.mv_stamp, desc.mv_reclaimed);
+          mv_push(pred->mv, node, desc.mv_stamp, desc.mv_reclaimed);
           break;
         }
         case Op::kReplace: {
@@ -308,16 +376,22 @@ class OtbListMap final : public OtbDs {
           node->lock.try_lock();
           desc.locked.push_back(node);
           curr->marked.store(true, std::memory_order_release);
-          node->next.store(curr->next.load(std::memory_order_relaxed),
-                           std::memory_order_relaxed);
+          Node* after = curr->next.load(std::memory_order_relaxed);
+          node->next.store(after, std::memory_order_relaxed);
           pred->next.store(node, std::memory_order_release);
+          // Snapshots at stamps >= this one route pred -> node -> after;
+          // older stamps keep resolving to the retired curr (whose chain
+          // and value stay readable under the epoch guard).
+          mv_push(node->mv, after, desc.mv_stamp, desc.mv_reclaimed);
+          mv_push(pred->mv, node, desc.mv_stamp, desc.mv_reclaimed);
           ebr::retire(curr);
           break;
         }
         case Op::kErase: {
           curr->marked.store(true, std::memory_order_release);
-          pred->next.store(curr->next.load(std::memory_order_relaxed),
-                           std::memory_order_release);
+          Node* after = curr->next.load(std::memory_order_relaxed);
+          pred->next.store(after, std::memory_order_release);
+          mv_push(pred->mv, after, desc.mv_stamp, desc.mv_reclaimed);
           ebr::retire(curr);
           break;
         }
@@ -354,11 +428,15 @@ class OtbListMap final : public OtbDs {
 
   struct Node {
     Node(Key k, Value v) : key(k), value(v) {}
+    ~Node() { delete mv; }
     const Key key;
     const Value value;
     std::atomic<Node*> next{nullptr};
     std::atomic<bool> marked{false};
     VersionedLock lock;
+    /// Bounded version chain of this node's successive `next` values
+    /// (nullptr when OTB_MV_VERSIONS was 0 at construction).
+    MvChain* const mv = mv_make_chain();
   };
 
   struct ReadEntry {
@@ -455,6 +533,16 @@ class OtbListMap final : public OtbDs {
         return;
       }
     }
+  }
+
+  /// Successor of `n` as of stamp `t` (snapshot walk step); misses when the
+  /// node carries no chain or the ring overflowed past `t`.
+  const Node* mv_next_at(SnapshotTx& snap, const Node* n, std::uint64_t t) const {
+    if (n->mv == nullptr) throw SnapshotMiss{};
+    const MvChain::Resolved r = n->mv->resolve_at(t);
+    snap.sample_chain_depth(r.depth);
+    if (!r.found) throw SnapshotMiss{};
+    return static_cast<const Node*>(r.ptr);
   }
 
   std::pair<Node*, Node*> locate(Key key) const {

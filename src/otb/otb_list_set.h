@@ -33,6 +33,7 @@
 #include "common/epoch.h"
 #include "common/small_vec.h"
 #include "common/spinlock.h"
+#include "otb/mv.h"
 #include "otb/otb_ds.h"
 #include "otb/traversal_hints.h"
 
@@ -46,6 +47,9 @@ class OtbListSet final : public OtbDs {
     head_ = new Node(std::numeric_limits<Key>::min());
     tail_ = new Node(std::numeric_limits<Key>::max());
     head_->next.store(tail_, std::memory_order_release);
+    // Stamp-0 version so snapshot walks see the empty list from the start.
+    std::uint64_t unused = 0;
+    mv_push(head_->mv, tail_, 0, unused);
   }
 
   ~OtbListSet() override {
@@ -72,6 +76,23 @@ class OtbListSet final : public OtbDs {
   /// Transactional membership test; never acquires locks.
   bool contains(TxHost& tx, Key key) { return operation(tx, Op::kContains, key); }
 
+  // ---- snapshot (multi-version) reads ------------------------------------
+
+  /// Membership as of the snapshot's stamp for this structure.  Walks the
+  /// version chains exclusively: no read-set, no locks, no validation.
+  /// Throws SnapshotMiss when a chain can no longer serve the stamp.
+  bool contains_at(SnapshotTx& snap, Key key) const {
+    const std::uint64_t t = snap.stamp_for(commit_seq());
+    const Node* c = head_;
+    for (;;) {
+      const Node* nx = mv_next_at(snap, c, t);
+      if (nx->key >= key) return nx->key == key;
+      c = nx;
+    }
+  }
+
+  bool supports_snapshot_reads() const override { return true; }
+
   // ---- non-transactional helpers (setup / verification) -----------------
 
   /// Sequential insert used to seed benchmarks; not thread-safe.
@@ -81,6 +102,12 @@ class OtbListSet final : public OtbDs {
     Node* node = new Node(key);
     node->next.store(curr, std::memory_order_relaxed);
     pred->next.store(node, std::memory_order_release);
+    // Seed versions at the current (quiescent — seq paths are not
+    // thread-safe) begin count so chain stamps stay monotone.
+    const std::uint64_t ts = commit_seq().begin_count();
+    std::uint64_t unused = 0;
+    mv_push(node->mv, curr, ts, unused);
+    mv_push(pred->mv, node, ts, unused);
     return true;
   }
 
@@ -171,10 +198,17 @@ class OtbListSet final : public OtbDs {
         desc.locked.push_back(node);
         node->next.store(curr, std::memory_order_relaxed);
         pred->next.store(node, std::memory_order_release);
+        // Version the insert: the new node's own chain gets its initial
+        // successor (uniform resolve rule for nodes born at this stamp) and
+        // pred's chain records the link change.
+        mv_push(node->mv, curr, desc.mv_stamp, desc.mv_reclaimed);
+        mv_push(pred->mv, node, desc.mv_stamp, desc.mv_reclaimed);
       } else {  // kRemove: curr is the victim (validation pinned it)
+        Node* after = curr->next.load(std::memory_order_relaxed);
         curr->marked.store(true, std::memory_order_release);
-        pred->next.store(curr->next.load(std::memory_order_relaxed),
-                         std::memory_order_release);
+        pred->next.store(after, std::memory_order_release);
+        // Version the unlink: snapshots at stamps >= this one bypass curr.
+        mv_push(pred->mv, after, desc.mv_stamp, desc.mv_reclaimed);
         ebr::retire(curr);
       }
     }
@@ -207,10 +241,14 @@ class OtbListSet final : public OtbDs {
 
   struct Node {
     explicit Node(Key k) : key(k) {}
+    ~Node() { delete mv; }
     const Key key;
     std::atomic<Node*> next{nullptr};
     std::atomic<bool> marked{false};
     VersionedLock lock;
+    /// Bounded version chain of this node's successive `next` values
+    /// (nullptr when OTB_MV_VERSIONS was 0 at construction).
+    MvChain* const mv = mv_make_chain();
   };
 
   struct ReadEntry {
@@ -395,6 +433,16 @@ class OtbListSet final : public OtbDs {
         return;
       }
     }
+  }
+
+  /// Successor of `n` as of stamp `t` (snapshot walk step).  Misses when
+  /// the node carries no chain or the ring overflowed past `t`.
+  const Node* mv_next_at(SnapshotTx& snap, const Node* n, std::uint64_t t) const {
+    if (n->mv == nullptr) throw SnapshotMiss{};
+    const MvChain::Resolved r = n->mv->resolve_at(t);
+    snap.sample_chain_depth(r.depth);
+    if (!r.found) throw SnapshotMiss{};
+    return static_cast<const Node*>(r.ptr);
   }
 
   std::pair<Node*, Node*> locate(Key key) const {

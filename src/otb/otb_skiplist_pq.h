@@ -92,6 +92,18 @@ class OtbSkipListPQ final : public OtbDs {
     return true;
   }
 
+  // ---- snapshot (multi-version) reads -------------------------------------
+
+  /// Minimum as of the snapshot's stamp — the abort-free counterpart of
+  /// min().  Draws the stamp from *this* structure's clock (the one hosts
+  /// bracket commits with) and reads the nested set's bottom level as of it.
+  bool min_at(SnapshotTx& snap, Key* out) const {
+    const std::uint64_t t = snap.stamp_for(commit_seq());
+    return set_.first_at(snap, t, out);
+  }
+
+  bool supports_snapshot_reads() const override { return true; }
+
   bool add_seq(Key key) { return set_.add_seq(key); }
   std::size_t size_unsafe() const { return set_.size_unsafe(); }
 
@@ -118,7 +130,14 @@ class OtbSkipListPQ final : public OtbDs {
   // PQ is the OtbDs hosts see), so delegation targets the set's unwrapped
   // `*_desc` protocol.
   void do_on_commit(OtbDsDesc& base) override {
-    set_.on_commit_desc(*static_cast<Desc&>(base).set);
+    Desc& d = static_cast<Desc&>(base);
+    // Forward the commit stamp (assigned on *this* structure's clock by the
+    // on_commit wrapper) into the nested set desc so its version pushes are
+    // stamped correctly, and roll the eviction tally back up.
+    d.set->mv_stamp = d.mv_stamp;
+    set_.on_commit_desc(*d.set);
+    d.mv_reclaimed += d.set->mv_reclaimed;
+    d.set->mv_reclaimed = 0;
   }
   void do_post_commit(OtbDsDesc& base) override {
     set_.post_commit_desc(*static_cast<Desc&>(base).set);

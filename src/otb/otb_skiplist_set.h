@@ -28,6 +28,7 @@
 #include "common/rng.h"
 #include "common/small_vec.h"
 #include "common/spinlock.h"
+#include "otb/mv.h"
 #include "otb/otb_ds.h"
 #include "otb/traversal_hints.h"
 
@@ -46,6 +47,9 @@ class OtbSkipListSet final : public OtbDs {
     }
     head_->fully_linked.store(true, std::memory_order_release);
     tail_->fully_linked.store(true, std::memory_order_release);
+    // Stamp-0 bottom-level version so snapshots see the empty set.
+    std::uint64_t unused = 0;
+    mv_push(head_->mv, tail_, 0, unused);
   }
 
   ~OtbSkipListSet() override {
@@ -73,6 +77,34 @@ class OtbSkipListSet final : public OtbDs {
   bool contains(TxHost& tx, Key key) {
     return contains_op(tx, static_cast<Desc&>(tx.descriptor(*this)), key);
   }
+
+  // ---- snapshot (multi-version) reads ------------------------------------
+
+  /// Membership as of the snapshot's stamp.  The multilevel descent over
+  /// current links is only an accelerator hint; the answer comes from an
+  /// as-of-stamp chain walk along the bottom level, starting at the landing
+  /// predecessor when it was alive at the stamp (else at head).  Throws
+  /// SnapshotMiss when a chain can no longer serve the stamp.
+  bool contains_at(SnapshotTx& snap, Key key) const {
+    const std::uint64_t t = snap.stamp_for(commit_seq());
+    const Node* c = descend_hint_at(key, t);
+    for (;;) {
+      const Node* nx = mv_next_at(snap, c, t);
+      if (nx->key >= key) return nx->key == key;
+      c = nx;
+    }
+  }
+
+  /// Smallest key live at stamp `t` (the nested PQ's `min_at`, which draws
+  /// `t` from the PQ's own clock).  False when empty at the stamp.
+  bool first_at(SnapshotTx& snap, std::uint64_t t, Key* out) const {
+    const Node* first = mv_next_at(snap, head_, t);
+    if (first == tail_) return false;
+    *out = first->key;
+    return true;
+  }
+
+  bool supports_snapshot_reads() const override { return true; }
 
   // Descriptor-explicit entry points (used by OtbSkipListPQ).
   bool add_op(TxHost& tx, Desc& desc, Key key) {
@@ -121,6 +153,11 @@ class OtbSkipListSet final : public OtbDs {
       preds[l]->next[l].store(node, std::memory_order_release);
     }
     node->fully_linked.store(true, std::memory_order_release);
+    // Seed bottom-level versions at the current (quiescent) begin count.
+    const std::uint64_t ts = commit_seq().begin_count();
+    std::uint64_t unused = 0;
+    mv_push(node->mv, succs[0], ts, unused);
+    mv_push(preds[0]->mv, node, ts, unused);
     return true;
   }
 
@@ -195,12 +232,22 @@ class OtbSkipListSet final : public OtbDs {
 
   struct Node {
     Node(Key k, unsigned top) : key(k), top_level(top) {}
+    ~Node() { delete mv; }
     const Key key;
     const unsigned top_level;
     std::array<std::atomic<Node*>, kMaxLevel> next{};
     std::atomic<bool> marked{false};
     std::atomic<bool> fully_linked{false};
     VersionedLock lock;
+    /// Bounded version chain of this node's bottom-level `next` values
+    /// (nullptr when OTB_MV_VERSIONS was 0 at construction).  Upper levels
+    /// are unversioned: snapshot walks use them only as descent hints.
+    MvChain* const mv = mv_make_chain();
+    /// Lifetime stamps gating the descent hint's "alive at t" test.  0 =
+    /// alive since before any snapshot (head/tail/seq-seeded); dead_ts max
+    /// = still alive.
+    std::atomic<std::uint64_t> born_ts{0};
+    std::atomic<std::uint64_t> dead_ts{~std::uint64_t{0}};
   };
 
   struct ReadEntry {
@@ -449,6 +496,40 @@ class OtbSkipListSet final : public OtbDs {
     return found_level;
   }
 
+  /// Bottom-level successor of `n` as of stamp `t` (snapshot walk step);
+  /// misses when the node carries no chain or the ring overflowed past `t`.
+  const Node* mv_next_at(SnapshotTx& snap, const Node* n, std::uint64_t t) const {
+    if (n->mv == nullptr) throw SnapshotMiss{};
+    const MvChain::Resolved r = n->mv->resolve_at(t);
+    snap.sample_chain_depth(r.depth);
+    if (!r.found) throw SnapshotMiss{};
+    return static_cast<const Node*>(r.ptr);
+  }
+
+  /// Multilevel descent over CURRENT links (levels >= 1) toward `key`,
+  /// used purely as an O(log n) accelerator for snapshot walks.  The
+  /// landing predecessor is trusted only if it was alive at `t` (born <= t
+  /// < dead); otherwise the walk starts at head.  A wrong-but-alive hint is
+  /// impossible: any alive-at-t node with key < `key` is a sound starting
+  /// point for the as-of-t bottom walk, because the as-of-t list is sorted
+  /// and the walk follows only as-of-t links from there.
+  const Node* descend_hint_at(Key key, std::uint64_t t) const {
+    const Node* pred = head_;
+    for (unsigned l = kMaxLevel; l-- > 1;) {
+      const Node* curr = pred->next[l].load(std::memory_order_acquire);
+      while (curr->key < key) {
+        pred = curr;
+        curr = pred->next[l].load(std::memory_order_acquire);
+      }
+    }
+    if (pred == head_) return head_;
+    if (pred->born_ts.load(std::memory_order_acquire) <= t &&
+        t < pred->dead_ts.load(std::memory_order_acquire)) {
+      return pred;
+    }
+    return head_;
+  }
+
   const WriteEntry* find_local(const Desc& desc, Key key) const {
     for (const WriteEntry& w : desc.writes) {
       if (w.key == key) return &w;
@@ -544,6 +625,7 @@ inline void OtbSkipListSet::on_commit_desc(Desc& desc) {
         preds[l] = pred;
         succs[l] = curr;
       }
+      node->born_ts.store(desc.mv_stamp, std::memory_order_release);
       for (unsigned l = 0; l <= e.top; ++l) {
         node->next[l].store(succs[l], std::memory_order_relaxed);
       }
@@ -551,9 +633,14 @@ inline void OtbSkipListSet::on_commit_desc(Desc& desc) {
         preds[l]->next[l].store(node, std::memory_order_release);
       }
       node->fully_linked.store(true, std::memory_order_release);
+      // Version the bottom-level link change (upper levels are descent
+      // hints only and stay unversioned).
+      mv_push(node->mv, succs[0], desc.mv_stamp, desc.mv_reclaimed);
+      mv_push(preds[0]->mv, node, desc.mv_stamp, desc.mv_reclaimed);
     } else {
       Node* victim = e.victim;
       victim->marked.store(true, std::memory_order_release);
+      victim->dead_ts.store(desc.mv_stamp, std::memory_order_release);
       for (unsigned l = e.top + 1; l-- > 0;) {
         Node* pred = e.preds[l];
         Node* curr = pred->next[l].load(std::memory_order_acquire);
@@ -562,8 +649,9 @@ inline void OtbSkipListSet::on_commit_desc(Desc& desc) {
           curr = pred->next[l].load(std::memory_order_acquire);
         }
         if (curr == victim) {
-          pred->next[l].store(victim->next[l].load(std::memory_order_relaxed),
-                              std::memory_order_release);
+          Node* after = victim->next[l].load(std::memory_order_relaxed);
+          pred->next[l].store(after, std::memory_order_release);
+          if (l == 0) mv_push(pred->mv, after, desc.mv_stamp, desc.mv_reclaimed);
         }
       }
       ebr::retire(victim);

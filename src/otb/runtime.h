@@ -236,4 +236,52 @@ metrics::AttemptReport atomically(Fn&& fn) {
   }
 }
 
+/// Run `fn(snap)` as an abort-free multi-version snapshot read (ISSUE 8).
+///
+/// The callback receives a SnapshotTx and must route every read through the
+/// structures' `*_at` entry points (`contains_at`, `get_at`, `range_at`,
+/// `min_at`).  There is no validation, no commit protocol, and no abort
+/// channel: the snapshot is consistent by construction (stamps are drawn
+/// only at quiescent clock instants, and version chains resolve each read
+/// as of the drawn stamp — DESIGN.md "Multi-version snapshot reads").
+///
+/// Returns true on success (counted as kMvSnapshotReads, chain-depth
+/// samples flushed into the sink's mv_chain_len series).  Returns false —
+/// counted once as kMvVersionMisses — when a needed version has been
+/// evicted from a bounded chain (SnapshotMiss, including the
+/// OTB_MV_VERSIONS=0 case where nodes carry no chains) or when clock draws
+/// kept failing under publication churn (SnapshotRetry, bounded attempts).
+/// On false the caller should fall back to the validated path
+/// (`atomically`); `fn` must therefore be repeatable and side-effect-free
+/// until it returns.
+template <typename Fn>
+bool snapshot_read(metrics::MetricsSink& sink, Fn&& fn) {
+  static constexpr int kAttempts = 8;
+  if (mv_versions() != 0) {
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      try {
+        SnapshotTx snap;
+        fn(snap);
+        sink.record_mv_chain_slice(snap.chain_depth_total(),
+                                   snap.chain_depth_buckets());
+        sink.add(metrics::CounterId::kMvSnapshotReads);
+        return true;
+      } catch (const SnapshotRetry&) {
+        cpu_relax();
+        continue;  // clock draw raced a publication window; redraw
+      } catch (const SnapshotMiss&) {
+        break;  // version evicted: only the validated path can serve this
+      }
+    }
+  }
+  sink.add(metrics::CounterId::kMvVersionMisses);
+  return false;
+}
+
+/// Convenience overload against the runtime's injected sink ("otb.tx").
+template <typename Fn>
+bool snapshot_read(Fn&& fn) {
+  return snapshot_read(metrics_sink(), static_cast<Fn&&>(fn));
+}
+
 }  // namespace otb::tx

@@ -47,12 +47,21 @@
 //     log, and compacts (recovery.h); recover() rebuilds state from the
 //     last checkpoint plus the replayed log tail before start().
 //
-// Metrics (domain "otb.service", schema otb.metrics/5): svc_* admission /
+//   * read-only fast path (docs/SERVICE.md "Snapshot reads") — with
+//     OTB_MV_VERSIONS > 0, a script made only of read verbs over
+//     snapshot-capable structures is executed INLINE at submit as an
+//     abort-free multi-version snapshot read (tx::snapshot_read): no queue
+//     slot, no batch, no validation, no retry.  A version-chain miss falls
+//     back to a validated read-only transaction; either way the request
+//     completes kOk from the submitting thread.
+//
+// Metrics (domain "otb.service", schema otb.metrics/6): svc_* admission /
 // completion counters (including svc_scripts / svc_script_steps /
-// svc_guard_aborts for the multi-op surface), wal_* durability counters,
-// queue-depth + batch-size log2 series, and the "service" / "wal_fsync"
-// phase histograms.  The batch transactions themselves keep reporting
-// through "otb.tx" as always.
+// svc_guard_aborts for the multi-op surface and svc_read_only for the
+// snapshot route), wal_* durability counters, queue-depth + batch-size +
+// mv_chain_len log2 series, and the "service" / "wal_fsync" phase
+// histograms.  The batch transactions themselves keep reporting through
+// "otb.tx" as always.
 #pragma once
 
 #include <algorithm>
@@ -293,6 +302,21 @@ class Service {
       complete(p, SvcStatus::kFailed);
       return fut;
     }
+    if (tx::mv_versions() != 0 && is_read_only_script(p->req)) {
+      // Abort-free snapshot route: the script runs inline on the submitting
+      // thread against a multi-version snapshot, never consuming a queue
+      // slot or a batch transaction.  Deadlines are vacuous here (execution
+      // is immediate), and none of the queue-ledger counters (svc_enqueued,
+      // svc_batches, batch_size, svc_expired) move — the route is accounted
+      // by svc_read_only == mv_snapshot_reads + mv_version_misses instead.
+      if (!accepting_.load(std::memory_order_seq_cst)) {
+        sink_->add(metrics::CounterId::kSvcRejected);
+        complete(p, SvcStatus::kOverloaded);
+        return fut;
+      }
+      submit_read_only(p);
+      return fut;
+    }
     submits_in_flight_.fetch_add(1, std::memory_order_seq_cst);
     const bool admitted =
         accepting_.load(std::memory_order_seq_cst) && queue_.try_push(p);
@@ -401,6 +425,133 @@ class Service {
       }
     }
     return true;
+  }
+
+  /// A script the snapshot route may serve: every step is a pure read verb
+  /// and no step targets the eager heap PQ (its effects bypass the OTB
+  /// deferral discipline, so it grows no version chains — see
+  /// supports_snapshot_reads()).
+  bool is_read_only_script(const Request& req) const {
+    for (const Step& s : req.steps) {
+      if (targets_.slots[s.structure].kind == StructureKind::kHeapPq) {
+        return false;
+      }
+      switch (s.verb) {
+        case Verb::kGet:
+        case Verb::kContains:
+        case Verb::kRange:
+        case Verb::kMin:
+          break;
+        default:
+          return false;
+      }
+    }
+    return true;
+  }
+
+  /// Inline execution of a read-only script (submit-time, caller thread).
+  /// First choice is the abort-free snapshot path; a version miss (chain
+  /// evicted past the stamp, or the knob raced to 0) falls back to a
+  /// validated read-only transaction, which a read-only script cannot
+  /// fail semantically — only its guards can trip, and a guard verdict
+  /// observed solo is definitive (same rule as the batch path's solo
+  /// re-run).  Completes the request kOk either way.
+  void submit_read_only(Pending* p) {
+    bool guard_failed = false;
+    const bool snapped = tx::snapshot_read(*sink_, [&](tx::SnapshotTx& snap) {
+      guard_failed = apply_snapshot(snap, p);
+    });
+    if (!snapped) {
+      guard_failed = false;
+      try {
+        tx::atomically([&](tx::Transaction& t) { apply(t, p, nullptr); });
+      } catch (const ScriptAbort&) {
+        guard_failed = true;  // results already filled by apply()
+      }
+    }
+    if (guard_failed) sink_->add(metrics::CounterId::kSvcGuardAborts);
+    sink_->add(metrics::CounterId::kSvcReadOnly);
+    // Group-fsync: the values read may depend on commit records another
+    // shard appended but has not yet synced; acknowledged => durable also
+    // covers what acknowledged *reads* observed.
+    Wal* wal = active_wal();
+    if (wal != nullptr && wal->options().fsync == WalFsync::kGroup) {
+      wal->sync_all();
+    }
+    sink_->record_phase(metrics::Phase::kService, now_ns() - p->enqueue_ns);
+    complete(p, SvcStatus::kOk);
+  }
+
+  /// apply()'s read-only twin over a snapshot: same step loop, bindings,
+  /// and guard semantics, but every read resolves as of the snapshot stamp
+  /// through the structures' `*_at` entry points.  Returns true when a
+  /// guard failed (remaining results filled as not-run); never throws
+  /// except SnapshotMiss/SnapshotRetry from the reads themselves, which
+  /// tx::snapshot_read absorbs — so it may run several times and rebuilds
+  /// the result state from scratch each call.
+  bool apply_snapshot(tx::SnapshotTx& snap, Pending* p) const {
+    const Request& r = p->req;
+    p->results.clear();
+    p->results.reserve(r.steps.size());
+    p->range_out.clear();
+    p->ok = true;
+    p->value = 0;
+    for (std::size_t i = 0; i < r.steps.size(); ++i) {
+      const Step& s = r.steps[i];
+      const std::int64_t key =
+          s.key_from >= 0 ? p->results[s.key_from].value : s.key;
+      const std::int64_t value =
+          s.value_from >= 0 ? p->results[s.value_from].value : s.value;
+      StepResult res;
+      res.ran = true;
+      switch (targets_.slots[s.structure].kind) {
+        case StructureKind::kMap: {
+          const tx::OtbListMap* m = targets_.map(s.structure);
+          switch (s.verb) {
+            case Verb::kGet:
+              res.ok = m->get_at(snap, key, &res.value);
+              break;
+            case Verb::kContains:
+              res.ok = m->contains_at(snap, key);
+              res.value = key;
+              break;
+            case Verb::kRange:
+              res.value = static_cast<std::int64_t>(
+                  m->range_at(snap, key, value, &p->range_out));
+              res.ok = true;
+              break;
+            default:
+              break;  // unreachable: is_read_only_script screened verbs
+          }
+          break;
+        }
+        case StructureKind::kSet:
+          // kContains is the set's only read verb.
+          res.ok = targets_.set(s.structure)->contains_at(snap, key);
+          res.value = key;
+          break;
+        case StructureKind::kSlPq:
+          // kMin is the skip-list PQ's only read verb.
+          res.ok = targets_.sl_pq(s.structure)->min_at(snap, &res.value);
+          break;
+        case StructureKind::kHeapPq:
+          break;  // unreachable: is_read_only_script rejected heap slots
+      }
+      p->results.push_back(res);
+      p->value = res.value;
+      if (!res.ok) p->ok = false;
+      const bool guard_failed =
+          (s.required && !res.ok) ||
+          (s.has_expect && (!res.ok || res.value != s.expect));
+      if (guard_failed) {
+        for (std::size_t j = i + 1; j < r.steps.size(); ++j) {
+          p->results.push_back(StepResult{});  // ran = false
+        }
+        p->ok = false;
+        return true;
+      }
+    }
+    return false;
   }
 
   void worker_loop(unsigned shard) {

@@ -62,6 +62,24 @@ class TraversalHintsOverride {
   bool previous_;
 };
 
+/// RAII override of the multi-version chain capacity (OTB_MV_VERSIONS),
+/// same contract as the overrides above: histories and ledger identities
+/// must hold with the snapshot route forced on AND off.  Note the knob is
+/// consulted at NODE CREATION (new nodes grow chains of the then-current
+/// capacity), so structures built under one override keep those chains.
+class MvVersionsOverride {
+ public:
+  explicit MvVersionsOverride(unsigned k) : previous_(tx::mv_versions()) {
+    tx::set_mv_versions(k);
+  }
+  ~MvVersionsOverride() { tx::set_mv_versions(previous_); }
+  MvVersionsOverride(const MvVersionsOverride&) = delete;
+  MvVersionsOverride& operator=(const MvVersionsOverride&) = delete;
+
+ private:
+  unsigned previous_;
+};
+
 /// Seeded per-worker decision source for explicit-abort injection.
 class AbortInjector {
  public:

@@ -55,11 +55,14 @@ TEST(ScenarioSchedulerStress, CrossStructureScriptsAreLinearizable) {
   };
   for (const bool fast : {true, false}) {
     stress::FastPathOverride knob(fast);
+  for (const unsigned mv_k : {4u, 0u}) {
+    stress::MvVersionsOverride mv_knob(mv_k);
   for (const Case c : {Case{2, 1, 4}, Case{3, 2, 8}}) {
     SCOPED_TRACE("clients=" + std::to_string(c.threads) +
                  " workers=" + std::to_string(c.workers) +
                  " batch_max=" + std::to_string(c.batch_max) +
-                 std::string(" fast_path=") + (fast ? "on" : "off"));
+                 std::string(" fast_path=") + (fast ? "on" : "off") +
+                 " mv_versions=" + std::to_string(mv_k));
     service::scenarios::JobScheduler sched;
     StressOptions opt;
     opt.threads = c.threads;
@@ -161,6 +164,7 @@ TEST(ScenarioSchedulerStress, CrossStructureScriptsAreLinearizable) {
     if (lin.status == LinStatus::kBudgetExhausted) {
       GTEST_LOG_(WARNING) << "lin check inconclusive: " << lin.detail;
     }
+  }
   }
   }
 }

@@ -2,9 +2,12 @@
 // logical operation is a submit + future wait, so what gets linearizability-
 // checked is the full pipeline — admission, sharded queueing, batch
 // coalescing into one boosted transaction, and split-retry — not just the
-// structure underneath.  Runs with the validation fast path and traversal
-// hints forced both on and off, and once with periodic injected batch
-// aborts so split-retry is on the checked path.
+// structure underneath.  Runs with the validation fast path, traversal
+// hints, and multi-version snapshot reads (OTB_MV_VERSIONS) forced both on
+// and off — with MV on the gets route through the inline snapshot path, so
+// the checked history interleaves abort-free snapshot reads with batched
+// writes — and once with periodic injected batch aborts so split-retry is
+// on the checked path.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -79,6 +82,8 @@ TEST(ServiceStress, HistoriesThroughServiceAreLinearizable) {
     stress::FastPathOverride knob(fast);
   for (const bool hints : {true, false}) {
     stress::TraversalHintsOverride hint_knob(hints);
+  for (const unsigned mv_k : {4u, 0u}) {
+    stress::MvVersionsOverride mv_knob(mv_k);
   for (const Case c : {Case{4, 1, 8, false}, Case{4, 2, 4, false},
                        Case{6, 2, 8, true}}) {
     SCOPED_TRACE("clients=" + std::to_string(c.threads) +
@@ -86,7 +91,8 @@ TEST(ServiceStress, HistoriesThroughServiceAreLinearizable) {
                  " batch_max=" + std::to_string(c.batch_max) +
                  std::string(" inject=") + (c.inject ? "yes" : "no") +
                  std::string(" fast_path=") + (fast ? "on" : "off") +
-                 std::string(" hints=") + (hints ? "on" : "off"));
+                 std::string(" hints=") + (hints ? "on" : "off") +
+                 " mv_versions=" + std::to_string(mv_k));
     tx::OtbListMap map;
     service::Targets targets = service::Targets::standard(&map);
     metrics::MetricsSink case_sink;  // per-case ledger, not the global sink
@@ -151,6 +157,18 @@ TEST(ServiceStress, HistoriesThroughServiceAreLinearizable) {
     if (c.inject) {
       EXPECT_GT(s.counter(metrics::CounterId::kSvcBatchSplits), 0u);
     }
+    // Snapshot-route ledger: with MV on the gets ran inline (every one a
+    // snapshot read or a counted miss-with-fallback, never enqueued); with
+    // MV off the route must be fully cold.
+    EXPECT_EQ(s.counter(metrics::CounterId::kSvcReadOnly),
+              s.counter(metrics::CounterId::kMvSnapshotReads) +
+                  s.counter(metrics::CounterId::kMvVersionMisses));
+    if (mv_k > 0) {
+      EXPECT_GT(s.counter(metrics::CounterId::kSvcReadOnly), 0u);
+    } else {
+      EXPECT_EQ(s.counter(metrics::CounterId::kSvcReadOnly), 0u);
+    }
+  }
   }
   }
   }

@@ -109,6 +109,12 @@ class MvChain {
     const std::uint64_t n = count_.load(std::memory_order_relaxed);
     Slot& s = slots_[n % cap_];
     s.seq.store(kWriting, std::memory_order_relaxed);
+    // Release fence pairing with the reader's acquire fence in resolve_at:
+    // a reader that observes either payload store below must also observe
+    // seq == kWriting (or later) at its second seq load, so a lapped slot
+    // can never pass the seq check with a mixed (ptr, ts) pair on
+    // weakly-ordered machines.
+    std::atomic_thread_fence(std::memory_order_release);
     s.ptr.store(ptr, std::memory_order_relaxed);
     s.ts.store(ts, std::memory_order_relaxed);
     s.seq.store(n, std::memory_order_release);

@@ -302,19 +302,29 @@ class Service {
       complete(p, SvcStatus::kFailed);
       return fut;
     }
-    if (tx::mv_versions() != 0 && is_read_only_script(p->req)) {
+    if (tx::mv_versions() != 0 && is_read_only_script(p->req) &&
+        (p->req.deadline_ns == 0 || p->req.deadline_ns >= now_ns())) {
       // Abort-free snapshot route: the script runs inline on the submitting
       // thread against a multi-version snapshot, never consuming a queue
-      // slot or a batch transaction.  Deadlines are vacuous here (execution
-      // is immediate), and none of the queue-ledger counters (svc_enqueued,
-      // svc_batches, batch_size, svc_expired) move — the route is accounted
-      // by svc_read_only == mv_snapshot_reads + mv_version_misses instead.
+      // slot or a batch transaction.  A live deadline cannot lapse here
+      // (execution happens before submit() returns); one already lapsed at
+      // submit falls through to the queue path below, whose worker expires
+      // it under the normal ledger — so svc_expired keeps balancing against
+      // svc_enqueued, and this route is accounted purely by
+      // svc_read_only == mv_snapshot_reads + mv_version_misses.
+      //
+      // Same Dekker handshake as the queue path: the in-flight bracket
+      // covers the whole inline execution, so stop() cannot close the WAL
+      // or tear down members while submit_read_only still runs here.
+      submits_in_flight_.fetch_add(1, std::memory_order_seq_cst);
       if (!accepting_.load(std::memory_order_seq_cst)) {
+        submits_in_flight_.fetch_sub(1, std::memory_order_seq_cst);
         sink_->add(metrics::CounterId::kSvcRejected);
         complete(p, SvcStatus::kOverloaded);
         return fut;
       }
       submit_read_only(p);
+      submits_in_flight_.fetch_sub(1, std::memory_order_seq_cst);
       return fut;
     }
     submits_in_flight_.fetch_add(1, std::memory_order_seq_cst);
@@ -428,14 +438,13 @@ class Service {
   }
 
   /// A script the snapshot route may serve: every step is a pure read verb
-  /// and no step targets the eager heap PQ (its effects bypass the OTB
-  /// deferral discipline, so it grows no version chains — see
-  /// supports_snapshot_reads()).
+  /// and every target structure offers the `*_at` snapshot entry points
+  /// (supports_snapshot_reads() — the eager heap PQ does not: its effects
+  /// bypass the OTB deferral discipline, so it grows no version chains).
   bool is_read_only_script(const Request& req) const {
     for (const Step& s : req.steps) {
-      if (targets_.slots[s.structure].kind == StructureKind::kHeapPq) {
-        return false;
-      }
+      const tx::OtbDs* ds = targets_.ds(s.structure);
+      if (ds == nullptr || !ds->supports_snapshot_reads()) return false;
       switch (s.verb) {
         case Verb::kGet:
         case Verb::kContains:

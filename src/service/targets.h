@@ -88,6 +88,24 @@ struct Targets {
     return static_cast<tx::OtbSkipListPQ*>(slots[id].ptr);
   }
 
+  /// Polymorphic view of a slot's structure (every concrete kind derives
+  /// tx::OtbDs); null for an empty slot.  The cast must go through the
+  /// concrete type — Slot stores the concrete pointer, not the base.
+  const tx::OtbDs* ds(StructureId id) const {
+    if (slots[id].ptr == nullptr) return nullptr;
+    switch (slots[id].kind) {
+      case StructureKind::kMap:
+        return map(id);
+      case StructureKind::kSet:
+        return set(id);
+      case StructureKind::kHeapPq:
+        return heap_pq(id);
+      case StructureKind::kSlPq:
+        return sl_pq(id);
+    }
+    return nullptr;
+  }
+
  private:
   StructureId add(StructureKind k, void* p) {
     slots[count] = Slot{k, p};

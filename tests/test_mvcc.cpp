@@ -424,6 +424,25 @@ TEST_F(MvccServiceTest, KnobOffRoutesReadsThroughTheQueueUnchanged) {
             s.counter(CounterId::kSvcEnqueued));
 }
 
+TEST_F(MvccServiceTest, LapsedDeadlineReadOnlyExpiresOnTheQueuePath) {
+  Service svc(targets(), config());
+  svc.start();
+  ASSERT_EQ(svc.submit(service::map_put(1, 10)).wait(), SvcStatus::kOk);
+  // A read-only script whose deadline already passed at submit must NOT be
+  // served by the inline snapshot route (which would complete it kOk) — it
+  // diverts to the queue path, whose worker expires it under the normal
+  // ledger.  deadline_ns = 1 is in the distant past of the now_ns clock.
+  ResponseFuture late = svc.submit(Request{service::map_get(1)}.with_deadline(1));
+  EXPECT_EQ(late.wait(), SvcStatus::kExpired);
+  svc.stop();
+  const metrics::SinkSnapshot s = svc_sink_.snapshot();
+  EXPECT_EQ(s.counter(CounterId::kSvcReadOnly), 0u);
+  EXPECT_EQ(s.counter(CounterId::kSvcExpired), 1u);
+  EXPECT_EQ(s.counter(CounterId::kSvcEnqueued), 2u);  // the put + the late get
+  EXPECT_EQ(s.batch_size.total + s.counter(CounterId::kSvcExpired),
+            s.counter(CounterId::kSvcEnqueued));
+}
+
 TEST_F(MvccServiceTest, StoppedServiceRejectsReadOnlySubmits) {
   Service svc(targets(), config());
   svc.start();

@@ -27,7 +27,13 @@
 //   --scenario=S              kv|scheduler|session|orderbook (default kv)
 //   --script-len=N            steps per kv script            (default 1)
 //   --workers=N               service worker threads        (default 4)
-//   --clients=N               client threads                (default 2)
+//   --clients=N               client threads / connections  (default 2)
+//   --shards=S                independent service planes    (default 1)
+//   --processes=M             fork M client processes driving the epoll
+//                             server over real loopback sockets (v2 wire
+//                             protocol); 0 = in-process futures (default 0)
+//   --net-threads=N           epoll net threads (net mode)  (default 1)
+//   --port=P                  listen port, 0 = ephemeral    (default 0)
 //   --window=N                closed-loop in-flight/client  (default 256)
 //   --rate=R                  open-loop offered req/s       (default 20000)
 //   --duration-ms=D           measured run length           (default 2000)
@@ -59,6 +65,22 @@
 // comparable.  The scenario workloads drive the cross-structure scripts
 // from src/service/scenarios.h under load (guard aborts there are benign
 // contention outcomes, reported inside ok=).
+//
+// --processes=M forks a real client fleet BEFORE the service threads start
+// (forking after would copy a running process's lock states): each child
+// opens its share of --clients loopback connections, drives the v2 wire
+// protocol through a nonblocking poll() loop (a blocking client would
+// deadlock against server-side backpressure: both ends stuck in send), and
+// reports its tally + a mergeable log2×linear latency histogram back over
+// a pipe.  Latency is client-observed RTT — encode-to-decode — which is
+// the number a network client actually experiences.
+//
+// --shards=S > 1 runs S independent service planes behind the key-hash
+// router (src/service/sharding.h).  Sharded runs are kv-only and require
+// --scan-pct=0 (range scans are cross-shard by construction and would just
+// measure the router's fail-closed path); multi-step scripts draw their
+// 2nd..Nth keys from the first key's shard so every script stays
+// single-shard, mirroring how a sharding-aware client would batch.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -73,11 +95,22 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "benchlib/driver.h"
 #include "common/rng.h"
 #include "otb/otb_list_map.h"
+#include "service/net.h"
 #include "service/scenarios.h"
 #include "service/service.h"
+#include "service/sharding.h"
 
 namespace {
 
@@ -86,10 +119,12 @@ using otb::service::Request;
 using otb::service::ResponseFuture;
 using otb::service::Service;
 using otb::service::ServiceConfig;
+using otb::service::ShardedService;
 using otb::service::SvcStatus;
 using otb::service::map_erase;
 using otb::service::map_get;
 using otb::service::map_put;
+using otb::service::shard_of_key;
 
 struct Flags {
   std::string mode = "closed";
@@ -97,6 +132,10 @@ struct Flags {
   unsigned script_len = 1;
   unsigned workers = 4;
   unsigned clients = 2;
+  unsigned shards = 1;
+  unsigned processes = 0;  // 0 = in-process futures, >0 = socket fleet
+  unsigned net_threads = 1;
+  unsigned port = 0;
   unsigned window = 256;
   double rate = 20000;
   unsigned duration_ms = 2000;
@@ -130,6 +169,10 @@ Flags parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--script-len", v)) f.script_len = std::stoul(v);
     else if (parse_flag(argv[i], "--workers", v)) f.workers = std::stoul(v);
     else if (parse_flag(argv[i], "--clients", v)) f.clients = std::stoul(v);
+    else if (parse_flag(argv[i], "--shards", v)) f.shards = std::stoul(v);
+    else if (parse_flag(argv[i], "--processes", v)) f.processes = std::stoul(v);
+    else if (parse_flag(argv[i], "--net-threads", v)) f.net_threads = std::stoul(v);
+    else if (parse_flag(argv[i], "--port", v)) f.port = std::stoul(v);
     else if (parse_flag(argv[i], "--window", v)) f.window = std::stoul(v);
     else if (parse_flag(argv[i], "--rate", v)) f.rate = std::stod(v);
     else if (parse_flag(argv[i], "--duration-ms", v)) f.duration_ms = std::stoul(v);
@@ -154,6 +197,22 @@ Flags parse(int argc, char** argv) {
     std::fprintf(stderr, "--read-pct + --scan-pct must be <= 100\n");
     std::exit(2);
   }
+  if (f.shards == 0) f.shards = 1;
+  if (f.shards > 1 && f.scenario != "kv") {
+    std::fprintf(stderr, "--shards > 1 supports --scenario=kv only\n");
+    std::exit(2);
+  }
+  if (f.shards > 1 && f.scan_pct != 0) {
+    std::fprintf(stderr,
+                 "--scan-pct requires --shards=1 (range scans are "
+                 "cross-shard and fail closed at the router)\n");
+    std::exit(2);
+  }
+  if (f.processes != 0 && f.scenario != "kv") {
+    std::fprintf(stderr, "--processes supports --scenario=kv only\n");
+    std::exit(2);
+  }
+  if (f.processes > f.clients) f.processes = f.clients;
   return f;
 }
 
@@ -165,10 +224,8 @@ using RequestGen = std::function<Request(otb::Xorshift&)>;
 /// (scan 0, read 60) reproduce the PR 5 harness's 60/30/10 get/put/erase
 /// mix exactly; --read-pct=90 is the read-mostly arm and a high --scan-pct
 /// the scan-heavy arm of the multi-version sweeps (EXPERIMENTS.md).
-otb::service::Step kv_step(otb::Xorshift& rng, const Flags& f) {
-  const std::uint64_t pick = rng.next_bounded(100);
-  const auto key = static_cast<std::int64_t>(
-      rng.next_bounded(static_cast<std::uint64_t>(f.key_range)));
+otb::service::Step kv_verb_step(std::uint64_t pick, const Flags& f,
+                                std::int64_t key) {
   if (pick < f.scan_pct) return otb::service::map_range(key, key + 15);
   if (pick < f.scan_pct + f.read_pct) return map_get(key);
   const std::uint64_t rest = pick - f.scan_pct - f.read_pct;
@@ -177,10 +234,45 @@ otb::service::Step kv_step(otb::Xorshift& rng, const Flags& f) {
   return map_erase(key);
 }
 
+otb::service::Step kv_step(otb::Xorshift& rng, const Flags& f) {
+  const std::uint64_t pick = rng.next_bounded(100);
+  const auto key = static_cast<std::int64_t>(
+      rng.next_bounded(static_cast<std::uint64_t>(f.key_range)));
+  return kv_verb_step(pick, f, key);
+}
+
 /// The kv workload: --script-len independent steps per atomic script.
 Request next_kv_request(otb::Xorshift& rng, const Flags& f) {
   Request req{kv_step(rng, f)};
   for (unsigned i = 1; i < f.script_len; ++i) req.steps.push_back(kv_step(rng, f));
+  return req;
+}
+
+/// Key pools per shard: pools[s] holds every key of [0, key_range) whose
+/// hash owner is shard s.  Deterministic, so server, in-process clients,
+/// and forked net clients all agree without coordination.
+std::vector<std::vector<std::int64_t>> shard_key_pools(const Flags& f) {
+  std::vector<std::vector<std::int64_t>> pools(f.shards);
+  for (std::int64_t k = 0; k < f.key_range; ++k) {
+    pools[shard_of_key(k, f.shards)].push_back(k);
+  }
+  return pools;
+}
+
+/// Sharded kv script: the first key picks the owner shard, the rest of the
+/// script draws from that shard's pool so the script stays single-shard.
+Request sharded_kv_request(otb::Xorshift& rng, const Flags& f,
+                           const std::vector<std::vector<std::int64_t>>& pools) {
+  if (f.shards <= 1) return next_kv_request(rng, f);
+  const auto k0 = static_cast<std::int64_t>(
+      rng.next_bounded(static_cast<std::uint64_t>(f.key_range)));
+  const auto& pool = pools[shard_of_key(k0, f.shards)];
+  Request req{kv_verb_step(rng.next_bounded(100), f, k0)};
+  for (unsigned i = 1; i < f.script_len; ++i) {
+    const std::int64_t k =
+        pool.empty() ? k0 : pool[rng.next_bounded(pool.size())];
+    req.steps.push_back(kv_verb_step(rng.next_bounded(100), f, k));
+  }
   return req;
 }
 
@@ -305,7 +397,10 @@ std::uint64_t percentile_ns(std::vector<std::uint64_t>& v, double p) {
 }
 
 /// Closed loop: --clients threads, each with --window requests in flight.
-Tally run_closed(Service& svc, const Flags& f, const RequestGen& gen) {
+/// Templated on the service type so the same driver runs a plain Service
+/// or a ShardedService (router in front) with zero indirection.
+template <typename Svc>
+Tally run_closed(Svc& svc, const Flags& f, const RequestGen& gen) {
   std::atomic<bool> stop{false};
   std::vector<Tally> tallies(f.clients);
   std::vector<std::thread> pool;
@@ -339,7 +434,8 @@ Tally run_closed(Service& svc, const Flags& f, const RequestGen& gen) {
 /// Open loop: Poisson arrivals at --rate across --clients submitter
 /// threads (each runs an independent process at rate/clients, which
 /// superposes back to a Poisson process at the full rate).
-Tally run_open(Service& svc, const Flags& f, const RequestGen& gen) {
+template <typename Svc>
+Tally run_open(Svc& svc, const Flags& f, const RequestGen& gen) {
   std::vector<Tally> tallies(f.clients);
   std::vector<std::thread> pool;
   const double per_thread_rate = f.rate / double(f.clients);
@@ -381,13 +477,467 @@ Tally run_open(Service& svc, const Flags& f, const RequestGen& gen) {
   return total;
 }
 
+// ---- multi-process socket fleet (--processes) -------------------------------
+
+/// Mergeable latency histogram: log2 exponent × 32 linear sub-buckets
+/// (~3% relative resolution).  Children ship it over a pipe as plain
+/// bytes, the parent merges and reads percentiles — exact percentiles
+/// across processes without shipping every sample.
+struct LatHist {
+  static constexpr unsigned kExp = 40;  // up to 2^40 ns ≈ 18 min
+  static constexpr unsigned kSub = 32;
+  std::uint64_t count = 0;
+  std::uint64_t buckets[kExp][kSub] = {};
+
+  void add(std::uint64_t ns) {
+    count += 1;
+    if (ns <= 1) {
+      buckets[0][0] += 1;
+      return;
+    }
+    const auto e = 64u - static_cast<unsigned>(__builtin_clzll(ns));  // 2..64
+    if (e > kExp) {
+      buckets[kExp - 1][kSub - 1] += 1;
+      return;
+    }
+    const std::uint64_t lo = 1ull << (e - 1);
+    const auto sub = e >= 7 ? static_cast<unsigned>((ns - lo) >> (e - 6))
+                            : static_cast<unsigned>(ns - lo);
+    buckets[e - 1][sub] += 1;
+  }
+
+  void merge(const LatHist& o) {
+    count += o.count;
+    for (unsigned e = 0; e < kExp; ++e)
+      for (unsigned s = 0; s < kSub; ++s) buckets[e][s] += o.buckets[e][s];
+  }
+
+  std::uint64_t percentile(double p) const {
+    if (count == 0) return 0;
+    const std::uint64_t rank = std::min<std::uint64_t>(
+        count - 1, static_cast<std::uint64_t>(p * double(count)));
+    std::uint64_t cum = 0;
+    for (unsigned e = 0; e < kExp; ++e) {
+      for (unsigned s = 0; s < kSub; ++s) {
+        cum += buckets[e][s];
+        if (cum > rank) {
+          if (e == 0) return s;
+          const std::uint64_t lo = 1ull << e;
+          if (e < 6) return lo + s;
+          const std::uint64_t w = lo >> 5;
+          return lo + s * w + w / 2;
+        }
+      }
+    }
+    return 0;
+  }
+};
+
+/// What one child process reports back over its pipe (POD, fixed size).
+struct NetReport {
+  std::uint64_t ok = 0, overloaded = 0, expired = 0, failed = 0;
+  std::uint64_t elapsed_ns = 0;
+  LatHist hist;
+};
+
+void encode_request_v2(std::vector<std::uint8_t>& out, const Request& req,
+                       std::uint64_t id, unsigned deadline_ms) {
+  namespace wire = otb::service::wire;
+  wire::put<std::uint32_t>(
+      out, static_cast<std::uint32_t>(otb::service::kNetWireV2HeaderLen +
+                                      req.steps.size() *
+                                          otb::service::kNetWireStepLen));
+  wire::put<std::uint8_t>(out, otb::service::kNetWireV2);
+  wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(req.steps.size()));
+  wire::put<std::uint32_t>(out, deadline_ms);
+  wire::put<std::uint64_t>(out, id);
+  for (const otb::service::Step& s : req.steps) {
+    wire::put<std::uint8_t>(out, s.structure);
+    wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(s.verb));
+    wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(
+                                     (s.required ? 1u : 0u) |
+                                     (s.has_expect ? 2u : 0u)));
+    wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(s.key_from));
+    wire::put<std::uint8_t>(out, static_cast<std::uint8_t>(s.value_from));
+    wire::put<std::int64_t>(out, s.key);
+    wire::put<std::int64_t>(out, s.value);
+    wire::put<std::int64_t>(out, s.expect);
+  }
+}
+
+/// One connection of the fleet.  `sent_ns` carries send timestamps in FIFO
+/// order — the server guarantees per-connection response order, so RTT
+/// matching is a pop from the front.
+struct FleetConn {
+  int fd = -1;
+  std::vector<std::uint8_t> out;
+  std::size_t out_off = 0;
+  std::vector<std::uint8_t> in;
+  std::deque<std::uint64_t> sent_ns;
+  double next_arrival = 0;  // open mode
+  bool submitting = true;
+};
+
+/// Child-process body: drive `nconns` loopback connections through a
+/// nonblocking poll() loop for --duration-ms, then drain and report.
+/// Sockets must be nonblocking: under server backpressure a blocking
+/// client deadlocks (client stuck in send, server not reading).
+int net_child(const Flags& f, std::uint16_t port, unsigned proc,
+              unsigned nconns, int pipe_fd) {
+  const auto pools = shard_key_pools(f);
+  otb::Xorshift rng{f.seed * 7919 + proc * 131 + 1};
+  std::vector<FleetConn> conns(nconns);
+  for (auto& c : conns) {
+    c.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (c.fd < 0) return 3;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    // Blocking connect completes out of the listen backlog even before the
+    // server's accept loop first runs (the fleet forks pre-start).
+    if (::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return 3;
+    }
+    int one = 1;
+    ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const int fl = ::fcntl(c.fd, F_GETFL);
+    ::fcntl(c.fd, F_SETFL, fl | O_NONBLOCK);
+  }
+
+  NetReport rep;
+  std::uint64_t next_id = 1;
+  const bool open = f.mode == "open";
+  const double per_conn_rate = f.rate / double(f.clients);
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t t_end = t0 + std::uint64_t{f.duration_ms} * 1'000'000ull;
+  for (auto& c : conns) c.next_arrival = double(t0);
+
+  const auto submit_one = [&](FleetConn& c) {
+    encode_request_v2(c.out, sharded_kv_request(rng, f, pools), next_id++,
+                      f.deadline_ms);
+    c.sent_ns.push_back(now_ns());
+  };
+  const auto top_up = [&](FleetConn& c) {
+    if (!c.submitting) return;
+    const std::uint64_t now = now_ns();
+    if (now >= t_end) {
+      c.submitting = false;
+      return;
+    }
+    if (open) {
+      while (c.next_arrival <= double(now)) {
+        submit_one(c);
+        const double u =
+            (double(rng.next_bounded(1u << 30)) + 1.0) / double(1u << 30);
+        c.next_arrival += -std::log(u) / per_conn_rate * 1e9;
+        if (c.next_arrival > double(t_end)) {
+          c.submitting = false;
+          break;
+        }
+      }
+    } else {
+      while (c.sent_ns.size() < f.window) submit_one(c);
+    }
+  };
+  const auto flush = [&](FleetConn& c) -> bool {
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      return false;
+    }
+    if (c.out_off == c.out.size()) {
+      c.out.clear();
+      c.out_off = 0;
+    }
+    return true;
+  };
+  const auto drain_in = [&](FleetConn& c) -> bool {
+    std::uint8_t buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.insert(c.in.end(), buf, buf + n);
+        continue;
+      }
+      if (n == 0) return false;  // server closed on us
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    namespace wire = otb::service::wire;
+    std::size_t off = 0;
+    while (c.in.size() - off >= 4) {
+      const std::uint32_t len = wire::get<std::uint32_t>(c.in.data() + off);
+      if (c.in.size() - off < 4 + len) break;
+      const std::uint8_t* p = c.in.data() + off + 4;
+      if (len < 16 || p[0] != otb::service::kNetWireV2) return false;
+      if (!c.sent_ns.empty()) {
+        const std::uint64_t rtt = now_ns() - c.sent_ns.front();
+        c.sent_ns.pop_front();
+        switch (static_cast<SvcStatus>(p[9])) {
+          case SvcStatus::kOk:
+            rep.ok += 1;
+            rep.hist.add(rtt);
+            break;
+          case SvcStatus::kOverloaded: rep.overloaded += 1; break;
+          case SvcStatus::kExpired: rep.expired += 1; break;
+          default: rep.failed += 1; break;
+        }
+      }
+      off += 4 + len;
+    }
+    c.in.erase(c.in.begin(), c.in.begin() + static_cast<std::ptrdiff_t>(off));
+    return true;
+  };
+
+  std::vector<pollfd> fds;
+  for (;;) {
+    bool idle = true;
+    for (auto& c : conns) {
+      if (c.fd < 0) continue;
+      top_up(c);
+      if (!flush(c)) {
+        rep.failed += c.sent_ns.size();  // responses lost with the socket
+        ::close(c.fd);
+        c.fd = -1;
+        continue;
+      }
+      if (c.submitting || !c.sent_ns.empty() || c.out_off < c.out.size()) {
+        idle = false;
+      }
+    }
+    if (idle) break;
+    if (now_ns() > t_end + 30'000'000'000ull) break;  // shutdown safety net
+    fds.clear();
+    for (auto& c : conns) {
+      if (c.fd < 0) continue;
+      short ev = POLLIN;
+      if (c.out_off < c.out.size()) ev |= POLLOUT;
+      fds.push_back({c.fd, ev, 0});
+    }
+    int timeout_ms = 100;
+    if (open) {
+      // Wake for the earliest pending arrival instead of spinning.
+      double next = double(t_end);
+      for (const auto& c : conns) {
+        if (c.fd >= 0 && c.submitting) next = std::min(next, c.next_arrival);
+      }
+      const double now = double(now_ns());
+      timeout_ms = next <= now
+                       ? 0
+                       : std::min(100, static_cast<int>((next - now) / 1e6) + 1);
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    std::size_t i = 0;
+    for (auto& c : conns) {
+      if (c.fd < 0) continue;
+      const short re = fds[i++].revents;
+      if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        if (!drain_in(c)) {
+          rep.failed += c.sent_ns.size();
+          ::close(c.fd);
+          c.fd = -1;
+          continue;
+        }
+      }
+      if ((re & POLLOUT) != 0) {
+        if (!flush(c)) {
+          rep.failed += c.sent_ns.size();
+          ::close(c.fd);
+          c.fd = -1;
+        }
+      }
+    }
+  }
+  rep.elapsed_ns = now_ns() - t0;
+  for (auto& c : conns) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  std::size_t put = 0;
+  const char* bytes = reinterpret_cast<const char*>(&rep);
+  while (put < sizeof(rep)) {
+    const ssize_t n = ::write(pipe_fd, bytes + put, sizeof(rep) - put);
+    if (n <= 0) return 4;
+    put += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+void print_summary(const Flags& f, const ServiceConfig& cfg,
+                   const char* transport, std::uint64_t ok,
+                   std::uint64_t overloaded, std::uint64_t expired,
+                   std::uint64_t failed, double secs, std::uint64_t p50_ns,
+                   std::uint64_t p99_ns) {
+  const std::uint64_t total = ok + overloaded + expired + failed;
+  std::printf(
+      "mode=%s scenario=%s script_len=%u workers=%u clients=%u batch_max=%u "
+      "rate=%.0f window=%u "
+      "deadline_ms=%u duration_s=%.2f requests=%llu ok=%llu overloaded=%llu "
+      "expired=%llu failed=%llu ok_per_sec=%.0f p50_us=%.1f p99_us=%.1f "
+      "wal=%s shards=%u processes=%u net_threads=%u transport=%s\n",
+      f.mode.c_str(), f.scenario.c_str(), f.script_len, f.workers, f.clients,
+      f.batch_max, f.rate, f.window, f.deadline_ms, secs,
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(overloaded),
+      static_cast<unsigned long long>(expired),
+      static_cast<unsigned long long>(failed),
+      secs > 0 ? double(ok) / secs : 0.0, double(p50_ns) * 1e-3,
+      double(p99_ns) * 1e-3,
+      f.wal_dir.empty()
+          ? "off"
+          : std::string(otb::service::to_string(cfg.wal_fsync)).c_str(),
+      f.shards, f.processes, f.processes != 0 ? f.net_threads : 0, transport);
+}
+
+/// Net mode: bind, fork the fleet, start the service, serve, aggregate.
+/// The fork MUST precede svc.start() — forking a process with running
+/// threads can copy a held malloc/futex lock into the child.
+template <typename Svc>
+int run_net(Svc& svc, const Flags& f, const ServiceConfig& cfg) {
+  otb::service::NetServerConfig ncfg = otb::service::NetServerConfig::from_env();
+  ncfg.net_threads = f.net_threads;
+  otb::service::BasicNetServer<Svc> server(
+      svc, static_cast<std::uint16_t>(f.port), ncfg);
+  if (!server.listening()) {
+    std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", f.port);
+    return 1;
+  }
+  const std::uint16_t port = server.bound_port();
+  const unsigned procs = std::max(1u, f.processes);
+  std::vector<pid_t> pids;
+  std::vector<int> rfds;
+  for (unsigned p = 0; p < procs; ++p) {
+    const unsigned nconns =
+        f.clients / procs + (p < f.clients % procs ? 1 : 0);
+    if (nconns == 0) continue;
+    int pfd[2];
+    if (::pipe(pfd) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      // Drop every inherited descriptor except stdio and the report pipe:
+      // the child must not keep the parent's WAL-directory flock (or its
+      // listen socket) alive past a SIGKILL of the server — the crash-cycle
+      // recover would find the lock still held by the orphaned fleet.
+      DIR* fds = ::opendir("/proc/self/fd");
+      if (fds != nullptr) {
+        const int dfd = ::dirfd(fds);
+        std::vector<int> doomed;  // close after the walk: closing mutates
+        while (dirent* e = ::readdir(fds)) {  // the very directory iterated
+          char* end = nullptr;
+          const long fd = std::strtol(e->d_name, &end, 10);
+          if (end == e->d_name || *end != '\0') continue;
+          if (fd > 2 && fd != pfd[1] && fd != dfd) {
+            doomed.push_back(static_cast<int>(fd));
+          }
+        }
+        ::closedir(fds);
+        for (const int fd : doomed) ::close(fd);
+      }
+      ::_exit(net_child(f, port, p, nconns, pfd[1]));
+    }
+    ::close(pfd[1]);
+    pids.push_back(pid);
+    rfds.push_back(pfd[0]);
+  }
+  svc.start();
+  std::thread server_thread([&] { server.run(); });
+  bool trouble = false;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) trouble = true;
+  }
+  server.request_stop();
+  server_thread.join();  // run() drains and stops the service
+
+  NetReport agg;
+  for (const int fd : rfds) {
+    NetReport r;
+    std::size_t got = 0;
+    char* bytes = reinterpret_cast<char*>(&r);
+    while (got < sizeof(r)) {
+      const ssize_t n = ::read(fd, bytes + got, sizeof(r) - got);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    if (got != sizeof(r)) {
+      trouble = true;
+      continue;
+    }
+    agg.ok += r.ok;
+    agg.overloaded += r.overloaded;
+    agg.expired += r.expired;
+    agg.failed += r.failed;
+    agg.elapsed_ns = std::max(agg.elapsed_ns, r.elapsed_ns);
+    agg.hist.merge(r.hist);
+  }
+  print_summary(f, cfg, "net", agg.ok, agg.overloaded, agg.expired, agg.failed,
+                double(agg.elapsed_ns) * 1e-9, agg.hist.percentile(0.50),
+                agg.hist.percentile(0.99));
+  if (trouble) {
+    std::fprintf(stderr, "net fleet: a child process failed\n");
+    return 1;
+  }
+  return agg.ok == 0 ? 1 : 0;
+}
+
+/// Drive one configured service (plain or sharded) to completion and print
+/// the summary line.  In-process unless --processes says socket fleet.
+template <typename Svc>
+int drive(Svc& svc, const Flags& f, const RequestGen& gen,
+          const ServiceConfig& cfg) {
+  if (f.processes != 0) return run_net(svc, f, cfg);
+  svc.start();
+  const std::uint64_t t0 = now_ns();
+  Tally t =
+      f.mode == "open" ? run_open(svc, f, gen) : run_closed(svc, f, gen);
+  const double secs = double(now_ns() - t0) * 1e-9;
+  svc.stop();
+  print_summary(f, cfg, "inproc", t.ok, t.overloaded, t.expired, t.failed,
+                secs, percentile_ns(t.latencies_ns, 0.50),
+                percentile_ns(t.latencies_ns, 0.99));
+  return t.ok == 0 ? 1 : 0;  // a load run that commits nothing is broken
+}
+
+}  // namespace
+
+namespace {
+
+void print_recovery_line(const otb::service::RecoveryReport& r, int shard) {
+  if (shard >= 0) std::printf("recover shard=%d ", shard);
+  else std::printf("recover ");
+  std::printf(
+      "status=%s checkpoint_seq=%llu last_seq=%llu records=%llu "
+      "ops=%llu segments=%llu truncated_tail=%d detail=\"%s\"\n",
+      std::string(otb::service::to_string(r.status)).c_str(),
+      static_cast<unsigned long long>(r.checkpoint_seq),
+      static_cast<unsigned long long>(r.last_seq),
+      static_cast<unsigned long long>(r.records_replayed),
+      static_cast<unsigned long long>(r.ops_replayed),
+      static_cast<unsigned long long>(r.segments_scanned),
+      r.truncated_tail ? 1 : 0, r.detail.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   otb::bench::install_metrics_json_exporter(argc, argv);
   const Flags f = parse(argc, argv);
-
-  Workload w = make_workload(f);
 
   ServiceConfig cfg;
   cfg.workers = f.workers;
@@ -401,53 +951,56 @@ int main(int argc, char** argv) {
                  f.wal_fsync.c_str());
     return 2;
   }
+
+  if (f.shards > 1) {
+    // Sharded planes: kv only (parse() enforces it) with every script
+    // confined to one shard's key pool, so the router never rejects and
+    // the run measures plane parallelism, not rejection throughput.
+    std::vector<std::unique_ptr<otb::tx::OtbListMap>> maps;
+    std::vector<otb::service::Targets> targets;
+    for (unsigned s = 0; s < f.shards; ++s) {
+      maps.push_back(std::make_unique<otb::tx::OtbListMap>());
+      targets.push_back(otb::service::Targets::standard(maps.back().get()));
+    }
+    const auto pools = shard_key_pools(f);
+    const auto seed_shard = [&](std::size_t s) {
+      for (std::int64_t k = 0; k < f.key_range; k += 2) {
+        if (shard_of_key(k, f.shards) == s) maps[s]->put_seq(k, k);
+      }
+    };
+    ShardedService svc(std::move(targets), cfg);
+    if (f.recover) {
+      const auto reports = svc.recover(seed_shard);
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        print_recovery_line(reports[i], static_cast<int>(i));
+      }
+      for (const auto& r : reports) {
+        if (!r.ok()) return otb::service::recovery_exit_code(r.status);
+      }
+    } else {
+      for (std::size_t s = 0; s < f.shards; ++s) seed_shard(s);
+    }
+    const RequestGen gen = [&f, &pools](otb::Xorshift& rng) {
+      Request req = sharded_kv_request(rng, f, pools);
+      if (f.deadline_ms != 0) {
+        req.deadline_ns =
+            now_ns() + std::uint64_t{f.deadline_ms} * 1'000'000ull;
+      }
+      return req;
+    };
+    return drive(svc, f, gen, cfg);
+  }
+
+  Workload w = make_workload(f);
   Service svc(w.targets, cfg);
   if (f.recover) {
     // Structures start empty; recovery re-seeds through the same closure
     // the fresh run used, then replays the log tail on top.
     const otb::service::RecoveryReport r = svc.recover(w.seed);
-    std::printf(
-        "recover status=%s checkpoint_seq=%llu last_seq=%llu records=%llu "
-        "ops=%llu segments=%llu truncated_tail=%d detail=\"%s\"\n",
-        std::string(otb::service::to_string(r.status)).c_str(),
-        static_cast<unsigned long long>(r.checkpoint_seq),
-        static_cast<unsigned long long>(r.last_seq),
-        static_cast<unsigned long long>(r.records_replayed),
-        static_cast<unsigned long long>(r.ops_replayed),
-        static_cast<unsigned long long>(r.segments_scanned),
-        r.truncated_tail ? 1 : 0, r.detail.c_str());
+    print_recovery_line(r, -1);
     if (!r.ok()) return otb::service::recovery_exit_code(r.status);
   } else {
     w.seed();
   }
-  svc.start();
-
-  const std::uint64_t t0 = now_ns();
-  Tally t =
-      f.mode == "open" ? run_open(svc, f, w.gen) : run_closed(svc, f, w.gen);
-  const double secs = double(now_ns() - t0) * 1e-9;
-  svc.stop();
-
-  const std::uint64_t total = t.ok + t.overloaded + t.expired + t.failed;
-  const std::uint64_t p50 = percentile_ns(t.latencies_ns, 0.50);
-  const std::uint64_t p99 = percentile_ns(t.latencies_ns, 0.99);
-  std::printf(
-      "mode=%s scenario=%s script_len=%u workers=%u clients=%u batch_max=%u "
-      "rate=%.0f window=%u "
-      "deadline_ms=%u duration_s=%.2f requests=%llu ok=%llu overloaded=%llu "
-      "expired=%llu failed=%llu ok_per_sec=%.0f p50_us=%.1f p99_us=%.1f "
-      "wal=%s\n",
-      f.mode.c_str(), f.scenario.c_str(), f.script_len, f.workers, f.clients,
-      f.batch_max, f.rate, f.window,
-      f.deadline_ms, secs, static_cast<unsigned long long>(total),
-      static_cast<unsigned long long>(t.ok),
-      static_cast<unsigned long long>(t.overloaded),
-      static_cast<unsigned long long>(t.expired),
-      static_cast<unsigned long long>(t.failed),
-      secs > 0 ? double(t.ok) / secs : 0.0, double(p50) * 1e-3,
-      double(p99) * 1e-3,
-      f.wal_dir.empty()
-          ? "off"
-          : std::string(otb::service::to_string(cfg.wal_fsync)).c_str());
-  return t.ok == 0 ? 1 : 0;  // a load run that commits nothing is broken
+  return drive(svc, f, w.gen, cfg);
 }

@@ -1,5 +1,5 @@
 // metrics_smoke checker: runs micro_ops (path in argv[1]) with
-// --metrics-json and validates the dump against the strict otb.metrics/6
+// --metrics-json and validates the dump against the strict otb.metrics/7
 // parser plus the acceptance invariants — every BM_StmReadWrite algorithm
 // and the standalone OTB runtime must report attempts and commits, the
 // timed domains must carry attempt-phase histograms, and every histogram's
@@ -57,6 +57,67 @@ void check_histograms(const std::string& domain,
   check_series("mv_chain_len", s.mv_chain_len);
 }
 
+/// A sink whose counters say it belongs to a service plane (shard).
+bool is_service_domain(const otb::metrics::SinkSnapshot& s) {
+  using otb::metrics::CounterId;
+  return s.counter(CounterId::kSvcEnqueued) != 0 ||
+         s.counter(CounterId::kSvcBatches) != 0 ||
+         s.counter(CounterId::kSvcReadOnly) != 0;
+}
+
+/// The service-plane ledger identities, applied to one shard's sink or to
+/// an aggregate sum across shards (the identities are linear, so the sum
+/// must satisfy them whenever every addend does).
+void check_service_ledger(const std::string& name,
+                          const otb::metrics::SinkSnapshot& s) {
+  using otb::metrics::CounterId;
+  // A service that served only snapshot-route read-only scripts
+  // legitimately enqueued and batched nothing.
+  const bool read_only_only = s.counter(CounterId::kSvcEnqueued) == 0 &&
+                              s.counter(CounterId::kSvcReadOnly) != 0;
+  if (!read_only_only) {
+    if (s.counter(CounterId::kSvcEnqueued) == 0) fail(name + ": svc_enqueued == 0");
+    if (s.counter(CounterId::kSvcBatches) == 0) fail(name + ": svc_batches == 0");
+  }
+  if (s.counter(CounterId::kSvcEnqueued) !=
+      s.batch_size.total + s.counter(CounterId::kSvcExpired)) {
+    fail(name + ": enqueued " +
+         std::to_string(s.counter(CounterId::kSvcEnqueued)) +
+         " != batch_size total " + std::to_string(s.batch_size.total) +
+         " + expired " + std::to_string(s.counter(CounterId::kSvcExpired)));
+  }
+  // Snapshot-route ledger: read-only scripts bypass the queue entirely,
+  // and each one resolves as exactly one snapshot read or one version
+  // miss (the fallback) — nothing is double-counted or dropped.
+  if (s.counter(CounterId::kSvcReadOnly) !=
+      s.counter(CounterId::kMvSnapshotReads) +
+          s.counter(CounterId::kMvVersionMisses)) {
+    fail(name + ": svc_read_only " +
+         std::to_string(s.counter(CounterId::kSvcReadOnly)) +
+         " != mv_snapshot_reads " +
+         std::to_string(s.counter(CounterId::kMvSnapshotReads)) +
+         " + mv_version_misses " +
+         std::to_string(s.counter(CounterId::kMvVersionMisses)));
+  }
+}
+
+/// A shard's own ledger domain: "otb.service" (single plane) or
+/// "otb.service.s<i>" (sharded).  The adapter domains ("otb.service.net",
+/// "otb.service.router") carry no svc_* ledger and stay out of the
+/// aggregate.
+bool is_shard_ledger_domain(const std::string& name) {
+  if (name == "otb.service") return true;
+  const std::string prefix = "otb.service.s";
+  if (name.size() <= prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  return true;
+}
+
 void check_domain(const otb::metrics::Snapshot& snap, const std::string& name,
                   bool want_phase_timing) {
   using otb::metrics::CounterId;
@@ -66,43 +127,29 @@ void check_domain(const otb::metrics::Snapshot& snap, const std::string& name,
     fail("domain missing from dump: " + name);
     return;
   }
-  // Service-plane domains (otb.service) don't run transactions themselves —
+  // Service-plane domains (otb.service*) don't run transactions themselves —
   // their tx work lands in otb.tx — so they get service invariants instead
   // of the attempts/commits ones, chief among them the no-lost-completions
   // identity: every admitted request was either executed in a committed
   // batch or expired (rejected requests are never enqueued).
-  const bool service_domain = s->counter(CounterId::kSvcEnqueued) != 0 ||
-                              s->counter(CounterId::kSvcBatches) != 0 ||
-                              s->counter(CounterId::kSvcReadOnly) != 0;
+  // Adapter domains carry only their own counters (net_*, svc_cross_shard):
+  // no transactions, no svc_* ledger.  The net domain must at least have
+  // accepted a connection to count as live; the router legitimately stays
+  // all-zero when no script ever crossed a shard boundary.
+  if (name == "otb.service.net") {
+    if (s->counter(CounterId::kNetAccepts) == 0) {
+      fail(name + ": net_accepts == 0");
+    }
+    check_histograms(name, *s);
+    return;
+  }
+  if (name == "otb.service.router") {
+    check_histograms(name, *s);
+    return;
+  }
+  const bool service_domain = is_service_domain(*s);
   if (service_domain) {
-    // A service that served only snapshot-route read-only scripts
-    // legitimately enqueued and batched nothing.
-    const bool read_only_only = s->counter(CounterId::kSvcEnqueued) == 0 &&
-                                s->counter(CounterId::kSvcReadOnly) != 0;
-    if (!read_only_only) {
-      if (s->counter(CounterId::kSvcEnqueued) == 0) fail(name + ": svc_enqueued == 0");
-      if (s->counter(CounterId::kSvcBatches) == 0) fail(name + ": svc_batches == 0");
-    }
-    if (s->counter(CounterId::kSvcEnqueued) !=
-        s->batch_size.total + s->counter(CounterId::kSvcExpired)) {
-      fail(name + ": enqueued " +
-           std::to_string(s->counter(CounterId::kSvcEnqueued)) +
-           " != batch_size total " + std::to_string(s->batch_size.total) +
-           " + expired " + std::to_string(s->counter(CounterId::kSvcExpired)));
-    }
-    // Snapshot-route ledger: read-only scripts bypass the queue entirely,
-    // and each one resolves as exactly one snapshot read or one version
-    // miss (the fallback) — nothing is double-counted or dropped.
-    if (s->counter(CounterId::kSvcReadOnly) !=
-        s->counter(CounterId::kMvSnapshotReads) +
-            s->counter(CounterId::kMvVersionMisses)) {
-      fail(name + ": svc_read_only " +
-           std::to_string(s->counter(CounterId::kSvcReadOnly)) +
-           " != mv_snapshot_reads " +
-           std::to_string(s->counter(CounterId::kMvSnapshotReads)) +
-           " + mv_version_misses " +
-           std::to_string(s->counter(CounterId::kMvVersionMisses)));
-    }
+    check_service_ledger(name, *s);
   } else {
     if (s->counter(CounterId::kAttempts) == 0) fail(name + ": attempts == 0");
     if (s->counter(CounterId::kCommits) == 0) fail(name + ": commits == 0");
@@ -146,6 +193,22 @@ int validate_dump(int argc, char** argv) {
     check_domain(*snap, argv[i], /*want_phase_timing=*/false);
   }
   for (const auto& [name, s] : snap->domains) check_histograms(name, s);
+  // Sharded runs: sum the per-shard ledger domains and hold the aggregate
+  // to the same identities — a cross-shard accounting leak shows up here
+  // even when every individual shard balances.
+  otb::metrics::SinkSnapshot agg;
+  int shard_domains = 0;
+  for (const auto& [name, s] : snap->domains) {
+    if (is_shard_ledger_domain(name)) {
+      agg += s;
+      ++shard_domains;
+    }
+  }
+  if (shard_domains >= 2 && is_service_domain(agg)) {
+    check_service_ledger("otb.service<aggregate of " +
+                             std::to_string(shard_domains) + ">",
+                         agg);
+  }
   if (g_failures != 0) {
     std::fprintf(stderr, "%d check(s) failed; dump:\n%s\n", g_failures,
                  snap->to_table().c_str());

@@ -2,7 +2,7 @@
 # Record-and-compare performance baseline runner: executes the Chapter-3
 # figure harnesses (fig3.3-3.7) and the micro_ops suite at fixed thread
 # counts and durations, validates every --metrics-json dump with the strict
-# otb.metrics/6 checker, and merges the dumps into one baseline file
+# otb.metrics/7 checker, and merges the dumps into one baseline file
 # (BENCH_otb_baseline.json at the repo root by default).
 #
 # By default the output is a record: absolute numbers are machine-bound, so
@@ -124,6 +124,33 @@ for mode in group always; do
   "$CHECK" --validate "$TMP/$name.json" otb.service otb.tx > /dev/null
   run_names+=("$name")
 done
+
+# Network front end over real loopback sockets: the epoll server with a
+# forked multi-process client fleet (closed loop, pipelined v2 frames).
+# load_service_net is the single-plane arm; load_service_sharded runs the
+# same fleet against four independent service planes behind the key-hash
+# router (docs/SERVICE.md "Network server & sharding").  The sharded dump
+# must carry all four per-shard ledger domains plus the net domain; the
+# validator also checks the per-shard identities and their aggregate.
+name="load_service_net"
+echo "== $name (net fleet, ms=$OTB_BENCH_MS)"
+"$BENCH_DIR/load_service" --mode=closed --script-len=1 \
+  --duration-ms="$OTB_BENCH_MS" --clients=8 --processes=2 --net-threads=1 \
+  --workers=2 --window=64 --batch-max=16 --key-range=256 \
+  --metrics-json="$TMP/$name.json" > "$TMP/$name.out"
+"$CHECK" --validate "$TMP/$name.json" otb.service otb.service.net otb.tx \
+  > /dev/null
+run_names+=("$name")
+
+name="load_service_sharded"
+echo "== $name (net fleet, 4 shards, ms=$OTB_BENCH_MS)"
+"$BENCH_DIR/load_service" --mode=closed --script-len=1 --shards=4 \
+  --duration-ms="$OTB_BENCH_MS" --clients=8 --processes=2 --net-threads=1 \
+  --workers=2 --window=64 --batch-max=16 --key-range=256 \
+  --metrics-json="$TMP/$name.json" > "$TMP/$name.out"
+"$CHECK" --validate "$TMP/$name.json" otb.service.s0 otb.service.s1 \
+  otb.service.s2 otb.service.s3 otb.service.net otb.tx > /dev/null
+run_names+=("$name")
 
 # micro_ops: transactional micro-latencies plus the validation-scaling
 # sweep (the sweep's fast/full counters land in the otb.tx domain).

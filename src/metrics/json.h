@@ -1,8 +1,8 @@
 // JSON export/import for snapshots.
 //
-// Schema ("otb.metrics/6"):
+// Schema ("otb.metrics/7"):
 //   {
-//     "schema": "otb.metrics/6",
+//     "schema": "otb.metrics/7",
 //     "domains": {
 //       "stm.NOrec": {
 //         "counters": { "commits": 12, "attempts": 14, ... },   // all ids
@@ -33,6 +33,9 @@
 // /6 over /5: the multi-version read surface — mv_snapshot_reads /
 // mv_version_misses / mv_versions_reclaimed / svc_read_only counters and
 // the "mv_chain_len" series (src/otb/mv.h).
+// /7 over /6: the network front end + sharding surface — svc_cross_shard
+// (shard-router fail-closed rejections), net_accepts / net_frames_in /
+// net_backpressure (epoll server accounting, src/service/net.h).
 //
 // The importer is deliberately strict — every counter/reason/phase key must
 // be present and no unknown keys are allowed — which is exactly what the
@@ -50,7 +53,7 @@
 
 namespace otb::metrics {
 
-inline constexpr std::string_view kJsonSchemaId = "otb.metrics/6";
+inline constexpr std::string_view kJsonSchemaId = "otb.metrics/7";
 
 namespace detail {
 

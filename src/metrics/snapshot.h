@@ -72,9 +72,21 @@ enum class CounterId : unsigned {
   kMvVersionMisses,
   kMvVersionsReclaimed,
   kSvcReadOnly,
+  // Network front end + key-space sharding (schema otb.metrics/7):
+  // svc_cross_shard counts scripts rejected kFailed at the shard router
+  // because their key set spans shards or is unroutable under hash
+  // partitioning (keyless verbs, ranges, runtime-bound keys — see
+  // docs/SERVICE.md "Network server & sharding"); net_accepts counts
+  // connections accepted by the epoll server, net_frames_in decoded
+  // request frames, net_backpressure transitions of a connection into the
+  // paused state (reading suspended at a high-water mark).
+  kSvcCrossShard,
+  kNetAccepts,
+  kNetFramesIn,
+  kNetBackpressure,
 };
 
-inline constexpr std::size_t kCounterCount = 29;
+inline constexpr std::size_t kCounterCount = 33;
 
 constexpr std::string_view to_string(CounterId id) {
   switch (id) {
@@ -136,6 +148,14 @@ constexpr std::string_view to_string(CounterId id) {
       return "mv_versions_reclaimed";
     case CounterId::kSvcReadOnly:
       return "svc_read_only";
+    case CounterId::kSvcCrossShard:
+      return "svc_cross_shard";
+    case CounterId::kNetAccepts:
+      return "net_accepts";
+    case CounterId::kNetFramesIn:
+      return "net_frames_in";
+    case CounterId::kNetBackpressure:
+      return "net_backpressure";
   }
   return "?";
 }

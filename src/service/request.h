@@ -228,6 +228,13 @@ inline constexpr std::size_t kMaxStepsLimit = 64;
 struct Request {
   SmallVec<Step, kInlineSteps> steps;
   std::uint64_t deadline_ns = 0;  // absolute (now_ns clock); 0 = no deadline
+  // Completion notification: invoked by `complete()` from whichever thread
+  // completes the request, after the terminal status is published and
+  // waiters are woken.  The hook must not block — the net adapter uses it
+  // to flag the connection dirty and poke an eventfd so responses flush
+  // without a polling tick.  Null for ordinary futures-only clients.
+  void (*on_complete)(void*) = nullptr;
+  void* on_complete_arg = nullptr;
 
   Request() = default;
   /// Single-op convenience: `svc.submit(map_get(7))`.
@@ -386,8 +393,13 @@ class ResponseFuture {
 /// store, wake any waiter, then drop the completing side's reference.
 inline void complete(Pending* p, SvcStatus s) {
   p->complete_ns = now_ns();
+  void (*hook)(void*) = p->req.on_complete;
+  void* hook_arg = p->req.on_complete_arg;
   p->status.store(s, std::memory_order_release);
   p->status.notify_all();
+  // The hook runs before release(): the completing side's reference is the
+  // only thing keeping `p` alive if the client already dropped its future.
+  if (hook != nullptr) hook(hook_arg);
   p->release();
 }
 

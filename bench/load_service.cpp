@@ -146,6 +146,8 @@ struct Flags {
   std::int64_t key_range = 256;
   unsigned read_pct = 60;
   unsigned scan_pct = 0;
+  unsigned hot_pct = 0;  // % of key draws confined to the hot set (0 = uniform)
+  std::int64_t hot_keys = 16;  // hot-set size: keys [0, hot_keys)
   std::uint64_t seed = 42;
   std::string wal_dir;
   std::string wal_fsync = "group";
@@ -183,6 +185,8 @@ Flags parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--key-range", v)) f.key_range = std::stol(v);
     else if (parse_flag(argv[i], "--read-pct", v)) f.read_pct = std::stoul(v);
     else if (parse_flag(argv[i], "--scan-pct", v)) f.scan_pct = std::stoul(v);
+    else if (parse_flag(argv[i], "--hot-pct", v)) f.hot_pct = std::stoul(v);
+    else if (parse_flag(argv[i], "--hot-keys", v)) f.hot_keys = std::stol(v);
     else if (parse_flag(argv[i], "--seed", v)) f.seed = std::stoull(v);
     else if (parse_flag(argv[i], "--wal-dir", v)) f.wal_dir = v;
     else if (parse_flag(argv[i], "--wal-fsync", v)) f.wal_fsync = v;
@@ -195,6 +199,14 @@ Flags parse(int argc, char** argv) {
   }
   if (f.read_pct + f.scan_pct > 100) {
     std::fprintf(stderr, "--read-pct + --scan-pct must be <= 100\n");
+    std::exit(2);
+  }
+  if (f.hot_pct > 100) {
+    std::fprintf(stderr, "--hot-pct must be <= 100\n");
+    std::exit(2);
+  }
+  if (f.hot_keys < 1 || f.hot_keys > f.key_range) {
+    std::fprintf(stderr, "--hot-keys must be in [1, --key-range]\n");
     std::exit(2);
   }
   if (f.shards == 0) f.shards = 1;
@@ -234,11 +246,22 @@ otb::service::Step kv_verb_step(std::uint64_t pick, const Flags& f,
   return map_erase(key);
 }
 
+/// One key draw: uniform over [0, key_range) by default; with --hot-pct,
+/// that fraction of draws is confined to the hot set [0, hot_keys) — the
+/// skewed regime the transaction-fusion contention manager targets (e.g.
+/// --hot-pct=90 --hot-keys=16 puts 90% of ops on 16 keys; ISSUE 10).
+std::int64_t kv_key(otb::Xorshift& rng, const Flags& f) {
+  if (f.hot_pct != 0 && rng.next_bounded(100) < f.hot_pct) {
+    return static_cast<std::int64_t>(
+        rng.next_bounded(static_cast<std::uint64_t>(f.hot_keys)));
+  }
+  return static_cast<std::int64_t>(
+      rng.next_bounded(static_cast<std::uint64_t>(f.key_range)));
+}
+
 otb::service::Step kv_step(otb::Xorshift& rng, const Flags& f) {
   const std::uint64_t pick = rng.next_bounded(100);
-  const auto key = static_cast<std::int64_t>(
-      rng.next_bounded(static_cast<std::uint64_t>(f.key_range)));
-  return kv_verb_step(pick, f, key);
+  return kv_verb_step(pick, f, kv_key(rng, f));
 }
 
 /// The kv workload: --script-len independent steps per atomic script.
@@ -264,8 +287,7 @@ std::vector<std::vector<std::int64_t>> shard_key_pools(const Flags& f) {
 Request sharded_kv_request(otb::Xorshift& rng, const Flags& f,
                            const std::vector<std::vector<std::int64_t>>& pools) {
   if (f.shards <= 1) return next_kv_request(rng, f);
-  const auto k0 = static_cast<std::int64_t>(
-      rng.next_bounded(static_cast<std::uint64_t>(f.key_range)));
+  const std::int64_t k0 = kv_key(rng, f);
   const auto& pool = pools[shard_of_key(k0, f.shards)];
   Request req{kv_verb_step(rng.next_bounded(100), f, k0)};
   for (unsigned i = 1; i < f.script_len; ++i) {

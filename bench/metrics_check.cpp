@@ -1,5 +1,5 @@
 // metrics_smoke checker: runs micro_ops (path in argv[1]) with
-// --metrics-json and validates the dump against the strict otb.metrics/7
+// --metrics-json and validates the dump against the strict otb.metrics/8
 // parser plus the acceptance invariants — every BM_StmReadWrite algorithm
 // and the standalone OTB runtime must report attempts and commits, the
 // timed domains must carry attempt-phase histograms, and every histogram's
@@ -55,6 +55,7 @@ void check_histograms(const std::string& domain,
   check_series("queue_depth", s.queue_depth);
   check_series("batch_size", s.batch_size);
   check_series("mv_chain_len", s.mv_chain_len);
+  check_series("fused_set_size", s.fused_set_size);
 }
 
 /// A sink whose counters say it belongs to a service plane (shard).
@@ -98,6 +99,32 @@ void check_service_ledger(const std::string& name,
          std::to_string(s.counter(CounterId::kMvSnapshotReads)) +
          " + mv_version_misses " +
          std::to_string(s.counter(CounterId::kMvVersionMisses)));
+  }
+  // Fusion ledger (src/service/fusion.h): every union records exactly one
+  // merged-set-size sample, and every union adopted at least one request.
+  // Requests whose ownership moved via fusion still land in the adopter's
+  // batch_size totals, so the enqueued identity above already covers them.
+  if (s.counter(CounterId::kFusionUnions) != s.fused_set_size.count) {
+    fail(name + ": fusion_unions " +
+         std::to_string(s.counter(CounterId::kFusionUnions)) +
+         " != fused_set_size count " +
+         std::to_string(s.fused_set_size.count));
+  }
+  if (s.counter(CounterId::kSvcFused) < s.counter(CounterId::kFusionUnions)) {
+    fail(name + ": svc_fused " +
+         std::to_string(s.counter(CounterId::kSvcFused)) +
+         " < fusion_unions " +
+         std::to_string(s.counter(CounterId::kFusionUnions)));
+  }
+  // Split-retry taxonomy: an actual split of a multi-request batch is one
+  // kind of attempt-budget exhaustion, never more numerous than the
+  // exhaustions themselves.
+  if (s.counter(CounterId::kSvcSplitRetries) >
+      s.counter(CounterId::kSvcBatchSplits)) {
+    fail(name + ": svc_split_retries " +
+         std::to_string(s.counter(CounterId::kSvcSplitRetries)) +
+         " > svc_batch_splits " +
+         std::to_string(s.counter(CounterId::kSvcBatchSplits)));
   }
 }
 

@@ -2,7 +2,7 @@
 # Record-and-compare performance baseline runner: executes the Chapter-3
 # figure harnesses (fig3.3-3.7) and the micro_ops suite at fixed thread
 # counts and durations, validates every --metrics-json dump with the strict
-# otb.metrics/7 checker, and merges the dumps into one baseline file
+# otb.metrics/8 checker, and merges the dumps into one baseline file
 # (BENCH_otb_baseline.json at the repo root by default).
 #
 # By default the output is a record: absolute numbers are machine-bound, so
@@ -106,6 +106,21 @@ for mix in "readmostly:--read-pct=90" "scan:--read-pct=40 --scan-pct=50"; do
   "$CHECK" --validate "$TMP/$name.json" otb.service otb.tx > /dev/null
   run_names+=("$name")
 done
+
+# Hot-key skew (90% of ops on 16 keys): the extreme-contention regime the
+# transaction-fusion contention manager targets (src/service/fusion.h,
+# ISSUE 10) — sharding cannot spread this load, so committed throughput
+# rides on fusing conflicting batches instead of splitting them.  The
+# fusion counters land in the same dump the validator checks.
+name="load_service_hotkey"
+echo "== $name (closed loop, ms=$OTB_BENCH_MS, --hot-pct=90 --hot-keys=16)"
+"$BENCH_DIR/load_service" --mode=closed --script-len=1 \
+  --hot-pct=90 --hot-keys=16 \
+  --duration-ms="$OTB_BENCH_MS" --clients=2 --workers=2 \
+  --window=128 --batch-max=16 --key-range=256 \
+  --metrics-json="$TMP/$name.json" > "$TMP/$name.out"
+"$CHECK" --validate "$TMP/$name.json" otb.service otb.tx > /dev/null
+run_names+=("$name")
 
 # WAL durability overhead: the same closed-loop single-step workload with
 # the write-ahead log under group commit and fsync-per-record

@@ -1,8 +1,8 @@
 // JSON export/import for snapshots.
 //
-// Schema ("otb.metrics/7"):
+// Schema ("otb.metrics/8"):
 //   {
-//     "schema": "otb.metrics/7",
+//     "schema": "otb.metrics/8",
 //     "domains": {
 //       "stm.NOrec": {
 //         "counters": { "commits": 12, "attempts": 14, ... },   // all ids
@@ -17,7 +17,8 @@
 //         "traversals":  { "count": 9, "total_steps": 120, "log2_buckets": [..40..] },
 //         "queue_depth": { "count": 3, "total": 17, "log2_buckets": [..40..] },
 //         "batch_size":  { "count": 3, "total": 21, "log2_buckets": [..40..] },
-//         "mv_chain_len": { "count": 5, "total": 7, "log2_buckets": [..40..] }
+//         "mv_chain_len": { "count": 5, "total": 7, "log2_buckets": [..40..] },
+//         "fused_set_size": { "count": 2, "total": 40, "log2_buckets": [..40..] }
 //       }, ...
 //     }
 //   }
@@ -36,6 +37,9 @@
 // /7 over /6: the network front end + sharding surface — svc_cross_shard
 // (shard-router fail-closed rejections), net_accepts / net_frames_in /
 // net_backpressure (epoll server accounting, src/service/net.h).
+// /8 over /7: the contention-manager / transaction-fusion surface —
+// svc_split_retries / svc_fused / fusion_unions / fusion_fallbacks counters
+// and the "fused_set_size" series (src/service/fusion.h).
 //
 // The importer is deliberately strict — every counter/reason/phase key must
 // be present and no unknown keys are allowed — which is exactly what the
@@ -53,7 +57,7 @@
 
 namespace otb::metrics {
 
-inline constexpr std::string_view kJsonSchemaId = "otb.metrics/7";
+inline constexpr std::string_view kJsonSchemaId = "otb.metrics/8";
 
 namespace detail {
 
@@ -142,6 +146,11 @@ inline void append_sink_json(std::string& out, const SinkSnapshot& s,
   out += "  \"mv_chain_len\": ";
   append_bucketed_json(out, "total", s.mv_chain_len.count, s.mv_chain_len.total,
                        s.mv_chain_len.log2_buckets);
+  out += ",\n";
+  out += indent;
+  out += "  \"fused_set_size\": ";
+  append_bucketed_json(out, "total", s.fused_set_size.count,
+                       s.fused_set_size.total, s.fused_set_size.log2_buckets);
   out += '\n';
   out += indent;
   out += '}';
@@ -271,7 +280,7 @@ inline bool parse_sink(Parser& p, SinkSnapshot& out) {
   if (!p.consume('{')) return false;
   bool got_counters = false, got_aborts = false, got_phases = false;
   bool got_traversals = false, got_queue_depth = false, got_batch_size = false;
-  bool got_mv_chain_len = false;
+  bool got_mv_chain_len = false, got_fused_set_size = false;
   do {
     std::string key;
     if (!p.parse_string(key) || !p.consume(':')) return false;
@@ -328,13 +337,20 @@ inline bool parse_sink(Parser& p, SinkSnapshot& out) {
                           out.mv_chain_len.total,
                           out.mv_chain_len.log2_buckets))
         return false;
+    } else if (key == "fused_set_size" && !got_fused_set_size) {
+      got_fused_set_size = true;
+      if (!parse_bucketed(p, "total", out.fused_set_size.count,
+                          out.fused_set_size.total,
+                          out.fused_set_size.log2_buckets))
+        return false;
     } else {
       return false;
     }
   } while (p.consume(','));
   if (!p.consume('}')) return false;
   return got_counters && got_aborts && got_phases && got_traversals &&
-         got_queue_depth && got_batch_size && got_mv_chain_len;
+         got_queue_depth && got_batch_size && got_mv_chain_len &&
+         got_fused_set_size;
 }
 
 /// Parse one complete snapshot document (the outer `{"schema": ..,

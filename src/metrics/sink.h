@@ -92,6 +92,16 @@ class MetricsSink {
     batch_size_hist_.record(n);
   }
 
+  /// Size of one fused commit unit: the adopter's batch size right after a
+  /// fusion union absorbed a donated batch (src/service/fusion.h).  One
+  /// sample per union, so fused_set_size.count == fusion_unions by
+  /// construction.
+  void record_fused_set_size(std::uint64_t n) noexcept {
+    fused_set_count_.add(1);
+    fused_set_total_.add(n);
+    fused_set_hist_.record(n);
+  }
+
   /// Flush the chain-depth samples one snapshot read accumulated (one
   /// sample per version-chain resolve; `total` is the summed depths).  The
   /// count is derived from the bucket row so the two can never drift.
@@ -136,6 +146,9 @@ class MetricsSink {
     s.mv_chain_len.count = mv_chain_count_.total();
     s.mv_chain_len.total = mv_chain_total_.total();
     s.mv_chain_len.log2_buckets = mv_chain_hist_.buckets();
+    s.fused_set_size.count = fused_set_count_.total();
+    s.fused_set_size.total = fused_set_total_.total();
+    s.fused_set_size.log2_buckets = fused_set_hist_.buckets();
     return s;
   }
 
@@ -156,6 +169,9 @@ class MetricsSink {
     mv_chain_count_.reset();
     mv_chain_total_.reset();
     mv_chain_hist_.reset();
+    fused_set_count_.reset();
+    fused_set_total_.reset();
+    fused_set_hist_.reset();
   }
 
  private:
@@ -175,6 +191,9 @@ class MetricsSink {
   Counter mv_chain_count_{};
   Counter mv_chain_total_{};
   Histogram mv_chain_hist_{};
+  Counter fused_set_count_{};
+  Counter fused_set_total_{};
+  Histogram fused_set_hist_{};
 };
 
 }  // namespace otb::metrics

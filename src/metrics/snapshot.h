@@ -84,9 +84,23 @@ enum class CounterId : unsigned {
   kNetAccepts,
   kNetFramesIn,
   kNetBackpressure,
+  // Contention-manager / transaction-fusion surface (schema otb.metrics/8,
+  // src/service/fusion.h): svc_split_retries counts the split-retry events
+  // that actually divided a multi-request batch (a subset of the
+  // svc_batch_splits attempt-budget exhaustions, which also cover singleton
+  // re-runs); svc_fused counts requests whose ownership moved to another
+  // worker's commit unit via fusion; fusion_unions counts the commit-unit
+  // merges themselves (one per adopted batch, so svc_fused >=
+  // fusion_unions); fusion_fallbacks counts donated batches nobody adopted
+  // before the donor's spin budget lapsed — the batch fell back to
+  // split-retry.
+  kSvcSplitRetries,
+  kSvcFused,
+  kFusionUnions,
+  kFusionFallbacks,
 };
 
-inline constexpr std::size_t kCounterCount = 33;
+inline constexpr std::size_t kCounterCount = 37;
 
 constexpr std::string_view to_string(CounterId id) {
   switch (id) {
@@ -156,6 +170,14 @@ constexpr std::string_view to_string(CounterId id) {
       return "net_frames_in";
     case CounterId::kNetBackpressure:
       return "net_backpressure";
+    case CounterId::kSvcSplitRetries:
+      return "svc_split_retries";
+    case CounterId::kSvcFused:
+      return "svc_fused";
+    case CounterId::kFusionUnions:
+      return "fusion_unions";
+    case CounterId::kFusionFallbacks:
+      return "fusion_fallbacks";
   }
   return "?";
 }
@@ -239,6 +261,10 @@ struct SinkSnapshot {
   // Version-chain entries inspected per resolve on the snapshot-read path
   // (1 == newest version matched; mean = total / count).
   SeriesSnapshot mv_chain_len{};
+  // Merged commit-unit size after each fusion union: one sample per
+  // adoption, valued at the adopter's batch size post-merge.  Identity:
+  // fused_set_size.count == fusion_unions.
+  SeriesSnapshot fused_set_size{};
 
   std::uint64_t counter(CounterId id) const { return counters[index(id)]; }
   std::uint64_t aborts_for(AbortReason r) const { return aborts[index(r)]; }
@@ -268,10 +294,13 @@ struct SinkSnapshot {
     batch_size.total += o.batch_size.total;
     mv_chain_len.count += o.mv_chain_len.count;
     mv_chain_len.total += o.mv_chain_len.total;
+    fused_set_size.count += o.fused_set_size.count;
+    fused_set_size.total += o.fused_set_size.total;
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
       queue_depth.log2_buckets[b] += o.queue_depth.log2_buckets[b];
       batch_size.log2_buckets[b] += o.batch_size.log2_buckets[b];
       mv_chain_len.log2_buckets[b] += o.mv_chain_len.log2_buckets[b];
+      fused_set_size.log2_buckets[b] += o.fused_set_size.log2_buckets[b];
     }
     return *this;
   }

@@ -1,0 +1,123 @@
+// Lock-free union-find over transaction commit units — the arbitration core
+// of the contention-manager subsystem (ISSUE 10, ROADMAP item 2).
+//
+// When two batched service transactions keep semantically conflicting, the
+// fusion plane (src/service/fusion.h) merges them into ONE commit unit
+// instead of letting both burn their attempt budgets.  The union-find here
+// decides *who merges into whom*: every in-flight commit unit carries a
+// UfNode, mutually-conflicting units are united, and the unique root is the
+// worker that adopts everyone else's batch.  This is the OTM design point
+// (open transactional memory merges conflicting transactions under a
+// union-find with path compression and union by rank) transplanted onto
+// OTB's batched service plane.
+//
+// Memory model & robustness contract:
+//  * Nodes are plain structs of atomics.  All traversal loads are acquire,
+//    all link installs are CAS with acq_rel; path compression is a benign
+//    CAS race (losers simply keep the old — still correct — parent).
+//  * Nodes are owned by a long-lived arena (the FusionPlane's per-worker
+//    rings) and are RECYCLED, never freed, while any thread may still walk
+//    them.  A recycled node can therefore appear mid-walk with a reset
+//    parent, or a stale unite can stitch a transient cycle through it.
+//    uf_find tolerates both: walks are bounded by kUfMaxHops and bail out
+//    returning the current position.  Callers must treat find results as
+//    advisory — and they do: ownership transfer is linearized by the fusion
+//    plane's slot CAS, never by the union-find alone.
+//  * rank is a heuristic (relaxed); losing a rank race costs balance, not
+//    correctness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace otb::tx {
+
+/// One commit unit's handle in the conflict forest.  parent == nullptr
+/// means "I am a root".
+struct UfNode {
+  std::atomic<UfNode*> parent{nullptr};
+  std::atomic<std::uint32_t> rank{0};
+
+  /// Re-arm a recycled node for a fresh commit-unit episode.  Concurrent
+  /// stale walkers may observe the reset mid-traversal; see the bounded-hop
+  /// contract above.
+  void reset() {
+    parent.store(nullptr, std::memory_order_relaxed);
+    rank.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Walk budget: generous for any live forest (union by rank keeps depth
+/// logarithmic) yet finite so a stale cycle through a recycled node cannot
+/// hang a walker.
+inline constexpr unsigned kUfMaxHops = 64;
+
+/// Find the root of `n`'s set, compressing the path behind the walk.
+/// Wait-free: bounded by kUfMaxHops regardless of concurrent mutation.
+inline UfNode* uf_find(UfNode* n) {
+  UfNode* cur = n;
+  for (unsigned hop = 0; hop < kUfMaxHops; ++hop) {
+    UfNode* p = cur->parent.load(std::memory_order_acquire);
+    if (p == nullptr) return cur;
+    UfNode* gp = p->parent.load(std::memory_order_acquire);
+    if (gp != nullptr) {
+      // Halving: splice cur past its parent.  A lost race means another
+      // walker already improved (or recycled) the link — either is fine.
+      cur->parent.compare_exchange_weak(p, gp, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+      cur = gp;
+    } else {
+      cur = p;
+    }
+  }
+  return cur;  // hop budget spent (stale cycle): advisory answer
+}
+
+/// Unite the sets of `a` and `b`; returns the observed root of the merged
+/// set.  Ordering is (rank, address): the higher-ranked root wins, ties
+/// break on address so two concurrent unites of the same pair agree on the
+/// winner.  Lock-free: some thread's CAS succeeds every round; the hop cap
+/// in uf_find plus a retry bound keep even the pathological recycled-node
+/// case finite.
+inline UfNode* uf_unite(UfNode* a, UfNode* b) {
+  for (unsigned round = 0; round < kUfMaxHops; ++round) {
+    UfNode* ra = uf_find(a);
+    UfNode* rb = uf_find(b);
+    if (ra == rb) return ra;
+    const std::uint32_t ka = ra->rank.load(std::memory_order_relaxed);
+    const std::uint32_t kb = rb->rank.load(std::memory_order_relaxed);
+    UfNode* winner = ra;
+    UfNode* loser = rb;
+    if (ka < kb || (ka == kb && ra > rb)) {
+      winner = rb;
+      loser = ra;
+    }
+    UfNode* expected = nullptr;
+    if (loser->parent.compare_exchange_strong(expected, winner,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+      if (ka == kb) {
+        winner->rank.fetch_add(1, std::memory_order_relaxed);
+      }
+      return winner;
+    }
+    // Someone linked `loser` first; re-find and retry.
+  }
+  return uf_find(a);  // advisory under pathological recycling
+}
+
+/// True when `a` and `b` are (observably) in the same set.  The classic
+/// root-stability recheck: a positive answer is definite, a negative answer
+/// can be stale the instant it is returned — acceptable for arbitration.
+inline bool uf_same_set(UfNode* a, UfNode* b) {
+  for (unsigned round = 0; round < kUfMaxHops; ++round) {
+    UfNode* ra = uf_find(a);
+    UfNode* rb = uf_find(b);
+    if (ra == rb) return true;
+    if (ra->parent.load(std::memory_order_acquire) == nullptr) return false;
+    // ra got linked under someone between the two finds; retry.
+  }
+  return false;
+}
+
+}  // namespace otb::tx

@@ -22,11 +22,18 @@
 //     complete as kFailed at submit and never consume a queue slot;
 //   * per-request deadlines — a request whose deadline passed while queued
 //     completes as kExpired before it wastes a transaction slot;
-//   * split-retry — a batch that cannot commit within `batch_attempts`
-//     transaction attempts (contention, injected aborts) is split in half
-//     and each half retried under the capped-jittered Backoff; singletons
-//     retry until they commit or expire, so persistent conflicts degrade
-//     throughput, never results;
+//   * transaction fusion (src/service/fusion.h, DESIGN.md "Transaction
+//     fusion") — the FIRST response to a spent attempt budget: the worker
+//     adopts a conflicting peer's donated batch (or donates its own) so the
+//     mutually-conflicting scripts commit as ONE merged transaction instead
+//     of fighting; a lock-free union-find arbitrates which worker absorbs
+//     the conflict set.  `OTB_FUSION=off` disables it;
+//   * split-retry — the LAST response: a batch that cannot commit within
+//     `batch_attempts` transaction attempts (contention, injected aborts)
+//     and that fusion could not place is split in half and each half
+//     retried under the capped-jittered Backoff; singletons retry until
+//     they commit or expire, so persistent conflicts degrade throughput,
+//     never results;
 //   * guard handling — a script whose `required`/`expect` guard fails
 //     aborts its transaction.  Inside a coalesced batch the failure may
 //     have been caused by a batchmate's (rolled back) overlay writes, so
@@ -55,12 +62,13 @@
 //     back to a validated read-only transaction; either way the request
 //     completes kOk from the submitting thread.
 //
-// Metrics (domain "otb.service", schema otb.metrics/6): svc_* admission /
+// Metrics (domain "otb.service", schema otb.metrics/8): svc_* admission /
 // completion counters (including svc_scripts / svc_script_steps /
-// svc_guard_aborts for the multi-op surface and svc_read_only for the
-// snapshot route), wal_* durability counters, queue-depth + batch-size +
-// mv_chain_len log2 series, and the "service" / "wal_fsync" phase
-// histograms.  The batch transactions themselves keep reporting through
+// svc_guard_aborts for the multi-op surface, svc_read_only for the
+// snapshot route, and svc_split_retries / svc_fused / fusion_unions /
+// fusion_fallbacks for the contention manager), wal_* durability counters,
+// queue-depth + batch-size + mv_chain_len + fused_set_size log2 series,
+// and the "service" / "wal_fsync" phase histograms.  The batch transactions themselves keep reporting through
 // "otb.tx" as always.
 #pragma once
 
@@ -84,6 +92,7 @@
 #include "metrics/registry.h"
 #include "metrics/sink.h"
 #include "otb/runtime.h"
+#include "service/fusion.h"
 #include "service/queue.h"
 #include "service/recovery.h"
 #include "service/request.h"
@@ -176,6 +185,12 @@ class Service {
     if (!cfg_.wal_dir.empty()) {
       wal_ = std::make_unique<Wal>(
           WalOptions{cfg_.wal_dir, cfg_.wal_fsync, cfg_.workers, sink_});
+    }
+    // Fusion needs a peer to fuse with; a single-worker plane keeps the
+    // pre-fusion loop (the OTB_FUSION knob is re-read per batch, so the
+    // plane exists whenever it could ever be used).
+    if (cfg_.workers > 1) {
+      fusion_ = std::make_unique<FusionPlane>(cfg_.workers, sink_);
     }
   }
 
@@ -624,6 +639,20 @@ class Service {
     static thread_local std::vector<Pending*> acks;
     live.clear();
     acks.clear();
+    // Descriptors adopted from fused donors, seeding this batch's
+    // transactions (try_batch_tx).  Not thread_local: it holds owning
+    // pointers keyed by structure addresses and must die with the batch.
+    tx::DescriptorPool fused_pool;
+    const bool fusing = fusion_ != nullptr && fusion_enabled();
+    if (fusing) {
+      fusion_->begin_episode(shard);
+      // Healthy-worker rescue: a peer stuck on this plane's hot keys may
+      // have donated its batch.  Absorbing it at the pop point folds the
+      // conflict into this worker's next commit unit before anyone burns
+      // more attempt budget — under overload this, not the exhaustion-time
+      // hand-off below, is how most donations get placed.
+      fusion_->try_adopt(shard, batch, &fused_pool);
+    }
     live.reserve(batch.size());
     const std::uint64_t now = now_ns();
     for (Pending* p : batch) {
@@ -635,21 +664,16 @@ class Service {
         live.push_back(p);
       }
     }
-    if (live.size() > 1) {
-      // Key-sort the batch by each script's FIRST step key (stable:
-      // same-key requests keep arrival order, preserving read-after-write
-      // for a pipelining client whose ops landed in one batch).  Concurrent
-      // requests carry no cross-key ordering obligation, and ascending keys
-      // turn the batch's structure traversals into short hint-relative hops
-      // instead of full walks from the head — the locality that makes
-      // coalescing pay.  Multi-step scripts only benefit from their lead
-      // step; their tails touch other structures anyway.
-      std::stable_sort(live.begin(), live.end(),
-                       [](const Pending* a, const Pending* b) {
-                         return a->req.steps[0].key < b->req.steps[0].key;
-                       });
-    }
-    if (!live.empty()) run_or_split(shard, live, acks);
+    // Key-sort the batch by each script's FIRST step key (stable:
+    // same-key requests keep arrival order, preserving read-after-write
+    // for a pipelining client whose ops landed in one batch).  Concurrent
+    // requests carry no cross-key ordering obligation, and ascending keys
+    // turn the batch's structure traversals into short hint-relative hops
+    // instead of full walks from the head — the locality that makes
+    // coalescing pay.  Multi-step scripts only benefit from their lead
+    // step; their tails touch other structures anyway.
+    sort_by_lead_key(live);
+    if (!live.empty()) run_or_split(shard, live, acks, fused_pool, fusing);
     if (!acks.empty()) {
       // The group-commit flush: every dirty shard log, not just ours —
       // this drain's commits (and the values its reads returned) may
@@ -663,25 +687,38 @@ class Service {
     }
   }
 
+  static void sort_by_lead_key(std::vector<Pending*>& batch) {
+    if (batch.size() > 1) {
+      std::stable_sort(batch.begin(), batch.end(),
+                       [](const Pending* a, const Pending* b) {
+                         return a->req.steps[0].key < b->req.steps[0].key;
+                       });
+    }
+  }
+
   void run_or_split(unsigned shard, std::vector<Pending*>& batch,
-                    std::vector<Pending*>& acks) {
+                    std::vector<Pending*>& acks, tx::DescriptorPool& pool,
+                    bool fusing) {
     std::vector<Pending*> deferred;
-    run_batch(shard, batch, deferred, acks);
+    run_batch(shard, batch, deferred, acks, pool, fusing);
     // Guard-abort victims re-run SOLO: inside the coalesced batch their
     // guard may have tripped over a batchmate's rolled-back overlay writes
     // (e.g. another script popped the only element this attempt), which is
     // not a real outcome.  Solo, the verdict is clean — commit or genuine
     // guard failure — and run_batch completes them inline either way, so
-    // this loop never grows `deferred`.
+    // this loop never grows `deferred`.  Fusion stays off for these runs:
+    // adopting a donation would un-solo the batch and cost the victim its
+    // definitive verdict.
     for (std::size_t i = 0; i < deferred.size(); ++i) {
       std::vector<Pending*> solo{deferred[i]};
-      run_batch(shard, solo, deferred, acks);
+      run_batch(shard, solo, deferred, acks, pool, /*fusing=*/false);
     }
   }
 
   void run_batch(unsigned shard, std::vector<Pending*>& batch,
                  std::vector<Pending*>& deferred,
-                 std::vector<Pending*>& acks) {
+                 std::vector<Pending*>& acks, tx::DescriptorPool& pool,
+                 bool fusing) {
     Backoff backoff(Backoff::kDefaultCap);
     // stop()-before-start() drains on the stopping thread with the log
     // never opened; those batches run undurable (the service never started,
@@ -689,10 +726,35 @@ class Service {
     Wal* wal = active_wal();
     if (wal != nullptr && !wal->is_open()) wal = nullptr;
     std::vector<WalOp> redo;
+    // The commit gate covers every transaction in the plane while fusion is
+    // enabled — including solo guard re-runs (fusing=false), so an
+    // exclusive escalation holder truly quiesces all plane writers.
+    const bool gated = fusion_ != nullptr && fusion_enabled();
+    bool escalated = false;
     for (;;) {
       Pending* victim = nullptr;
-      switch (try_batch_tx(shard, batch, &victim,
-                           wal != nullptr ? &redo : nullptr)) {
+      BatchOutcome out;
+      if (escalated) {
+        // Serialized escalation (fusion.h): one attempt under the exclusive
+        // gate.  No concurrent plane transaction is mid-attempt, so
+        // semantic validation cannot fail and the fused conflict set
+        // commits here — unless a fault hook or guard storm intervenes,
+        // which falls through to split-retry below.
+        std::unique_lock<std::shared_mutex> gate(fusion_->gate());
+        out = try_batch_tx(shard, batch, &victim,
+                           wal != nullptr ? &redo : nullptr,
+                           fusing ? &pool : nullptr, /*attempts=*/1);
+      } else if (gated) {
+        std::shared_lock<std::shared_mutex> gate(fusion_->gate());
+        out = try_batch_tx(shard, batch, &victim,
+                           wal != nullptr ? &redo : nullptr,
+                           fusing ? &pool : nullptr);
+      } else {
+        out = try_batch_tx(shard, batch, &victim,
+                           wal != nullptr ? &redo : nullptr,
+                           fusing ? &pool : nullptr);
+      }
+      switch (out) {
         case BatchOutcome::kCommitted: {
           sink_->add(metrics::CounterId::kSvcBatches);
           sink_->record_batch_size(batch.size());
@@ -747,13 +809,36 @@ class Service {
       }
       // Attempt budget spent without a commit.
       sink_->add(metrics::CounterId::kSvcBatchSplits);
+      if (fusing && !escalated) {
+        // Contention manager (fusion.h): fuse first, serialize second,
+        // split last.  Either absorb a conflicting peer's donated batch
+        // into this commit unit, or donate ours and let the union-find
+        // pick the one worker that absorbs the whole conflict set.
+        if (fusion_->try_adopt(shard, batch, &pool) != 0) {
+          sort_by_lead_key(batch);
+          continue;  // merged commit unit retries with a fresh budget
+        }
+        switch (fusion_->offer_and_wait(shard, batch, &pool)) {
+          case OfferOutcome::kAdopted:
+            return;  // a peer owns (and completes) these requests now
+          case OfferOutcome::kMerged:
+            sort_by_lead_key(batch);
+            continue;
+          case OfferOutcome::kWithdrawn:
+            // Nobody could fuse: escalate to the gated serial attempt.
+            escalated = true;
+            continue;
+        }
+      }
       if (batch.size() > 1) {
+        sink_->add(metrics::CounterId::kSvcSplitRetries);
         const std::size_t half = batch.size() / 2;
         std::vector<Pending*> right(batch.begin() + half, batch.end());
         batch.resize(half);
         backoff.pause();
-        run_batch(shard, batch, deferred, acks);  // depth ≤ log2(batch_max)
-        run_batch(shard, right, deferred, acks);
+        // depth ≤ log2(cap)
+        run_batch(shard, batch, deferred, acks, pool, fusing);
+        run_batch(shard, right, deferred, acks, pool, fusing);
         return;
       }
       // Singleton: re-check its deadline, then keep retrying — conflicts
@@ -769,7 +854,8 @@ class Service {
   }
 
   /// Run every request of `batch` in one transaction, retrying up to
-  /// cfg_.batch_attempts times.  Returns kBudgetSpent when the budget is
+  /// cfg_.batch_attempts times (or `attempts` when non-zero — the gated
+  /// escalation retry passes 1).  Returns kBudgetSpent when the budget is
   /// exhausted (caller splits) and kGuardAbort with `*victim` set when a
   /// script's guard failed (the attempt rolls back without consuming
   /// budget; the caller decides the victim's fate).  Accounting flows
@@ -777,11 +863,23 @@ class Service {
   /// boosted transactions.  This is tx::atomically's loop with a bounded
   /// attempt count; like it, non-abort exceptions still abandon held state
   /// before escaping.
+  ///
+  /// `fused_pool`, when non-null, is the fusion descriptor conduit: the
+  /// transaction is seeded with descriptors adopted from donated commit
+  /// units (their structures re-attach allocation-free), and on budget
+  /// exhaustion the transaction's parked pool is harvested back out so the
+  /// caller can ship it to an adopter (fusion.h).
   BatchOutcome try_batch_tx(unsigned shard, std::vector<Pending*>& batch,
-                            Pending** victim, std::vector<WalOp>* redo) {
+                            Pending** victim, std::vector<WalOp>* redo,
+                            tx::DescriptorPool* fused_pool = nullptr,
+                            unsigned attempts = 0) {
+    if (attempts == 0) attempts = cfg_.batch_attempts;
     metrics::MetricsSink& tx_sink = tx::metrics_sink();
     Backoff backoff(Backoff::kDefaultCap);
     tx::Transaction t;
+    if (fused_pool != nullptr && !fused_pool->empty()) {
+      t.adopt_descriptor_pool(std::move(*fused_pool));
+    }
     // The WAL append runs from the commit hook — inside commit(), after the
     // stamp is drawn and BEFORE the semantic locks release.  That ordering
     // is what makes cross-shard group commit sound: by the time any
@@ -804,7 +902,7 @@ class Service {
           },
           &ctx);
     }
-    for (unsigned attempt = 0; attempt < cfg_.batch_attempts; ++attempt) {
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
       t.begin_attempt();
       if (redo != nullptr) redo->clear();
       try {
@@ -831,6 +929,11 @@ class Service {
         throw;
       }
     }
+    // Every failed attempt parked its descriptors (abandon ->
+    // recycle_attached), so the pool now holds one reset descriptor per
+    // structure this commit unit touched — hand it back for a possible
+    // fusion donation.
+    if (fused_pool != nullptr) *fused_pool = t.take_descriptor_pool();
     return BatchOutcome::kBudgetSpent;
   }
 
@@ -1050,6 +1153,8 @@ class Service {
   ShardedQueue queue_;
   metrics::MetricsSink* sink_;
   std::unique_ptr<Wal> wal_;
+  // Contention manager (fusion.h); null on single-worker planes.
+  std::unique_ptr<FusionPlane> fusion_;
   // Checkpoint pause point: workers hold the shared side per drained
   // batch; checkpoint_now takes it exclusively to reach quiescence.
   std::shared_mutex pause_;

@@ -57,11 +57,14 @@ TEST(ScenarioSchedulerStress, CrossStructureScriptsAreLinearizable) {
     stress::FastPathOverride knob(fast);
   for (const unsigned mv_k : {4u, 0u}) {
     stress::MvVersionsOverride mv_knob(mv_k);
+  for (const bool fusion : {true, false}) {
+    stress::FusionOverride fusion_knob(fusion);
   for (const Case c : {Case{2, 1, 4}, Case{3, 2, 8}}) {
     SCOPED_TRACE("clients=" + std::to_string(c.threads) +
                  " workers=" + std::to_string(c.workers) +
                  " batch_max=" + std::to_string(c.batch_max) +
                  std::string(" fast_path=") + (fast ? "on" : "off") +
+                 std::string(" fusion=") + (fusion ? "on" : "off") +
                  " mv_versions=" + std::to_string(mv_k));
     service::scenarios::JobScheduler sched;
     StressOptions opt;
@@ -164,6 +167,7 @@ TEST(ScenarioSchedulerStress, CrossStructureScriptsAreLinearizable) {
     if (lin.status == LinStatus::kBudgetExhausted) {
       GTEST_LOG_(WARNING) << "lin check inconclusive: " << lin.detail;
     }
+  }
   }
   }
   }

@@ -53,11 +53,14 @@ TEST(ScenarioSessionStress, TwoMapScriptsKeepTheBijectionAndLinearize) {
     stress::FastPathOverride knob(fast);
   for (const unsigned mv_k : {4u, 0u}) {
     stress::MvVersionsOverride mv_knob(mv_k);
+  for (const bool fusion : {true, false}) {
+    stress::FusionOverride fusion_knob(fusion);
   for (const Case c : {Case{4, 1, 8}, Case{4, 2, 4}}) {
     SCOPED_TRACE("clients=" + std::to_string(c.threads) +
                  " workers=" + std::to_string(c.workers) +
                  " batch_max=" + std::to_string(c.batch_max) +
                  std::string(" fast_path=") + (fast ? "on" : "off") +
+                 std::string(" fusion=") + (fusion ? "on" : "off") +
                  " mv_versions=" + std::to_string(mv_k));
     service::scenarios::SessionStore store;
     StressOptions opt;
@@ -142,6 +145,7 @@ TEST(ScenarioSessionStress, TwoMapScriptsKeepTheBijectionAndLinearize) {
       EXPECT_EQ(sessions[i].first, ttl[i].first);   // same key set (sorted)
       EXPECT_EQ(ttl[i].second, ttl[i].first);       // rank -> sid, rank == sid
     }
+  }
   }
   }
   }

@@ -7,7 +7,10 @@
 // and off — with MV on the gets route through the inline snapshot path, so
 // the checked history interleaves abort-free snapshot reads with batched
 // writes — and once with periodic injected batch aborts so split-retry is
-// on the checked path.
+// on the checked path.  The transaction-fusion contention manager
+// (OTB_FUSION, src/service/fusion.h) is likewise forced both on and off:
+// with fusion on the injected cases exercise batch donation/adoption under
+// the lin checker, and the fused/union/fallback ledger identities must hold.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -84,6 +87,8 @@ TEST(ServiceStress, HistoriesThroughServiceAreLinearizable) {
     stress::TraversalHintsOverride hint_knob(hints);
   for (const unsigned mv_k : {4u, 0u}) {
     stress::MvVersionsOverride mv_knob(mv_k);
+  for (const bool fusion : {true, false}) {
+    stress::FusionOverride fusion_knob(fusion);
   for (const Case c : {Case{4, 1, 8, false}, Case{4, 2, 4, false},
                        Case{6, 2, 8, true}}) {
     SCOPED_TRACE("clients=" + std::to_string(c.threads) +
@@ -92,6 +97,7 @@ TEST(ServiceStress, HistoriesThroughServiceAreLinearizable) {
                  std::string(" inject=") + (c.inject ? "yes" : "no") +
                  std::string(" fast_path=") + (fast ? "on" : "off") +
                  std::string(" hints=") + (hints ? "on" : "off") +
+                 std::string(" fusion=") + (fusion ? "on" : "off") +
                  " mv_versions=" + std::to_string(mv_k));
     tx::OtbListMap map;
     service::Targets targets = service::Targets::standard(&map);
@@ -168,6 +174,28 @@ TEST(ServiceStress, HistoriesThroughServiceAreLinearizable) {
     } else {
       EXPECT_EQ(s.counter(metrics::CounterId::kSvcReadOnly), 0u);
     }
+    // Fusion ledger: every union logged one fused-set-size sample, fused
+    // requests imply unions, and split-retries never exceed exhaustions.
+    EXPECT_EQ(s.counter(metrics::CounterId::kFusionUnions),
+              s.fused_set_size.count);
+    EXPECT_GE(s.counter(metrics::CounterId::kSvcFused),
+              s.counter(metrics::CounterId::kFusionUnions));
+    EXPECT_LE(s.counter(metrics::CounterId::kSvcSplitRetries),
+              s.counter(metrics::CounterId::kSvcBatchSplits));
+    if (fusion) {
+      // Every budget exhaustion fuses or falls back before splitting.
+      if (s.counter(metrics::CounterId::kSvcBatchSplits) > 0 &&
+          cfg.workers > 1) {
+        EXPECT_GT(s.counter(metrics::CounterId::kFusionUnions) +
+                      s.counter(metrics::CounterId::kFusionFallbacks),
+                  0u);
+      }
+    } else {
+      EXPECT_EQ(s.counter(metrics::CounterId::kSvcFused), 0u);
+      EXPECT_EQ(s.counter(metrics::CounterId::kFusionUnions), 0u);
+      EXPECT_EQ(s.counter(metrics::CounterId::kFusionFallbacks), 0u);
+    }
+  }
   }
   }
   }
